@@ -1,0 +1,312 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one benchmark
+// per figure/table, at a reduced "bench" scale so `go test -bench=.` stays
+// in the minutes range) plus micro-benchmarks of the hot paths: schema
+// matching, PCSA synopses, and objective evaluation.
+//
+// The full-scale console harness is `go run ./cmd/mube-bench -scale full`.
+package mube_test
+
+import (
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/exp"
+	"mube/internal/match"
+	"mube/internal/minhash"
+	"mube/internal/opt"
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+	"mube/internal/synth"
+)
+
+// benchScale is a small but non-trivial configuration: 1% data, universes to
+// 200 sources.
+func benchScale() exp.Scale {
+	return exp.Scale{
+		Name:          "bench",
+		DataFactor:    0.01,
+		UniverseSizes: []int{100, 200},
+		ChooseCounts:  []int{10, 20},
+		BaseUniverse:  200,
+		ChooseDefault: 20,
+		MaxIters:      30,
+		Patience:      10,
+		Sig:           pcsa.Config{NumMaps: 128},
+		Seed:          1,
+		Repeats:       1,
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (execution time vs universe size).
+func BenchmarkFig5(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig5(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig67 regenerates Figures 6–7 (time and quality vs sources to
+// choose).
+func BenchmarkFig67(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig67(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (solution cardinality vs Card weight).
+func BenchmarkFig8(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig8(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (quality of GAs).
+func BenchmarkTable1(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table1(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPCSAExperiment regenerates the §7.3 accuracy claim.
+func BenchmarkPCSAExperiment(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.PCSA(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivity regenerates the §7.4 robustness experiment.
+func BenchmarkSensitivity(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Sensitivity(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolvers regenerates the solver comparison (§6).
+func BenchmarkSolvers(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Solvers(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryCost regenerates the query-cost experiment (mediator
+// execution over growing solutions).
+func BenchmarkQueryCost(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.QueryCost(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTenure regenerates the tabu-tenure ablation.
+func BenchmarkAblationTenure(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationTenure(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchUniverse returns the cached 200-source bench universe.
+func benchUniverse(b *testing.B) *synth.Result {
+	b.Helper()
+	res, err := benchScale().Universe(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkMatch20 measures one Match(S) call over 20 sources — the
+// dominant cost of an objective evaluation.
+func BenchmarkMatch20(b *testing.B) {
+	benchMatchN(b, 20)
+}
+
+// BenchmarkMatch50 measures Match(S) over 50 sources.
+func BenchmarkMatch50(b *testing.B) {
+	benchMatchN(b, 50)
+}
+
+func benchMatchN(b *testing.B, n int) {
+	res := benchUniverse(b)
+	m, err := match.New(res.Universe, match.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := res.Universe.IDs()[:n]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(ids, constraint.Set{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatcherBuild measures building the interned-name similarity table
+// for a 200-source universe (done once per universe).
+func BenchmarkMatcherBuild(b *testing.B) {
+	res := benchUniverse(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := match.New(res.Universe, match.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatcherBuildHybrid measures building the per-attribute hybrid
+// similarity table (name + MinHash value sketches) for a 200-source
+// universe.
+func BenchmarkMatcherBuildHybrid(b *testing.B) {
+	cfg := synth.Scaled(0.01)
+	cfg.NumSources = 200
+	cfg.Sig = pcsa.Config{NumMaps: 128}
+	cfg.AttrSignatures = true
+	res, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := match.New(res.Universe, match.Config{DataWeight: 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHybrid regenerates the data-based-similarity ablation.
+func BenchmarkAblationHybrid(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationHybrid(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinHashAdd measures value-sketch insertion (the per-tuple cost of
+// cooperating with data-based matching).
+func BenchmarkMinHashAdd(b *testing.B) {
+	sig := minhash.MustNew(minhash.DefaultK, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig.AddUint64(uint64(i))
+	}
+}
+
+// BenchmarkObjectiveEval measures one full Q(S) evaluation (match + card +
+// coverage + redundancy + mttf) for a 20-source subset.
+func BenchmarkObjectiveEval(b *testing.B) {
+	sc := benchScale()
+	res := benchUniverse(b)
+	p, err := sc.Problem(res, 20, constraint.Set{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := res.Universe.IDs()[:20]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := opt.NewEvaluator(p, 0) // fresh evaluator: no memo hits
+		if q := e.Eval(ids); q <= 0 {
+			b.Fatal("zero quality")
+		}
+	}
+}
+
+// BenchmarkTabuSolve measures one full tabu run on the standard problem.
+func BenchmarkTabuSolve(b *testing.B) {
+	sc := benchScale()
+	res := benchUniverse(b)
+	p, err := sc.Problem(res, 20, constraint.Set{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := sc.Solver(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(p, sc.Options(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPCSAAdd measures signature insertion throughput.
+func BenchmarkPCSAAdd(b *testing.B) {
+	sig := pcsa.MustNew(pcsa.DefaultConfig)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig.AddUint64(uint64(i))
+	}
+}
+
+// BenchmarkPCSAUnion measures OR-merging 20 signatures and estimating the
+// union — the Coverage QEF's inner loop.
+func BenchmarkPCSAUnion(b *testing.B) {
+	res := benchUniverse(b)
+	ids := res.Universe.IDs()[:20]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if est := res.Universe.UnionEstimate(ids); est <= 0 {
+			b.Fatal("empty union")
+		}
+	}
+}
+
+// BenchmarkGenerateUniverse measures synthetic-universe generation at 1%
+// data scale, 100 sources.
+func BenchmarkGenerateUniverse(b *testing.B) {
+	cfg := synth.Scaled(0.01)
+	cfg.NumSources = 100
+	cfg.Sig = pcsa.Config{NumMaps: 128}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := synth.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchemaSubsumes measures the subsumption check used by constraint
+// verification.
+func BenchmarkSchemaSubsumes(b *testing.B) {
+	var gas []schema.GA
+	for s := 0; s < 20; s++ {
+		gas = append(gas, schema.NewGA(
+			schema.AttrRef{Source: schema.SourceID(s), Attr: 0},
+			schema.AttrRef{Source: schema.SourceID(s + 20), Attr: 1},
+			schema.AttrRef{Source: schema.SourceID(s + 40), Attr: 2},
+		))
+	}
+	m := schema.NewMediated(gas...)
+	sub := schema.NewMediated(gas[:10]...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Subsumes(sub) {
+			b.Fatal("subsumption broken")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command mube-bench regenerates every table and figure of the paper's
+// evaluation (§7) plus the repository's ablations, printing each as an
+// aligned text table.
+//
+// Usage:
+//
+//	mube-bench -exp all -scale quick
+//	mube-bench -exp fig5 -scale full
+//
+// Experiments: fig5, fig67 (time and quality: Figures 6 and 7), fig8,
+// table1, pcsa, sensitivity, solvers, ablation-sim, ablation-linkage,
+// ablation-tenure, ablation-pcsa, all.
+//
+// Scales: "full" reproduces the paper's settings (700 sources, 4M-tuple
+// pool; minutes of runtime), "quick" is a 1%-data configuration with the
+// same qualitative shapes (seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mube/internal/exp"
+)
+
+// experiments maps experiment names to runners in display order.
+var experiments = []struct {
+	name  string
+	title string
+	run   func(exp.Scale, io.Writer) error
+}{
+	{"fig5", "Figure 5: execution time vs universe size (choose 20)", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.Fig5(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderFig5(w, rows)
+	}},
+	{"fig67", "Figures 6–7: execution time and overall quality vs sources to choose", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.Fig67(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderFig67(w, rows)
+	}},
+	{"fig8", "Figure 8: solution cardinality vs Card-QEF weight", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.Fig8(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderFig8(w, rows)
+	}},
+	{"table1", "Table 1: quality of GAs vs sources selected", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.Table1(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderTable1(w, rows)
+	}},
+	{"pcsa", "PCSA accuracy vs exact counting (§7.3: worst case ≈7%)", func(sc exp.Scale, w io.Writer) error {
+		res, err := exp.PCSA(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderPCSA(w, res)
+	}},
+	{"sensitivity", "Sensitivity: ±15% weight perturbation (§7.4)", func(sc exp.Scale, w io.Writer) error {
+		res, err := exp.Sensitivity(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderSensitivity(w, res)
+	}},
+	{"solvers", "Solver comparison at equal evaluation budgets (§6)", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.Solvers(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderSolvers(w, rows)
+	}},
+	{"querycost", "Query cost vs solution size (§1 motivation, via the mediator)", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.QueryCost(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderQueryCost(w, rows)
+	}},
+	{"ablation-sim", "Ablation: attribute similarity measures", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.AblationSimilarity(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderSimilarity(w, rows)
+	}},
+	{"ablation-linkage", "Ablation: cluster linkage (max vs avg)", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.AblationLinkage(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderLinkage(w, rows)
+	}},
+	{"ablation-tenure", "Ablation: tabu tenure", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.AblationTenure(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderTenure(w, rows)
+	}},
+	{"ablation-hybrid", "Ablation: data-based similarity (MinHash value sketches) vs name-only", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.AblationHybrid(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderHybrid(w, rows)
+	}},
+	{"ablation-pairwise", "Ablation: holistic clustering vs pairwise star mediation (§8)", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.AblationPairwise(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderPairwise(w, rows)
+	}},
+	{"ablation-pcsa", "Ablation: PCSA bitmap count vs estimation error", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.AblationPCSAMaps(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderPCSAMaps(w, rows)
+	}},
+}
+
+func main() {
+	expName := flag.String("exp", "all", "experiment to run (or 'all')")
+	scaleName := flag.String("scale", "quick", "experiment scale: full | quick")
+	seed := flag.Int64("seed", 0, "override the scale's base seed (0 = keep)")
+	flag.Parse()
+
+	var sc exp.Scale
+	switch *scaleName {
+	case "full":
+		sc = exp.Full()
+	case "quick":
+		sc = exp.Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "mube-bench: unknown scale %q (want full or quick)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *expName != "all" && *expName != e.name {
+			continue
+		}
+		ran++
+		fmt.Printf("== %s [%s scale] ==\n", e.title, sc.Name)
+		start := time.Now()
+		if err := e.run(sc, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mube-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "mube-bench: unknown experiment %q\n", *expName)
+		fmt.Fprintf(os.Stderr, "available:")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, " %s", e.name)
+		}
+		fmt.Fprintln(os.Stderr, " all")
+		os.Exit(2)
+	}
+}

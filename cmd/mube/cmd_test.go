@@ -1,0 +1,156 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", runErr, data)
+	}
+	return string(data)
+}
+
+// genUniverseFile writes a small universe file and returns its path.
+func genUniverseFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "u.json")
+	captureStdout(t, func() error {
+		return cmdGen([]string{"-n", "40", "-scale", "0.002", "-seed", "2", "-o", path})
+	})
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("gen wrote nothing: %v", err)
+	}
+	return path
+}
+
+func TestCmdGenAndInspect(t *testing.T) {
+	path := genUniverseFile(t)
+	out := captureStdout(t, func() error { return cmdInspect([]string{"-u", path}) })
+	if !strings.Contains(out, "universe: 40 sources") {
+		t.Errorf("inspect summary:\n%s", out)
+	}
+	out = captureStdout(t, func() error { return cmdInspect([]string{"-u", path, "-source", "3"}) })
+	if !strings.Contains(out, "source 3:") || !strings.Contains(out, "schema:") {
+		t.Errorf("inspect detail:\n%s", out)
+	}
+	if err := cmdInspect([]string{"-u", path, "-source", "999"}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if err := cmdInspect([]string{"-u", "/does/not/exist.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCmdGenStdout(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdGen([]string{"-n", "5", "-scale", "0.002", "-o", "-"})
+	})
+	if !strings.Contains(out, `"sources"`) {
+		t.Errorf("gen to stdout did not emit JSON:\n%.200s", out)
+	}
+}
+
+func TestCmdFind(t *testing.T) {
+	path := genUniverseFile(t)
+	out := captureStdout(t, func() error { return cmdFind([]string{"-u", path, "-k", "3", "author", "price"}) })
+	if !strings.Contains(out, "matched:") {
+		t.Errorf("find output:\n%s", out)
+	}
+	if n := strings.Count(out, "\n"); n > 3 {
+		t.Errorf("find returned more than k=3 hits:\n%s", out)
+	}
+	out = captureStdout(t, func() error { return cmdFind([]string{"-u", path, "zzznothing"}) })
+	if !strings.Contains(out, "no sources match") {
+		t.Errorf("no-match output:\n%s", out)
+	}
+	if err := cmdFind([]string{"-u", path}); err == nil {
+		t.Error("find without keywords accepted")
+	}
+}
+
+func TestCmdSolve(t *testing.T) {
+	path := genUniverseFile(t)
+	rep := filepath.Join(t.TempDir(), "report.json")
+	out := captureStdout(t, func() error {
+		return cmdSolve([]string{"-u", path, "-m", "5", "-evals", "200", "-require", "1,2", "-report", rep})
+	})
+	if !strings.Contains(out, "overall quality Q(S)") || !strings.Contains(out, "mediated schema") {
+		t.Errorf("solve output:\n%s", out)
+	}
+	// Required sources appear in the listing.
+	if !strings.Contains(out, "[  1]") || !strings.Contains(out, "[  2]") {
+		t.Errorf("required sources missing:\n%s", out)
+	}
+	if fi, err := os.Stat(rep); err != nil || fi.Size() == 0 {
+		t.Errorf("report not written: %v", err)
+	}
+	// Bad flags error out.
+	if err := cmdSolve([]string{"-u", path, "-m", "5", "-require", "abc"}); err == nil {
+		t.Error("bad require accepted")
+	}
+	if err := cmdSolve([]string{"-u", path, "-m", "5", "-weights", "nope=1"}); err == nil {
+		t.Error("unknown weight accepted")
+	}
+	if err := cmdSolve([]string{"-u", path, "-m", "5", "-sim", "bogus"}); err == nil {
+		t.Error("unknown similarity accepted")
+	}
+	if err := cmdSolve([]string{"-u", path, "-m", "5", "-solver", "bogus"}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestCmdSolveWithCustomWeightsAndSolver(t *testing.T) {
+	path := genUniverseFile(t)
+	out := captureStdout(t, func() error {
+		return cmdSolve([]string{
+			"-u", path, "-m", "4", "-evals", "150", "-solver", "anneal",
+			"-weights", "match=0.4,card=0.2,coverage=0.2,redundancy=0.1,mttf=0.1",
+		})
+	})
+	if !strings.Contains(out, "[anneal,") {
+		t.Errorf("solver not applied:\n%s", out)
+	}
+}
+
+func TestCmdSolveSpecRoundTrip(t *testing.T) {
+	path := genUniverseFile(t)
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+
+	// Build a session via flags, save its spec through the session API.
+	fsOut := captureStdout(t, func() error {
+		return cmdSolve([]string{"-u", path, "-m", "4", "-evals", "150", "-require", "3"})
+	})
+	_ = fsOut
+	// Hand-write a minimal spec and solve with it.
+	if err := os.WriteFile(spec, []byte(`{
+		"weights": null, "theta": 0.5, "beta": 2, "linkage": "max",
+		"max_sources": 4, "solver": "tabu", "source_constraints": [3],
+		"seed": 1, "max_evals": 150
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return cmdSolve([]string{"-u", path, "-spec", spec})
+	})
+	if !strings.Contains(out, "[  3]") {
+		t.Errorf("spec constraint not honored:\n%s", out)
+	}
+}

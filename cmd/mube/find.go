@@ -1,0 +1,44 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mube/internal/discovery"
+)
+
+// cmdFind ranks sources in a universe file against a keyword query — the
+// local stand-in for the hidden-Web search engine step of the µBE pipeline,
+// and the quickest way to locate source IDs to constrain in a session.
+func cmdFind(args []string) error {
+	fs := flag.NewFlagSet("find", flag.ExitOnError)
+	in := fs.String("u", "universe.json", "universe file")
+	k := fs.Int("k", 10, "maximum hits (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("find: provide query keywords, e.g. `mube find -u u.json author price`")
+	}
+	query := ""
+	for i, a := range fs.Args() {
+		if i > 0 {
+			query += " "
+		}
+		query += a
+	}
+	u, err := loadUniverse(*in)
+	if err != nil {
+		return err
+	}
+	idx := discovery.Build(u)
+	hits := idx.Search(query, *k)
+	if len(hits) == 0 {
+		fmt.Println("no sources match")
+		return nil
+	}
+	for _, h := range hits {
+		fmt.Printf("[%3d] %.4f  %s  (matched: %v)\n", h.Source, h.Score, idx.DescribeHit(h), h.Matched)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mube/internal/opt"
+	"mube/internal/pcsa"
+	"mube/internal/session"
+	"mube/internal/source"
+	"mube/internal/synth"
+)
+
+// testUniverse generates a small synthetic universe for CLI tests.
+func testUniverse(t *testing.T) *source.Universe {
+	t.Helper()
+	cfg := synth.Scaled(0.002)
+	cfg.NumSources = 40
+	cfg.Seed = 3
+	cfg.Sig = pcsa.Config{NumMaps: 64}
+	res, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Universe
+}
+
+// newREPLSession opens a fast session over the test universe.
+func newREPLSession(t *testing.T, u *source.Universe) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Config{
+		Universe:      u,
+		MaxSources:    6,
+		SolverOptions: opt.Options{Seed: 1, MaxEvals: 200, MaxIters: 30, Patience: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// script runs the REPL over the given input lines and returns its output.
+func script(t *testing.T, u *source.Universe, s *session.Session, lines ...string) string {
+	t.Helper()
+	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
+	var out bytes.Buffer
+	if err := runREPL(s, u, in, &out); err != nil {
+		t.Fatalf("runREPL: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestREPLSolveAndFeedback(t *testing.T) {
+	u := testUniverse(t)
+	s := newREPLSession(t, u)
+	out := script(t, u, s,
+		"help",
+		"spec",
+		"solve",
+		"pin last 0",
+		"require 3",
+		"spec",
+		"solve",
+		"show",
+		"quit",
+	)
+	if !strings.Contains(out, "overall quality Q(S)") {
+		t.Errorf("no solution printed:\n%s", out)
+	}
+	if !strings.Contains(out, "source constraints: [3]") {
+		t.Errorf("require not reflected in spec:\n%s", out)
+	}
+	if !strings.Contains(out, "GA constraint 0:") {
+		t.Errorf("pin not reflected in spec:\n%s", out)
+	}
+	if len(s.History()) != 2 {
+		t.Errorf("history = %d iterations", len(s.History()))
+	}
+}
+
+func TestREPLParameterCommands(t *testing.T) {
+	u := testUniverse(t)
+	s := newREPLSession(t, u)
+	script(t, u, s,
+		"theta 0.7",
+		"beta 3",
+		"m 4",
+		"weight card 0.5",
+		"solver anneal",
+		"quit",
+	)
+	spec := s.Spec()
+	if spec.Theta != 0.7 || spec.Beta != 3 || spec.MaxSources != 4 || spec.Solver != "anneal" {
+		t.Errorf("spec = %+v", spec)
+	}
+	if spec.Weights["card"] != 0.5 {
+		t.Errorf("card weight = %v", spec.Weights["card"])
+	}
+}
+
+func TestREPLBridgeAndClear(t *testing.T) {
+	u := testUniverse(t)
+	s := newREPLSession(t, u)
+	script(t, u, s,
+		"bridge s0.a0 s1.a0",
+		"clear",
+		"quit",
+	)
+	if !s.Spec().Constraints.Empty() {
+		t.Errorf("constraints not cleared: %+v", s.Spec().Constraints)
+	}
+}
+
+func TestREPLErrorsAreReportedNotFatal(t *testing.T) {
+	u := testUniverse(t)
+	s := newREPLSession(t, u)
+	out := script(t, u, s,
+		"frobnicate",
+		"pin last",     // wrong arity
+		"pin 9 9",      // out of range
+		"bridge s0.a0", // too few refs
+		"weight nope 0.5",
+		"theta 7",
+		"solver warp",
+		"require",
+		"require xyz",
+		"source 9999",
+		"save",
+		"report",
+		"quit",
+	)
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("unknown command not reported:\n%s", out)
+	}
+	count := strings.Count(out, "error:") + strings.Count(out, "usage:") + strings.Count(out, "expected")
+	if count < 8 {
+		t.Errorf("expected ≥8 error/usage messages, got %d:\n%s", count, out)
+	}
+}
+
+func TestREPLSaveAndReportFiles(t *testing.T) {
+	u := testUniverse(t)
+	s := newREPLSession(t, u)
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	repPath := filepath.Join(dir, "rep.json")
+	out := script(t, u, s,
+		"require 2",
+		"solve",
+		"save "+specPath,
+		"report "+repPath,
+		"quit",
+	)
+	if !strings.Contains(out, "wrote "+specPath) || !strings.Contains(out, "wrote "+repPath) {
+		t.Fatalf("files not written:\n%s", out)
+	}
+	// The saved spec loads into a fresh session with the constraint intact.
+	f, err := os.Open(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := session.LoadSpec(f, session.Config{Universe: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Spec().Constraints.Sources; len(got) != 1 || got[0] != 2 {
+		t.Errorf("loaded constraints = %v", got)
+	}
+	if fi, err := os.Stat(repPath); err != nil || fi.Size() == 0 {
+		t.Errorf("report file empty: %v", err)
+	}
+}
+
+func TestREPLShowBeforeSolve(t *testing.T) {
+	u := testUniverse(t)
+	s := newREPLSession(t, u)
+	out := script(t, u, s, "show", "quit")
+	if !strings.Contains(out, "no iterations yet") {
+		t.Errorf("missing guidance:\n%s", out)
+	}
+}

@@ -1,0 +1,63 @@
+// Command mube is the µBE command-line tool: generate or inspect source
+// universes, solve one-shot source-selection/schema-mediation problems, and
+// run the iterative feedback loop interactively (the terminal counterpart of
+// the paper's Figure 4 UI).
+//
+// Subcommands:
+//
+//	mube gen -n 200 -scale 0.01 -o universe.json     generate a synthetic universe
+//	mube inspect -u universe.json [-source 3]        summarize a universe
+//	mube find -u universe.json author price          keyword source discovery
+//	mube solve -u universe.json -m 20 [...]          one optimization run
+//	mube interactive -u universe.json -m 20          iterative REPL session
+//
+// Run any subcommand with -h for its flags.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "find":
+		err = cmdFind(os.Args[2:])
+	case "solve":
+		err = cmdSolve(os.Args[2:])
+	case "interactive":
+		err = cmdInteractive(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mube: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mube: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mube <subcommand> [flags]
+
+subcommands:
+  gen          generate a synthetic universe (BAMM-style Books domain)
+  inspect      summarize a universe file
+  find         rank sources against a keyword query (source discovery)
+  solve        solve one source-selection / schema-mediation problem
+  interactive  iterative µBE session (solve, give feedback, re-solve)
+
+run 'mube <subcommand> -h' for flags`)
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mube/internal/match"
+	"mube/internal/opt"
+	"mube/internal/qef"
+	"mube/internal/schema"
+	"mube/internal/session"
+	"mube/internal/source"
+	"mube/internal/strutil"
+)
+
+// sessionFlags are the flags shared by solve and interactive.
+type sessionFlags struct {
+	universe *string
+	m        *int
+	theta    *float64
+	beta     *int
+	solver   *string
+	seed     *int64
+	evals    *int
+	weights  *string
+	require  *string
+	sim      *string
+	spec     *string
+}
+
+// register installs the shared flags on fs.
+func registerSessionFlags(fs *flag.FlagSet) *sessionFlags {
+	return &sessionFlags{
+		universe: fs.String("u", "universe.json", "universe file"),
+		m:        fs.Int("m", 20, "maximum number of sources to select"),
+		theta:    fs.Float64("theta", match.DefaultTheta, "matching threshold θ"),
+		beta:     fs.Int("beta", match.DefaultBeta, "minimum GA size β"),
+		solver:   fs.String("solver", "tabu", "solver: tabu|sls|anneal|pso|random|exhaustive"),
+		seed:     fs.Int64("seed", 1, "solver seed"),
+		evals:    fs.Int("evals", 3000, "objective evaluation budget"),
+		weights:  fs.String("weights", "", "QEF weights, e.g. match=0.3,card=0.3,coverage=0.2,redundancy=0.1,mttf=0.1"),
+		require:  fs.String("require", "", "comma-separated source IDs to require"),
+		sim:      fs.String("sim", "", "similarity measure (default 3gram-jaccard)"),
+		spec:     fs.String("spec", "", "load a saved session spec (overrides the other problem flags)"),
+	}
+}
+
+// buildSession assembles a session from the flags.
+func (sf *sessionFlags) buildSession() (*session.Session, *source.Universe, error) {
+	u, err := loadUniverse(*sf.universe)
+	if err != nil {
+		return nil, nil, err
+	}
+	if *sf.spec != "" {
+		f, err := os.Open(*sf.spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		s, err := session.LoadSpec(f, session.Config{Universe: u})
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, u, nil
+	}
+	mcfg := match.Config{Theta: *sf.theta, Beta: *sf.beta}
+	if *sf.sim != "" {
+		mcfg.Similarity = strutil.ByName(*sf.sim)
+		if mcfg.Similarity == nil {
+			return nil, nil, fmt.Errorf("unknown similarity measure %q", *sf.sim)
+		}
+	}
+	cfg := session.Config{
+		Universe:      u,
+		Match:         mcfg,
+		MaxSources:    *sf.m,
+		Solver:        *sf.solver,
+		SolverOptions: opt.Options{Seed: *sf.seed, MaxEvals: *sf.evals},
+	}
+	s, err := session.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if *sf.weights != "" {
+		w, err := parseWeights(*sf.weights)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.SetWeights(w); err != nil {
+			return nil, nil, err
+		}
+	}
+	if *sf.require != "" {
+		for _, part := range strings.Split(*sf.require, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad source id %q", part)
+			}
+			if err := s.RequireSource(schema.SourceID(id)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return s, u, nil
+}
+
+// cmdSolve runs one optimization and prints the solution.
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	sf := registerSessionFlags(fs)
+	report := fs.String("report", "", "also write a JSON report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, u, err := sf.buildSession()
+	if err != nil {
+		return err
+	}
+	sol, err := s.Solve()
+	if err != nil {
+		return err
+	}
+	printSolution(os.Stdout, u, s.Last())
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := s.WriteReport(f); err != nil {
+			return err
+		}
+	}
+	_ = sol
+	return nil
+}
+
+// printSolution renders one iteration's solution for the terminal.
+func printSolution(w io.Writer, u *source.Universe, it *session.Iteration) {
+	sol := it.Solution
+	fmt.Fprintf(w, "iteration %d [%s, %.0f ms, %d evals]\n",
+		it.Index, sol.Solver, float64(it.Elapsed.Microseconds())/1000, sol.Evals)
+	fmt.Fprintf(w, "overall quality Q(S) = %.4f\n", sol.Quality)
+	for _, name := range sortedKeys(sol.Breakdown) {
+		fmt.Fprintf(w, "  %-12s %.4f\n", name+":", sol.Breakdown[name])
+	}
+	fmt.Fprintf(w, "sources (%d):\n", len(sol.IDs))
+	for _, id := range sol.IDs {
+		s := u.Source(id)
+		fmt.Fprintf(w, "  [%3d] %-18s %s\n", id, s.Name, s.Schema)
+	}
+	if !sol.MatchOK {
+		fmt.Fprintln(w, "mediated schema: (no valid matching at this threshold)")
+		return
+	}
+	fmt.Fprintf(w, "mediated schema (%d GAs):\n", sol.Schema.Len())
+	for i, g := range sol.Schema.GAs {
+		fmt.Fprintf(w, "  GA%-2d (q=%.2f):", i, sol.GAQuality[i])
+		for _, r := range g.Refs() {
+			fmt.Fprintf(w, " s%d:%s", r.Source, u.AttrName(r))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// parseWeights parses "name=v,name=v" into Weights.
+func parseWeights(s string) (qef.Weights, error) {
+	w := qef.Weights{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || strings.TrimSpace(kv[0]) == "" {
+			return nil, fmt.Errorf("bad weight %q (want name=value)", part)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight value %q", kv[1])
+		}
+		w[strings.TrimSpace(kv[0])] = v
+	}
+	return w, nil
+}
+
+// sortedKeys returns the map's keys sorted.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

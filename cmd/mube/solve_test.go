@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"mube/internal/schema"
+)
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("match=0.5,card=0.3, coverage =0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w["match"] != 0.5 || w["card"] != 0.3 || w["coverage"] != 0.2 {
+		t.Errorf("weights = %v", w)
+	}
+	for _, bad := range []string{"match", "match=x", "=0.5", "match=0.5,,"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseRefs(t *testing.T) {
+	refs, err := parseRefs([]string{"s0.a1", "s12.a0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []schema.AttrRef{{Source: 0, Attr: 1}, {Source: 12, Attr: 0}}
+	for i := range want {
+		if refs[i] != want[i] {
+			t.Errorf("refs[%d] = %v, want %v", i, refs[i], want[i])
+		}
+	}
+	for _, bad := range [][]string{
+		{"s0.a1"},        // needs ≥ 2
+		{"s0.a1", "x"},   // malformed
+		{"0.1", "s1.a0"}, // missing prefix
+		{},               // empty
+	} {
+		if _, err := parseRefs(bad); err == nil {
+			t.Errorf("parseRefs(%v) accepted", bad)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[string]float64{"c": 1, "a": 2, "b": 3})
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("sortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: generate a small synthetic universe, open a µBE session, solve
+// once, adopt one GA from the output as a constraint, and solve again.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mube"
+)
+
+func main() {
+	// A 120-source Books universe at 1% of the paper's data volume.
+	cfg := mube.ScaledSynthConfig(0.01)
+	cfg.NumSources = 120
+	cfg.Seed = 42
+	res, err := mube.GenerateUniverse(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := res.Universe
+	fmt.Printf("universe: %d sources, %d attributes, %d total tuples\n",
+		u.Len(), u.NumAttrs(), u.TotalCardinality())
+
+	sess, err := mube.NewSession(mube.SessionConfig{
+		Universe:      u,
+		MaxSources:    10,
+		SolverOptions: mube.SolverOptions{Seed: 7, MaxEvals: 1500},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Iteration 1: no constraints.
+	sol, err := sess.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\niteration 1: Q(S) = %.4f over %d sources, %d GAs\n",
+		sol.Quality, len(sol.IDs), sol.Schema.Len())
+	fmt.Print(sol.Schema.Render(u))
+
+	// Feedback: keep the first GA and the highest-cardinality source.
+	if sol.Schema.Len() > 0 {
+		if err := sess.PinSolutionGA(0, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	best := sol.IDs[0]
+	for _, id := range sol.IDs {
+		if u.Source(id).Cardinality > u.Source(best).Cardinality {
+			best = id
+		}
+	}
+	if err := sess.RequireSource(best); err != nil {
+		log.Fatal(err)
+	}
+
+	// Iteration 2: µBE must honor the pinned GA and the required source.
+	sol2, err := sess.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\niteration 2 (with feedback): Q(S) = %.4f over %d sources, %d GAs\n",
+		sol2.Quality, len(sol2.IDs), sol2.Schema.Len())
+	for name, v := range sol2.Breakdown {
+		fmt.Printf("  %-12s %.4f\n", name, v)
+	}
+}

@@ -1,0 +1,142 @@
+// Theater: the paper's §1 motivating scenario. A user wants to integrate
+// hidden-Web theater-ticket sources (the schemas of Figure 1, discovered via
+// a hidden-Web search engine). Some sources cooperate with cardinalities and
+// hash signatures, some do not; sources differ in latency and fees. The user
+// guides µBE with a GA constraint bridging "keywords" and "search for".
+//
+//	go run ./examples/theater
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mube"
+)
+
+// site describes one hidden-Web theater source for this example.
+type site struct {
+	name    string
+	attrs   []string
+	tuples  int // 0 = uncooperative
+	seed    int64
+	overlap float64 // fraction of tuples drawn from the shared event pool
+	latency float64 // ms
+	fee     float64 // booking fee, dollars
+}
+
+// sites are the Figure 1 schemas (plus data characteristics invented for the
+// example — the paper's sources are real Web forms).
+var sites = []site{
+	{"tonyawards.com", []string{"keywords"}, 8000, 1, 0.9, 120, 0},
+	{"whatsonstage.com", []string{"your town"}, 12000, 2, 0.5, 240, 1.5},
+	{"aceticket.com", []string{"state", "city", "event", "venue"}, 30000, 3, 0.7, 90, 6},
+	{"canadiantheatre.com", []string{"phrase", "search term"}, 5000, 4, 0.4, 300, 0},
+	{"londontheatre.co.uk", []string{"type", "keyword"}, 20000, 5, 0.6, 150, 2.5},
+	{"mime.info.com", []string{"search for"}, 0, 6, 0, 500, 0}, // uncooperative
+	{"pbs.org", []string{"program title", "date", "author", "actor", "director", "keyword"}, 15000, 7, 0.3, 180, 0},
+	{"pa.msu.edu", []string{"keyword"}, 2000, 8, 0.8, 60, 0},
+	{"wstonline.org", []string{"keyword", "after date", "before date"}, 9000, 9, 0.7, 210, 1},
+	{"officiallondontheatre.co.uk", []string{"keyword", "after date", "before date"}, 9500, 10, 0.7, 200, 1},
+	{"lastminute.com", []string{"event name", "event type", "location", "date", "radius"}, 40000, 11, 0.5, 110, 8},
+}
+
+func main() {
+	sig := mube.SignatureConfig{NumMaps: 128}
+	u := mube.NewUniverse(sig)
+	const sharedPool = 50000 // event listings shared across sites
+
+	for _, st := range sites {
+		var s *mube.Source
+		if st.tuples == 0 {
+			s = mube.UncooperativeSource(st.name, mube.NewSchema(st.attrs...))
+		} else {
+			r := rand.New(rand.NewSource(st.seed))
+			tuples := make([]uint64, st.tuples)
+			for i := range tuples {
+				if r.Float64() < st.overlap {
+					tuples[i] = uint64(r.Intn(sharedPool)) // shared listing
+				} else {
+					tuples[i] = uint64(sharedPool) + uint64(st.seed)<<32 + uint64(i) // exclusive listing
+				}
+			}
+			var err error
+			s, err = mube.SourceFromTuples(st.name, mube.NewSchema(st.attrs...), mube.TupleSlice(tuples), sig)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		s.SetCharacteristic("latency", st.latency)
+		s.SetCharacteristic("fee", st.fee)
+		if _, err := u.Add(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Quality model: the four main QEFs plus latency and fees (lower is
+	// better → inverted).
+	qefs := append(mube.MainQEFs(),
+		mube.CharacteristicQEF{Char: "latency", Agg: mube.WSum(), Invert: true},
+		mube.CharacteristicQEF{Char: "fee", Agg: mube.WSum(), Invert: true},
+	)
+	weights := mube.Weights{
+		"match": 0.30, "card": 0.15, "coverage": 0.20,
+		"redundancy": 0.15, "latency": 0.10, "fee": 0.10,
+	}
+	sess, err := mube.NewSession(mube.SessionConfig{
+		Universe:      u,
+		QEFs:          qefs,
+		Weights:       weights,
+		Match:         mube.MatchConfig{Theta: 0.45},
+		MaxSources:    6,
+		SolverOptions: mube.SolverOptions{Seed: 3, MaxEvals: 2000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sol, err := sess.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("iteration 1 (no constraints)", u, sol)
+
+	// The user knows "keywords" (tonyawards) and "search for" (mime.info)
+	// express the same concept even though their names share nothing — a
+	// Matching-By-Example bridge.
+	bridge := mube.NewGA(
+		mube.AttrRef{Source: 0, Attr: 0}, // tonyawards.com: keywords
+		mube.AttrRef{Source: 5, Attr: 0}, // mime.info.com: search for
+	)
+	if err := sess.PinGA(bridge); err != nil {
+		log.Fatal(err)
+	}
+	sol2, err := sess.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("iteration 2 (keyword bridge pinned)", u, sol2)
+}
+
+// report prints one solution.
+func report(title string, u *mube.Universe, sol *mube.Solution) {
+	fmt.Printf("%s: Q(S) = %.4f\n", title, sol.Quality)
+	fmt.Print("  sites: ")
+	for i, name := range sol.SourceNames(u) {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(name)
+	}
+	fmt.Println()
+	fmt.Printf("  mediated schema (%d GAs):\n", sol.Schema.Len())
+	for i, g := range sol.Schema.GAs {
+		fmt.Printf("    GA%d:", i)
+		for _, r := range g.Refs() {
+			fmt.Printf(" %s/%s;", u.Source(r.Source).Name, u.AttrName(r))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

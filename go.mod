@@ -1,0 +1,3 @@
+module mube
+
+go 1.22

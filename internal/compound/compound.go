@@ -1,0 +1,238 @@
+// Package compound implements the paper's §2.1 extension for matching with
+// n:m cardinality: "our formulation may be extended to accommodate compound
+// schema elements by replacing the attributes in our definitions with
+// compound elements (e.g., elements consisting of sets of attributes). This
+// would enable us to handle matching with n:m cardinality by mapping n:m
+// matches to 1:1 matches on compound elements."
+//
+// A Grouping partitions (some of) a source's attributes into compound
+// elements; Transform derives a universe whose per-source "attributes" are
+// those elements, so the unchanged clustering/selection machinery performs
+// 1:1 matching over them. Mediated schemas found on the derived universe
+// project back to n:m correspondences over the original attributes.
+package compound
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mube/internal/schema"
+	"mube/internal/source"
+	"mube/internal/strutil"
+)
+
+// Element is one compound schema element of one source: a set of attribute
+// indexes and the name the element matches under.
+type Element struct {
+	// Attrs are indexes into the source's original schema, at least one.
+	Attrs []int
+	// Name is the element's matching name. Empty means "derive": the
+	// longest common token sequence of the member names, falling back to
+	// the joined names.
+	Name string
+}
+
+// Grouping assigns compound elements to sources. Sources without an entry —
+// and attributes not covered by any element — keep their attributes as
+// singleton elements.
+type Grouping map[schema.SourceID][]Element
+
+// Transformed is the element-level view of a universe.
+type Transformed struct {
+	// Universe is the derived universe: one "attribute" per element. Data
+	// characteristics and synopses are shared with the original sources.
+	Universe *source.Universe
+	// original[sid][elem] lists the original attribute indexes of element
+	// elem of source sid.
+	original [][][]int
+	orig     *source.Universe
+}
+
+// Transform derives the element-level universe.
+func Transform(u *source.Universe, g Grouping) (*Transformed, error) {
+	t := &Transformed{
+		Universe: source.NewUniverse(u.SignatureConfig()),
+		original: make([][][]int, u.Len()),
+		orig:     u,
+	}
+	for _, s := range u.Sources() {
+		elems := g[s.ID]
+		covered := make(map[int]int, s.Schema.Len()) // attr → element index
+		for ei, e := range elems {
+			if len(e.Attrs) == 0 {
+				return nil, fmt.Errorf("compound: source %d element %d is empty", s.ID, ei)
+			}
+			for _, a := range e.Attrs {
+				if a < 0 || a >= s.Schema.Len() {
+					return nil, fmt.Errorf("compound: source %d element %d references attribute %d out of range",
+						s.ID, ei, a)
+				}
+				if prev, dup := covered[a]; dup {
+					return nil, fmt.Errorf("compound: source %d attribute %d in elements %d and %d",
+						s.ID, a, prev, ei)
+				}
+				covered[a] = ei
+			}
+		}
+
+		var names []string
+		var attrSets [][]int
+		for _, e := range elems {
+			attrs := append([]int(nil), e.Attrs...)
+			sort.Ints(attrs)
+			name := e.Name
+			if name == "" {
+				name = deriveName(s.Schema, attrs)
+			}
+			names = append(names, name)
+			attrSets = append(attrSets, attrs)
+		}
+		// Remaining attributes become singleton elements, in schema order.
+		for a := 0; a < s.Schema.Len(); a++ {
+			if _, grouped := covered[a]; grouped {
+				continue
+			}
+			names = append(names, s.Schema.Name(a))
+			attrSets = append(attrSets, []int{a})
+		}
+
+		derived := &source.Source{
+			Name:            s.Name,
+			Schema:          schema.NewSchema(names...),
+			Cardinality:     s.Cardinality,
+			Signature:       s.Signature,
+			Characteristics: s.Characteristics,
+		}
+		id, err := t.Universe.Add(derived)
+		if err != nil {
+			return nil, err
+		}
+		if id != s.ID {
+			return nil, fmt.Errorf("compound: derived universe id drift (%d != %d)", id, s.ID)
+		}
+		t.original[id] = attrSets
+	}
+	return t, nil
+}
+
+// deriveName names an element by the common tokens of its members ("after
+// date" + "before date" → "date"), falling back to the joined names.
+func deriveName(sch schema.Schema, attrs []int) string {
+	if len(attrs) == 1 {
+		return sch.Name(attrs[0])
+	}
+	common := tokenSet(sch.Name(attrs[0]))
+	for _, a := range attrs[1:] {
+		next := tokenSet(sch.Name(a))
+		for tok := range common {
+			if _, ok := next[tok]; !ok {
+				delete(common, tok)
+			}
+		}
+	}
+	if len(common) > 0 {
+		toks := make([]string, 0, len(common))
+		for tok := range common {
+			toks = append(toks, tok)
+		}
+		sort.Strings(toks)
+		return strings.Join(toks, " ")
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = sch.Name(a)
+	}
+	return strings.Join(parts, " ")
+}
+
+// tokenSet returns the set of tokens of a name.
+func tokenSet(name string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, tok := range strutil.Tokens(name) {
+		set[tok] = struct{}{}
+	}
+	return set
+}
+
+// Original returns the original attribute references behind the derived
+// (element-level) reference r.
+func (t *Transformed) Original(r schema.AttrRef) []schema.AttrRef {
+	attrs := t.original[r.Source][r.Attr]
+	out := make([]schema.AttrRef, len(attrs))
+	for i, a := range attrs {
+		out[i] = schema.AttrRef{Source: r.Source, Attr: a}
+	}
+	return out
+}
+
+// Correspondence is an n:m match over original attributes: unlike a GA it
+// may contain several attributes of one source (the "n" side).
+type Correspondence struct {
+	Refs []schema.AttrRef
+}
+
+// Cardinality reports the correspondence's shape, e.g. "2:1:1" — the number
+// of attributes contributed per source in source order.
+func (c Correspondence) Cardinality() string {
+	counts := make(map[schema.SourceID]int)
+	var order []schema.SourceID
+	for _, r := range c.Refs {
+		if counts[r.Source] == 0 {
+			order = append(order, r.Source)
+		}
+		counts[r.Source]++
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	parts := make([]string, len(order))
+	for i, sid := range order {
+		parts[i] = fmt.Sprintf("%d", counts[sid])
+	}
+	return strings.Join(parts, ":")
+}
+
+// Project maps an element-level mediated schema back to n:m correspondences
+// over the original attributes.
+func (t *Transformed) Project(m schema.Mediated) []Correspondence {
+	out := make([]Correspondence, 0, m.Len())
+	for _, g := range m.GAs {
+		var c Correspondence
+		for _, r := range g.Refs() {
+			c.Refs = append(c.Refs, t.Original(r)...)
+		}
+		sort.Slice(c.Refs, func(i, j int) bool { return c.Refs[i].Less(c.Refs[j]) })
+		out = append(out, c)
+	}
+	return out
+}
+
+// AutoGroup proposes compound elements heuristically: within one source,
+// attributes with multi-token names sharing the same head (final) token are
+// grouped — e.g. {"after date", "before date"} → element "date", or
+// {"first name", "last name"} → element "name". The proposal is a starting
+// point for user review, in µBE's spirit of user-guided mediation.
+func AutoGroup(u *source.Universe) Grouping {
+	g := make(Grouping)
+	for _, s := range u.Sources() {
+		byHead := make(map[string][]int)
+		for a := 0; a < s.Schema.Len(); a++ {
+			toks := strutil.Tokens(s.Schema.Name(a))
+			if len(toks) < 2 {
+				continue
+			}
+			head := toks[len(toks)-1]
+			byHead[head] = append(byHead[head], a)
+		}
+		heads := make([]string, 0, len(byHead))
+		for head, attrs := range byHead {
+			if len(attrs) >= 2 {
+				heads = append(heads, head)
+			}
+		}
+		sort.Strings(heads)
+		for _, head := range heads {
+			g[s.ID] = append(g[s.ID], Element{Attrs: byHead[head], Name: head})
+		}
+	}
+	return g
+}

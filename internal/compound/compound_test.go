@@ -1,0 +1,188 @@
+package compound
+
+import (
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/match"
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+	"mube/internal/source"
+)
+
+func ref(s, a int) schema.AttrRef { return schema.AttrRef{Source: schema.SourceID(s), Attr: a} }
+
+func universe(t *testing.T, schemas ...[]string) *source.Universe {
+	t.Helper()
+	u := source.NewUniverse(pcsa.Config{NumMaps: 64})
+	for _, attrs := range schemas {
+		if _, err := u.Add(source.Uncooperative("s", schema.NewSchema(attrs...))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u
+}
+
+func TestTransformBasic(t *testing.T) {
+	// Source 0 exposes a date range as two attributes; source 1 has a
+	// single "date". Grouping source 0's pair lets 2:1 matching happen as
+	// 1:1 on elements.
+	u := universe(t,
+		[]string{"after date", "before date", "keyword"},
+		[]string{"date", "keyword"},
+	)
+	g := Grouping{0: {{Attrs: []int{0, 1}}}} // name derived → "date"
+	tr, err := Transform(u, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := tr.Universe.Source(0).Schema
+	if s0.Len() != 2 {
+		t.Fatalf("derived schema = %v, want 2 elements", s0)
+	}
+	if s0.Name(0) != "date" {
+		t.Errorf("derived element name = %q, want common token 'date'", s0.Name(0))
+	}
+	if s0.Name(1) != "keyword" {
+		t.Errorf("singleton element = %q", s0.Name(1))
+	}
+	// Original projection of the compound element.
+	orig := tr.Original(ref(0, 0))
+	if len(orig) != 2 || orig[0] != ref(0, 0) || orig[1] != ref(0, 1) {
+		t.Errorf("Original = %v", orig)
+	}
+}
+
+func TestTransformValidation(t *testing.T) {
+	u := universe(t, []string{"a", "b"})
+	cases := []Grouping{
+		{0: {{Attrs: []int{}}}},                     // empty element
+		{0: {{Attrs: []int{5}}}},                    // out of range
+		{0: {{Attrs: []int{-1}}}},                   // negative
+		{0: {{Attrs: []int{0}}, {Attrs: []int{0}}}}, // overlap
+	}
+	for i, g := range cases {
+		if _, err := Transform(u, g); err == nil {
+			t.Errorf("bad grouping %d accepted", i)
+		}
+	}
+}
+
+func TestNMmatchingViaElements(t *testing.T) {
+	// End to end: with the compound grouping, clustering matches the
+	// {after date, before date} pair to the single "date" attribute — a 2:1
+	// match the plain matcher cannot express.
+	u := universe(t,
+		[]string{"after date", "before date"},
+		[]string{"date"},
+		[]string{"date"},
+	)
+	tr, err := Transform(u, Grouping{0: {{Attrs: []int{0, 1}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := match.New(tr.Universe, match.Config{Theta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Match(tr.Universe.IDs(), constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Len() != 1 || res.Schema.GAs[0].Size() != 3 {
+		t.Fatalf("element-level schema = %v, want one GA over all three sources", res.Schema)
+	}
+	corr := tr.Project(res.Schema)
+	if len(corr) != 1 {
+		t.Fatalf("correspondences = %v", corr)
+	}
+	c := corr[0]
+	if len(c.Refs) != 4 {
+		t.Errorf("correspondence refs = %v, want 4 original attributes", c.Refs)
+	}
+	if got := c.Cardinality(); got != "2:1:1" {
+		t.Errorf("cardinality = %q, want 2:1:1", got)
+	}
+}
+
+func TestDeriveNameFallsBackToJoin(t *testing.T) {
+	u := universe(t, []string{"alpha", "omega"})
+	tr, err := Transform(u, Grouping{0: {{Attrs: []int{0, 1}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No common token: joined names.
+	if got := tr.Universe.Source(0).Schema.Name(0); got != "alpha omega" {
+		t.Errorf("fallback name = %q", got)
+	}
+}
+
+func TestExplicitElementName(t *testing.T) {
+	u := universe(t, []string{"first name", "last name"})
+	tr, err := Transform(u, Grouping{0: {{Attrs: []int{0, 1}, Name: "full name"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Universe.Source(0).Schema.Name(0); got != "full name" {
+		t.Errorf("explicit name = %q", got)
+	}
+}
+
+func TestTransformPreservesDataView(t *testing.T) {
+	u := source.NewUniverse(pcsa.Config{NumMaps: 64})
+	tuples := make([]source.TupleID, 1000)
+	for i := range tuples {
+		tuples[i] = uint64(i)
+	}
+	s, err := source.FromTuples("d", schema.NewSchema("x", "y"), source.NewSliceIterator(tuples), pcsa.Config{NumMaps: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCharacteristic("mttf", 42)
+	u.Add(s)
+
+	tr, err := Transform(u, Grouping{0: {{Attrs: []int{0, 1}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tr.Universe.Source(0)
+	if d.Cardinality != 1000 {
+		t.Errorf("cardinality = %d", d.Cardinality)
+	}
+	if d.Signature.Estimate() != s.Signature.Estimate() {
+		t.Error("signature not shared")
+	}
+	if v, _ := d.Characteristic("mttf"); v != 42 {
+		t.Errorf("characteristics lost: %v", v)
+	}
+}
+
+func TestAutoGroup(t *testing.T) {
+	u := universe(t,
+		[]string{"after date", "before date", "keyword"},
+		[]string{"first name", "last name", "price"},
+		[]string{"title"},
+	)
+	g := AutoGroup(u)
+	if len(g[0]) != 1 || g[0][0].Name != "date" || len(g[0][0].Attrs) != 2 {
+		t.Errorf("source 0 groups = %+v", g[0])
+	}
+	if len(g[1]) != 1 || g[1][0].Name != "name" {
+		t.Errorf("source 1 groups = %+v", g[1])
+	}
+	if len(g[2]) != 0 {
+		t.Errorf("source 2 should have no groups: %+v", g[2])
+	}
+	// Auto-grouping output must transform cleanly.
+	if _, err := Transform(u, g); err != nil {
+		t.Errorf("AutoGroup produced invalid grouping: %v", err)
+	}
+}
+
+func TestAutoGroupSingleTokenNamesUngrouped(t *testing.T) {
+	u := universe(t, []string{"date", "name", "price"})
+	g := AutoGroup(u)
+	if len(g[0]) != 0 {
+		t.Errorf("single-token names grouped: %+v", g[0])
+	}
+}

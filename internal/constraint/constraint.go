@@ -1,0 +1,129 @@
+// Package constraint models the two ways a µBE user guides the search (§2.4):
+//
+//   - Source constraints: sources that must be part of the chosen solution.
+//   - GA constraints: valid GAs that must be contained in some GA of the
+//     output mediated schema (G ⊑ M). A GA constraint is an *example of a
+//     matching* — the "Matching By Example" in µBE's name — which the
+//     clustering algorithm grows via the bridging effect.
+//
+// A GA constraint implicitly constrains sources: if it references an
+// attribute of source s, then s must be in the solution.
+package constraint
+
+import (
+	"fmt"
+	"sort"
+
+	"mube/internal/schema"
+	"mube/internal/source"
+)
+
+// Set is a full set of user constraints for one optimization problem.
+type Set struct {
+	// Sources is C: sources that must appear in the solution.
+	Sources []schema.SourceID
+	// GAs is G: partial mediated schema the output must subsume.
+	GAs []schema.GA
+}
+
+// Clone returns a deep copy of the set.
+func (s Set) Clone() Set {
+	c := Set{
+		Sources: append([]schema.SourceID(nil), s.Sources...),
+		GAs:     append([]schema.GA(nil), s.GAs...),
+	}
+	return c
+}
+
+// Empty reports whether no constraints are set.
+func (s Set) Empty() bool { return len(s.Sources) == 0 && len(s.GAs) == 0 }
+
+// Validate checks the constraints against a universe: source IDs must be in
+// range, GA constraints must be valid GAs (Definition 1) whose attribute
+// references exist, and GA constraints must be pairwise disjoint so that
+// they can seed distinct clusters.
+func (s Set) Validate(u *source.Universe) error {
+	n := schema.SourceID(u.Len())
+	for _, id := range s.Sources {
+		if id < 0 || id >= n {
+			return fmt.Errorf("constraint: source %d out of range [0,%d)", id, n)
+		}
+	}
+	for i, g := range s.GAs {
+		if !g.Valid() {
+			return fmt.Errorf("constraint: GA %d (%v) is not a valid GA", i, g)
+		}
+		for _, r := range g.Refs() {
+			if r.Source < 0 || r.Source >= n {
+				return fmt.Errorf("constraint: GA %d references source %d out of range", i, r.Source)
+			}
+			if r.Attr < 0 || r.Attr >= u.Source(r.Source).Schema.Len() {
+				return fmt.Errorf("constraint: GA %d references attribute %v out of range", i, r)
+			}
+		}
+		for j := i + 1; j < len(s.GAs); j++ {
+			if g.Intersects(s.GAs[j]) {
+				return fmt.Errorf("constraint: GA %d and GA %d share an attribute", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// ImpliedSources returns the sources referenced by GA constraints (§2.4:
+// "a GA constraint implicitly specifies a set of source constraints").
+func (s Set) ImpliedSources() []schema.SourceID {
+	set := make(map[schema.SourceID]struct{})
+	for _, g := range s.GAs {
+		for _, r := range g.Refs() {
+			set[r.Source] = struct{}{}
+		}
+	}
+	return sortedIDs(set)
+}
+
+// RequiredSources returns the union of explicit source constraints and the
+// sources implied by GA constraints, sorted and deduplicated. Every feasible
+// solution must contain all of them.
+func (s Set) RequiredSources() []schema.SourceID {
+	set := make(map[schema.SourceID]struct{})
+	for _, id := range s.Sources {
+		set[id] = struct{}{}
+	}
+	for _, g := range s.GAs {
+		for _, r := range g.Refs() {
+			set[r.Source] = struct{}{}
+		}
+	}
+	return sortedIDs(set)
+}
+
+// SatisfiedBy reports whether the source set ids contains every required
+// source.
+func (s Set) SatisfiedBy(ids []schema.SourceID) bool {
+	have := make(map[schema.SourceID]struct{}, len(ids))
+	for _, id := range ids {
+		have[id] = struct{}{}
+	}
+	for _, req := range s.RequiredSources() {
+		if _, ok := have[req]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SchemaSatisfies reports whether the mediated schema m subsumes every GA
+// constraint (G ⊑ M).
+func (s Set) SchemaSatisfies(m schema.Mediated) bool {
+	return m.Subsumes(schema.NewMediated(s.GAs...))
+}
+
+func sortedIDs(set map[schema.SourceID]struct{}) []schema.SourceID {
+	ids := make([]schema.SourceID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

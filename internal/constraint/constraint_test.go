@@ -1,0 +1,127 @@
+package constraint
+
+import (
+	"testing"
+
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+	"mube/internal/source"
+)
+
+func testUniverse(t *testing.T) *source.Universe {
+	t.Helper()
+	u := source.NewUniverse(pcsa.Config{NumMaps: 64})
+	for _, attrs := range [][]string{
+		{"title", "author"},
+		{"book title", "writer", "isbn"},
+		{"keyword"},
+		{"title", "price"},
+	} {
+		if _, err := u.Add(source.Uncooperative("s", schema.NewSchema(attrs...))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u
+}
+
+func ref(s, a int) schema.AttrRef { return schema.AttrRef{Source: schema.SourceID(s), Attr: a} }
+
+func TestValidateAcceptsGood(t *testing.T) {
+	u := testUniverse(t)
+	c := Set{
+		Sources: []schema.SourceID{0, 2},
+		GAs: []schema.GA{
+			schema.NewGA(ref(0, 0), ref(1, 0)),
+			schema.NewGA(ref(0, 1), ref(1, 1)),
+		},
+	}
+	if err := c.Validate(u); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	u := testUniverse(t)
+	cases := []struct {
+		name string
+		c    Set
+	}{
+		{"source out of range", Set{Sources: []schema.SourceID{9}}},
+		{"negative source", Set{Sources: []schema.SourceID{-1}}},
+		{"invalid GA (two attrs one source)", Set{GAs: []schema.GA{schema.NewGA(ref(0, 0), ref(0, 1))}}},
+		{"empty GA", Set{GAs: []schema.GA{{}}}},
+		{"GA source out of range", Set{GAs: []schema.GA{schema.NewGA(ref(9, 0))}}},
+		{"GA attr out of range", Set{GAs: []schema.GA{schema.NewGA(ref(2, 5))}}},
+		{"overlapping GA constraints", Set{GAs: []schema.GA{
+			schema.NewGA(ref(0, 0), ref(1, 0)),
+			schema.NewGA(ref(0, 0), ref(3, 0)),
+		}}},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(u); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestRequiredSources(t *testing.T) {
+	c := Set{
+		Sources: []schema.SourceID{2, 0},
+		GAs:     []schema.GA{schema.NewGA(ref(1, 0), ref(3, 1))},
+	}
+	got := c.RequiredSources()
+	want := []schema.SourceID{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("RequiredSources = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RequiredSources[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	implied := c.ImpliedSources()
+	if len(implied) != 2 || implied[0] != 1 || implied[1] != 3 {
+		t.Errorf("ImpliedSources = %v, want [1 3]", implied)
+	}
+}
+
+func TestSatisfiedBy(t *testing.T) {
+	c := Set{Sources: []schema.SourceID{0}, GAs: []schema.GA{schema.NewGA(ref(1, 0))}}
+	if !c.SatisfiedBy([]schema.SourceID{0, 1, 2}) {
+		t.Error("superset should satisfy")
+	}
+	if c.SatisfiedBy([]schema.SourceID{0, 2}) {
+		t.Error("missing implied source 1 should fail")
+	}
+	if !(Set{}).SatisfiedBy(nil) {
+		t.Error("empty constraints satisfied by anything")
+	}
+}
+
+func TestSchemaSatisfies(t *testing.T) {
+	c := Set{GAs: []schema.GA{schema.NewGA(ref(0, 0), ref(1, 0))}}
+	grown := schema.NewMediated(schema.NewGA(ref(0, 0), ref(1, 0), ref(3, 0)))
+	if !c.SchemaSatisfies(grown) {
+		t.Error("grown GA should satisfy G ⊑ M")
+	}
+	split := schema.NewMediated(schema.NewGA(ref(0, 0)), schema.NewGA(ref(1, 0)))
+	if c.SchemaSatisfies(split) {
+		t.Error("split constraint must not satisfy G ⊑ M")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := Set{Sources: []schema.SourceID{1}, GAs: []schema.GA{schema.NewGA(ref(0, 0))}}
+	d := c.Clone()
+	d.Sources[0] = 9
+	d.GAs = append(d.GAs, schema.NewGA(ref(1, 0)))
+	if c.Sources[0] != 1 || len(c.GAs) != 1 {
+		t.Error("Clone shares state with original")
+	}
+	if c.Empty() {
+		t.Error("non-empty set reported Empty")
+	}
+	if !(Set{}).Empty() {
+		t.Error("empty set not reported Empty")
+	}
+}

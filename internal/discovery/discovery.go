@@ -1,0 +1,152 @@
+// Package discovery is the source-discovery front end of the µBE pipeline:
+// the paper's universes come from querying a hidden-Web search engine
+// ("issue the query theater in ... CompletePlanet.com"). This package plays
+// that role locally: it indexes source descriptions (names and attribute
+// names) and answers ranked keyword queries, so a user can carve a
+// domain-relevant universe out of a larger catalog before handing it to µBE
+// — or locate source IDs to constrain during a session (`mube find`).
+package discovery
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"mube/internal/schema"
+	"mube/internal/source"
+	"mube/internal/strutil"
+)
+
+// Index is an inverted token index over a universe's source descriptions.
+type Index struct {
+	u *source.Universe
+	// postings maps a token to the sources containing it and the token's
+	// in-source frequency.
+	postings map[string]map[schema.SourceID]int
+	// docLen is the token count per source.
+	docLen map[schema.SourceID]int
+}
+
+// Build indexes the universe: each source's "document" is its name plus all
+// of its attribute names, tokenized and normalized.
+func Build(u *source.Universe) *Index {
+	idx := &Index{
+		u:        u,
+		postings: make(map[string]map[schema.SourceID]int),
+		docLen:   make(map[schema.SourceID]int),
+	}
+	for _, s := range u.Sources() {
+		tokens := strutil.Tokens(s.Name)
+		for a := 0; a < s.Schema.Len(); a++ {
+			tokens = append(tokens, strutil.Tokens(s.Schema.Name(a))...)
+		}
+		idx.docLen[s.ID] = len(tokens)
+		for _, tok := range tokens {
+			m, ok := idx.postings[tok]
+			if !ok {
+				m = make(map[schema.SourceID]int)
+				idx.postings[tok] = m
+			}
+			m[s.ID]++
+		}
+	}
+	return idx
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	Source schema.SourceID
+	Score  float64
+	// Matched lists the query tokens found in the source.
+	Matched []string
+}
+
+// Search ranks sources against a free-text query by TF–IDF: rare tokens
+// (appearing in few sources) weigh more, and shorter schemas that still
+// match score higher. It returns at most k hits, best first; k ≤ 0 means
+// all.
+func (idx *Index) Search(query string, k int) []Hit {
+	tokens := strutil.Tokens(query)
+	if len(tokens) == 0 {
+		return nil
+	}
+	n := float64(idx.u.Len())
+	scores := make(map[schema.SourceID]float64)
+	matched := make(map[schema.SourceID]map[string]struct{})
+	for _, tok := range tokens {
+		posting, ok := idx.postings[tok]
+		if !ok {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(posting)))
+		for sid, tf := range posting {
+			scores[sid] += float64(tf) / float64(idx.docLen[sid]) * idf
+			set, ok := matched[sid]
+			if !ok {
+				set = make(map[string]struct{})
+				matched[sid] = set
+			}
+			set[tok] = struct{}{}
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for sid, score := range scores {
+		toks := make([]string, 0, len(matched[sid]))
+		for t := range matched[sid] {
+			toks = append(toks, t)
+		}
+		sort.Strings(toks)
+		hits = append(hits, Hit{Source: sid, Score: score, Matched: toks})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Source < hits[j].Source
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// Subuniverse copies the hit sources into a fresh universe (preserving their
+// order of relevance) and returns it together with the mapping from new IDs
+// back to the original ones — the "discovered universe" a µBE session then
+// explores.
+func (idx *Index) Subuniverse(hits []Hit) (*source.Universe, []schema.SourceID, error) {
+	sub := source.NewUniverse(idx.u.SignatureConfig())
+	back := make([]schema.SourceID, 0, len(hits))
+	for _, h := range hits {
+		orig := idx.u.Source(h.Source)
+		clone := &source.Source{
+			Name:            orig.Name,
+			Schema:          orig.Schema,
+			Cardinality:     orig.Cardinality,
+			Signature:       orig.Signature,
+			Characteristics: orig.Characteristics,
+		}
+		if _, err := sub.Add(clone); err != nil {
+			return nil, nil, err
+		}
+		back = append(back, h.Source)
+	}
+	return sub, back, nil
+}
+
+// Vocabulary returns the indexed tokens, sorted — useful for CLI tab
+// completion and diagnostics.
+func (idx *Index) Vocabulary() []string {
+	out := make([]string, 0, len(idx.postings))
+	for tok := range idx.postings {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DescribeHit renders a hit for terminal output.
+func (idx *Index) DescribeHit(h Hit) string {
+	s := idx.u.Source(h.Source)
+	return strings.Join([]string{s.Name, s.Schema.String()}, " ")
+}

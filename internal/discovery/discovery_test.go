@@ -1,0 +1,131 @@
+package discovery
+
+import (
+	"testing"
+
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+	"mube/internal/source"
+)
+
+func universe(t *testing.T) *source.Universe {
+	t.Helper()
+	u := source.NewUniverse(pcsa.Config{NumMaps: 64})
+	specs := []struct {
+		name  string
+		attrs []string
+	}{
+		{"books-r-us", []string{"title", "author", "price"}},
+		{"theater-tickets", []string{"event", "venue", "date"}},
+		{"london-theater", []string{"keyword", "date", "type"}},
+		{"car-parts", []string{"engine", "gearbox"}},
+		{"library", []string{"title", "author", "isbn", "subject"}},
+	}
+	for _, sp := range specs {
+		if _, err := u.Add(source.Uncooperative(sp.name, schema.NewSchema(sp.attrs...))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u
+}
+
+func TestSearchRanksRelevantSources(t *testing.T) {
+	idx := Build(universe(t))
+	hits := idx.Search("theater", 0)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	// Both theater sources found; the car-parts and book sources absent.
+	for _, h := range hits {
+		if h.Source != 1 && h.Source != 2 {
+			t.Errorf("irrelevant source %d matched", h.Source)
+		}
+		if h.Score <= 0 {
+			t.Errorf("non-positive score %v", h.Score)
+		}
+	}
+}
+
+func TestSearchMultiToken(t *testing.T) {
+	idx := Build(universe(t))
+	hits := idx.Search("title author", 0)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	// library's document ("library" + 4 attrs = 5 tokens) is shorter than
+	// books-r-us's ("books r us" + 3 attrs = 6 tokens), so with identical
+	// matches it ranks first under TF normalization.
+	if hits[0].Source != 4 {
+		t.Errorf("expected library first, got source %d", hits[0].Source)
+	}
+	if len(hits[0].Matched) != 2 {
+		t.Errorf("matched tokens = %v", hits[0].Matched)
+	}
+}
+
+func TestSearchRareTokensWeighMore(t *testing.T) {
+	idx := Build(universe(t))
+	// "date" appears in two sources, "engine" in one: a query with both
+	// ranks the engine source first.
+	hits := idx.Search("date engine", 0)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].Source != 3 {
+		t.Errorf("rare-token source should rank first, got %d", hits[0].Source)
+	}
+}
+
+func TestSearchLimitsAndEmpty(t *testing.T) {
+	idx := Build(universe(t))
+	if hits := idx.Search("date", 1); len(hits) != 1 {
+		t.Errorf("k=1 returned %d hits", len(hits))
+	}
+	if hits := idx.Search("", 5); hits != nil {
+		t.Errorf("empty query returned %v", hits)
+	}
+	if hits := idx.Search("zzzznothing", 5); len(hits) != 0 {
+		t.Errorf("no-match query returned %v", hits)
+	}
+}
+
+func TestSubuniverse(t *testing.T) {
+	u := universe(t)
+	idx := Build(u)
+	hits := idx.Search("theater", 0)
+	sub, back, err := idx.Subuniverse(hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || len(back) != 2 {
+		t.Fatalf("subuniverse = %d sources", sub.Len())
+	}
+	for i := 0; i < sub.Len(); i++ {
+		orig := u.Source(back[i])
+		if sub.Source(schema.SourceID(i)).Name != orig.Name {
+			t.Errorf("subuniverse source %d name mismatch", i)
+		}
+	}
+}
+
+func TestVocabularyAndDescribe(t *testing.T) {
+	idx := Build(universe(t))
+	vocab := idx.Vocabulary()
+	if len(vocab) == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	// Sorted.
+	for i := 1; i < len(vocab); i++ {
+		if vocab[i-1] > vocab[i] {
+			t.Fatal("vocabulary not sorted")
+		}
+	}
+	hits := idx.Search("isbn", 1)
+	if len(hits) != 1 {
+		t.Fatal("isbn should hit the library")
+	}
+	desc := idx.DescribeHit(hits[0])
+	if desc == "" {
+		t.Error("empty description")
+	}
+}

@@ -1,0 +1,146 @@
+// Package eval scores µBE solutions against the synthetic ground truth,
+// reproducing the metrics of Table 1 (§7.3): how many *true GAs* (GAs whose
+// attributes all express one domain concept) the solution contains, how many
+// attributes those GAs cover, how many false GAs appear, and how many
+// concepts present in the chosen sources µBE failed to identify.
+package eval
+
+import (
+	"mube/internal/bamm"
+	"mube/internal/schema"
+	"mube/internal/source"
+	"mube/internal/strutil"
+)
+
+// ConceptFn maps an attribute name to its ground-truth concept; ok is false
+// for off-domain names (perturbation noise). bamm.ConceptOf is the standard
+// instance.
+type ConceptFn func(name string) (int, bool)
+
+// GAStats are the Table 1 metrics for one solution.
+type GAStats struct {
+	// TrueGAs is the number of distinct concepts identified by at least one
+	// pure GA. "The number of true GAs found can be loosely interpreted as
+	// a measure of precision in identifying concepts."
+	TrueGAs int
+	// FalseGAs is the number of GAs that wrongly conflate distinct
+	// concepts: they mix two domain concepts, mix domain and off-domain
+	// attributes, or mix differently named off-domain attributes. The paper
+	// reports µBE never produced false GAs.
+	FalseGAs int
+	// NeutralGAs are correct matchings of off-domain attributes: every
+	// member has the same (normalized) name, but the name maps to no domain
+	// concept (perturbation noise repeated across sources). They are
+	// neither true nor false.
+	NeutralGAs int
+	// AttrsInTrueGAs is the total number of attributes covered by pure GAs
+	// — "a measure of recall of these concepts".
+	AttrsInTrueGAs int
+	// Missed is the number of concepts expressed by at least MinSupport of
+	// the chosen sources but identified by no pure GA — "true GAs that were
+	// present in the sources chosen by µBE, but which µBE was not able to
+	// identify".
+	Missed int
+}
+
+// MinSupport is the number of chosen sources that must express a concept for
+// its absence to count as "missed": a valid GA needs at least two sources
+// under the default β = 2.
+const MinSupport = 2
+
+// RefConceptFn maps an attribute reference to its ground-truth concept. It
+// generalizes ConceptFn for universes where an attribute's concept is not
+// derivable from its name — e.g. synthetic sources whose perturbation
+// *renamed* a concept attribute to a noise word (synth.Result.AttrOrigins).
+type RefConceptFn func(r schema.AttrRef) (int, bool)
+
+// Evaluate computes GAStats for a mediated schema med over the chosen
+// sources sel of universe u, resolving concepts by attribute name.
+func Evaluate(u *source.Universe, sel []schema.SourceID, med schema.Mediated, conceptOf ConceptFn) GAStats {
+	if conceptOf == nil {
+		conceptOf = bamm.ConceptOf
+	}
+	return EvaluateRefs(u, sel, med, func(r schema.AttrRef) (int, bool) {
+		return conceptOf(u.AttrName(r))
+	})
+}
+
+// EvaluateRefs computes GAStats with a per-reference ground truth.
+func EvaluateRefs(u *source.Universe, sel []schema.SourceID, med schema.Mediated, conceptOf RefConceptFn) GAStats {
+	var stats GAStats
+	identified := make(map[int]bool)
+	for _, g := range med.GAs {
+		ci, pure := gaConcept(u, g, conceptOf)
+		if pure {
+			identified[ci] = true
+			stats.AttrsInTrueGAs += g.Size()
+			continue
+		}
+		if sameName(u, g) {
+			stats.NeutralGAs++
+			continue
+		}
+		stats.FalseGAs++
+	}
+	stats.TrueGAs = len(identified)
+
+	// A concept counts as missed when enough chosen sources express it to
+	// have allowed a GA, yet no pure GA identifies it.
+	for ci, n := range conceptSupport(u, sel, conceptOf) {
+		if n >= MinSupport && !identified[ci] {
+			stats.Missed++
+		}
+	}
+	return stats
+}
+
+// gaConcept returns the single concept all attributes of g express, or
+// ok=false when g mixes concepts or contains off-domain attributes.
+func gaConcept(u *source.Universe, g schema.GA, conceptOf RefConceptFn) (concept int, pure bool) {
+	first := true
+	for _, r := range g.Refs() {
+		ci, ok := conceptOf(r)
+		if !ok {
+			return 0, false
+		}
+		if first {
+			concept, first = ci, false
+		} else if ci != concept {
+			return 0, false
+		}
+	}
+	return concept, !first
+}
+
+// sameName reports whether all attributes of g share one normalized name —
+// a correct matching even when the name maps to no domain concept.
+func sameName(u *source.Universe, g schema.GA) bool {
+	refs := g.Refs()
+	if len(refs) == 0 {
+		return false
+	}
+	first := strutil.Normalize(u.AttrName(refs[0]))
+	for _, r := range refs[1:] {
+		if strutil.Normalize(u.AttrName(r)) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// conceptSupport counts, per concept, how many of the sources in sel express
+// it (each source counts once per concept).
+func conceptSupport(u *source.Universe, sel []schema.SourceID, conceptOf RefConceptFn) map[int]int {
+	counts := make(map[int]int)
+	for _, id := range sel {
+		s := u.Source(id)
+		seen := make(map[int]bool)
+		for j := 0; j < s.Schema.Len(); j++ {
+			if ci, ok := conceptOf(schema.AttrRef{Source: id, Attr: j}); ok && !seen[ci] {
+				seen[ci] = true
+				counts[ci]++
+			}
+		}
+	}
+	return counts
+}

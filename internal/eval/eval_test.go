@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"testing"
+
+	"mube/internal/bamm"
+	"mube/internal/constraint"
+	"mube/internal/match"
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+	"mube/internal/source"
+	"mube/internal/synth"
+)
+
+func ref(s, a int) schema.AttrRef { return schema.AttrRef{Source: schema.SourceID(s), Attr: a} }
+
+// fixedUniverse builds sources with hand-picked BAMM variant names.
+func fixedUniverse(t *testing.T, schemas ...[]string) *source.Universe {
+	t.Helper()
+	u := source.NewUniverse(pcsa.Config{NumMaps: 64})
+	for _, attrs := range schemas {
+		if _, err := u.Add(source.Uncooperative("s", schema.NewSchema(attrs...))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u
+}
+
+func TestEvaluateCountsTrueGAs(t *testing.T) {
+	u := fixedUniverse(t,
+		[]string{"title", "author"},
+		[]string{"title", "author"},
+		[]string{"keyword"},
+	)
+	med := schema.NewMediated(
+		schema.NewGA(ref(0, 0), ref(1, 0)), // pure: title
+		schema.NewGA(ref(0, 1), ref(1, 1)), // pure: author
+	)
+	stats := Evaluate(u, u.IDs(), med, nil)
+	if stats.TrueGAs != 2 {
+		t.Errorf("TrueGAs = %d, want 2", stats.TrueGAs)
+	}
+	if stats.FalseGAs != 0 {
+		t.Errorf("FalseGAs = %d, want 0", stats.FalseGAs)
+	}
+	if stats.AttrsInTrueGAs != 4 {
+		t.Errorf("AttrsInTrueGAs = %d, want 4", stats.AttrsInTrueGAs)
+	}
+	// keyword appears in only one chosen source → not missable.
+	if stats.Missed != 0 {
+		t.Errorf("Missed = %d, want 0", stats.Missed)
+	}
+}
+
+func TestEvaluateDetectsFalseGAs(t *testing.T) {
+	u := fixedUniverse(t,
+		[]string{"title", "engine"},
+		[]string{"author"},
+	)
+	mixed := schema.NewMediated(
+		schema.NewGA(ref(0, 0), ref(1, 0)), // title + author: mixed concepts
+	)
+	stats := Evaluate(u, u.IDs(), mixed, nil)
+	if stats.FalseGAs != 1 || stats.TrueGAs != 0 {
+		t.Errorf("mixed GA: %+v", stats)
+	}
+	offDomain := schema.NewMediated(
+		schema.NewGA(ref(0, 1), ref(1, 0)), // engine (noise) + author
+	)
+	stats = Evaluate(u, u.IDs(), offDomain, nil)
+	if stats.FalseGAs != 1 {
+		t.Errorf("off-domain GA: %+v", stats)
+	}
+}
+
+func TestEvaluateNeutralGAs(t *testing.T) {
+	// Identical off-domain names matched across sources form a *correct*
+	// matching of a non-Books concept: neutral, not false.
+	u := fixedUniverse(t,
+		[]string{"engine", "title"},
+		[]string{"engine", "title"},
+		[]string{"turbine"},
+	)
+	med := schema.NewMediated(
+		schema.NewGA(ref(0, 0), ref(1, 0)), // engine + engine → neutral
+		schema.NewGA(ref(0, 1), ref(1, 1)), // title + title → true
+	)
+	stats := Evaluate(u, u.IDs(), med, nil)
+	if stats.NeutralGAs != 1 || stats.FalseGAs != 0 || stats.TrueGAs != 1 {
+		t.Errorf("stats = %+v, want 1 neutral, 0 false, 1 true", stats)
+	}
+	// Two *different* off-domain names conflated → false.
+	bad := schema.NewMediated(schema.NewGA(ref(0, 0), ref(2, 0))) // engine + turbine
+	stats = Evaluate(u, u.IDs(), bad, nil)
+	if stats.FalseGAs != 1 || stats.NeutralGAs != 0 {
+		t.Errorf("different noise names: %+v, want false", stats)
+	}
+}
+
+func TestEvaluateMissed(t *testing.T) {
+	u := fixedUniverse(t,
+		[]string{"title", "price"},
+		[]string{"title", "price range"},
+		[]string{"title"},
+	)
+	// Only the title GA was found; price is expressed by 2 sources → missed.
+	med := schema.NewMediated(
+		schema.NewGA(ref(0, 0), ref(1, 0), ref(2, 0)),
+	)
+	stats := Evaluate(u, u.IDs(), med, nil)
+	if stats.TrueGAs != 1 || stats.Missed != 1 {
+		t.Errorf("stats = %+v, want TrueGAs=1 Missed=1", stats)
+	}
+	// If only sources 0 and 2 are chosen, price has support 1 → not missed.
+	med2 := schema.NewMediated(schema.NewGA(ref(0, 0), ref(2, 0)))
+	stats = Evaluate(u, []schema.SourceID{0, 2}, med2, nil)
+	if stats.Missed != 0 {
+		t.Errorf("Missed = %d, want 0 with support below MinSupport", stats.Missed)
+	}
+}
+
+func TestEvaluateConceptSplitCountsOnce(t *testing.T) {
+	// Two pure GAs for the same concept identify it once (Table 1 counts
+	// concepts, up to 14).
+	u := fixedUniverse(t,
+		[]string{"title"},
+		[]string{"title"},
+		[]string{"book title"},
+		[]string{"book title"},
+	)
+	med := schema.NewMediated(
+		schema.NewGA(ref(0, 0), ref(1, 0)),
+		schema.NewGA(ref(2, 0), ref(3, 0)),
+	)
+	stats := Evaluate(u, u.IDs(), med, nil)
+	if stats.TrueGAs != 1 {
+		t.Errorf("TrueGAs = %d, want 1 (one concept, split)", stats.TrueGAs)
+	}
+	if stats.AttrsInTrueGAs != 4 {
+		t.Errorf("AttrsInTrueGAs = %d, want 4", stats.AttrsInTrueGAs)
+	}
+}
+
+func TestEvaluateEmptySchema(t *testing.T) {
+	u := fixedUniverse(t, []string{"title"}, []string{"title"})
+	stats := Evaluate(u, u.IDs(), schema.Mediated{}, nil)
+	if stats.TrueGAs != 0 || stats.AttrsInTrueGAs != 0 || stats.FalseGAs != 0 {
+		t.Errorf("empty schema stats = %+v", stats)
+	}
+	if stats.Missed != 1 { // title expressed by both sources, not identified
+		t.Errorf("Missed = %d, want 1", stats.Missed)
+	}
+}
+
+// TestEndToEndNoFalseGAs reproduces the paper's qualitative claim: on a
+// synthetic BAMM universe, matching at θ=0.5 yields true GAs and no false
+// GAs.
+func TestEndToEndNoFalseGAs(t *testing.T) {
+	cfg := synth.Scaled(0.002)
+	cfg.NumSources = 80
+	cfg.Seed = 21
+	cfg.Sig = pcsa.Config{NumMaps: 64}
+	res, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := match.MustNew(res.Universe, match.Config{Theta: 0.5})
+	sel := res.Universe.IDs()[:30]
+	mr, err := m.Match(sel, constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Evaluate(res.Universe, sel, mr.Schema, bamm.ConceptOf)
+	if stats.FalseGAs != 0 {
+		t.Errorf("false GAs = %d, want 0 (paper §7.3)", stats.FalseGAs)
+	}
+	if stats.TrueGAs < 5 {
+		t.Errorf("true GAs = %d, expected a healthy count on 30 sources", stats.TrueGAs)
+	}
+	if stats.TrueGAs > bamm.NumConcepts {
+		t.Errorf("true GAs = %d exceeds the %d concepts", stats.TrueGAs, bamm.NumConcepts)
+	}
+}

@@ -1,0 +1,282 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"mube/internal/constraint"
+	"mube/internal/eval"
+	"mube/internal/match"
+	"mube/internal/opt"
+	"mube/internal/opt/solvers"
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+	"mube/internal/strutil"
+)
+
+// allSolvers returns the comparison solvers with tabu's neighborhood scaled
+// to the experiment's universe.
+func allSolvers(sc Scale) []opt.Solver {
+	all := solvers.All()
+	all[0] = sc.Solver(sc.BaseUniverse)
+	return all
+}
+
+// SimilarityRow is one line of the similarity-measure ablation: matching a
+// fixed source selection with a different attribute similarity measure.
+type SimilarityRow struct {
+	Measure        string
+	Quality        float64
+	GAs            int
+	TrueGAs        int
+	FalseGAs       int
+	AttrsInTrueGAs int
+	Millis         float64
+}
+
+// AblationSimilarity evaluates every built-in similarity measure on a fixed
+// selection from the base universe. The paper fixes 3-gram Jaccard; this
+// ablation shows the matching layer is measure-agnostic (§3: "Match(S) can
+// use any attribute similarity measure").
+func AblationSimilarity(sc Scale) ([]SimilarityRow, error) {
+	res, err := sc.Universe(sc.BaseUniverse)
+	if err != nil {
+		return nil, err
+	}
+	sel := fixedSelection(res.Universe.Len(), 30)
+	var rows []SimilarityRow
+	for _, measure := range strutil.Measures() {
+		m, err := match.New(res.Universe, match.Config{Similarity: measure, Theta: match.DefaultTheta})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		mr, err := m.Match(sel, constraint.Set{})
+		if err != nil {
+			return nil, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		stats := eval.Evaluate(res.Universe, sel, mr.Schema, nil)
+		rows = append(rows, SimilarityRow{
+			Measure:        measure.Name(),
+			Quality:        mr.Quality,
+			GAs:            mr.Schema.Len(),
+			TrueGAs:        stats.TrueGAs,
+			FalseGAs:       stats.FalseGAs,
+			AttrsInTrueGAs: stats.AttrsInTrueGAs,
+			Millis:         ms,
+		})
+	}
+	return rows, nil
+}
+
+// LinkageRow is one line of the linkage ablation.
+type LinkageRow struct {
+	Linkage        string
+	Quality        float64
+	GAs            int
+	TrueGAs        int
+	FalseGAs       int
+	AttrsInTrueGAs int
+}
+
+// AblationLinkage compares max linkage (the paper's choice, which enables
+// GA-constraint bridging) against average linkage on a fixed selection.
+func AblationLinkage(sc Scale) ([]LinkageRow, error) {
+	res, err := sc.Universe(sc.BaseUniverse)
+	if err != nil {
+		return nil, err
+	}
+	sel := fixedSelection(res.Universe.Len(), 30)
+	var rows []LinkageRow
+	for _, linkage := range []match.Linkage{match.MaxLinkage, match.AvgLinkage} {
+		m, err := match.New(res.Universe, match.Config{Theta: match.DefaultTheta, Linkage: linkage})
+		if err != nil {
+			return nil, err
+		}
+		mr, err := m.Match(sel, constraint.Set{})
+		if err != nil {
+			return nil, err
+		}
+		stats := eval.Evaluate(res.Universe, sel, mr.Schema, nil)
+		rows = append(rows, LinkageRow{
+			Linkage:        linkage.String(),
+			Quality:        mr.Quality,
+			GAs:            mr.Schema.Len(),
+			TrueGAs:        stats.TrueGAs,
+			FalseGAs:       stats.FalseGAs,
+			AttrsInTrueGAs: stats.AttrsInTrueGAs,
+		})
+	}
+	return rows, nil
+}
+
+// TenureRow is one line of the tabu-tenure ablation.
+type TenureRow struct {
+	Tenure  int
+	Quality float64
+	Millis  float64
+}
+
+// AblationTenure sweeps tabu search's tenure parameter on the standard
+// problem, showing the robustness plateau around the default.
+func AblationTenure(sc Scale) ([]TenureRow, error) {
+	res, err := sc.Universe(sc.BaseUniverse)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sc.Problem(res, sc.ChooseDefault, constraint.Set{})
+	if err != nil {
+		return nil, err
+	}
+	nb := sc.BaseUniverse / 10
+	if nb < 30 {
+		nb = 30
+	}
+	var rows []TenureRow
+	for _, tenure := range []int{2, 4, 8, 16, 32} {
+		s := tabuWithTenure(tenure, nb)
+		var q, ms float64
+		for rep := 0; rep < sc.Repeats; rep++ {
+			start := time.Now()
+			sol, err := s.Solve(p, sc.Options(sc.Seed+int64(rep)))
+			if err != nil {
+				return nil, err
+			}
+			ms += float64(time.Since(start).Microseconds()) / 1000
+			q += sol.Quality
+		}
+		rows = append(rows, TenureRow{
+			Tenure:  tenure,
+			Quality: q / float64(sc.Repeats),
+			Millis:  ms / float64(sc.Repeats),
+		})
+	}
+	return rows, nil
+}
+
+// PairwiseRow is one line of the mediation-topology ablation: µBE's holistic
+// clustering vs the traditional star of pairwise (Hungarian) matchings.
+type PairwiseRow struct {
+	Method         string
+	Quality        float64
+	GAs            int
+	TrueGAs        int
+	FalseGAs       int
+	AttrsInTrueGAs int
+	Millis         float64
+}
+
+// AblationPairwise compares µBE's constrained clustering against the
+// pairwise star baseline (§8: traditional matchers match two schemas at a
+// time) on a fixed selection. The star topology structurally misses every
+// concept its hub does not expose.
+func AblationPairwise(sc Scale) ([]PairwiseRow, error) {
+	res, err := sc.Universe(sc.BaseUniverse)
+	if err != nil {
+		return nil, err
+	}
+	matcher, err := sc.Matcher(res)
+	if err != nil {
+		return nil, err
+	}
+	sel := fixedSelection(res.Universe.Len(), 30)
+	theta := matcher.Config().Theta
+	beta := matcher.Config().Beta
+
+	var rows []PairwiseRow
+	score := func(method string, run func() (match.Result, error)) error {
+		start := time.Now()
+		mr, err := run()
+		if err != nil {
+			return err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		stats := eval.Evaluate(res.Universe, sel, mr.Schema, nil)
+		rows = append(rows, PairwiseRow{
+			Method:         method,
+			Quality:        mr.Quality,
+			GAs:            mr.Schema.Len(),
+			TrueGAs:        stats.TrueGAs,
+			FalseGAs:       stats.FalseGAs,
+			AttrsInTrueGAs: stats.AttrsInTrueGAs,
+			Millis:         ms,
+		})
+		return nil
+	}
+	if err := score("clustering", func() (match.Result, error) {
+		return matcher.Match(sel, constraint.Set{})
+	}); err != nil {
+		return nil, err
+	}
+	if err := score("star-first", func() (match.Result, error) {
+		return matcher.StarMediate(sel[0], sel, theta, beta), nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := score("star-best", func() (match.Result, error) {
+		return matcher.BestStarMediate(sel, theta, beta), nil
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// PCSAMapsRow is one line of the PCSA bitmap-count ablation.
+type PCSAMapsRow struct {
+	NumMaps   int
+	SizeBytes int
+	MeanErr   float64
+	WorstErr  float64
+}
+
+// AblationPCSAMaps sweeps the number of PCSA bitmaps, trading signature size
+// against union-estimation error (theoretical SE ≈ 0.78/√m).
+func AblationPCSAMaps(sc Scale) ([]PCSAMapsRow, error) {
+	var rows []PCSAMapsRow
+	for _, m := range []int{16, 64, 256, 1024} {
+		cfg := pcsa.Config{NumMaps: m}
+		r := rand.New(rand.NewSource(sc.Seed))
+		var mean, worst float64
+		const trials = 10
+		for trial := 0; trial < trials; trial++ {
+			sig, err := pcsa.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			exact := pcsa.NewExact()
+			n := 5000 + r.Intn(50000)
+			for i := 0; i < n; i++ {
+				x := r.Uint64()
+				sig.AddUint64(x)
+				exact.AddUint64(x)
+			}
+			relErr := math.Abs(sig.Estimate()-float64(exact.Count())) / float64(exact.Count())
+			mean += relErr
+			if relErr > worst {
+				worst = relErr
+			}
+		}
+		rows = append(rows, PCSAMapsRow{
+			NumMaps:   m,
+			SizeBytes: 8 * m,
+			MeanErr:   mean / trials,
+			WorstErr:  worst,
+		})
+	}
+	return rows, nil
+}
+
+// fixedSelection returns the first min(k, n) source ids — a deterministic
+// selection for matching-only ablations.
+func fixedSelection(n, k int) []schema.SourceID {
+	if k > n {
+		k = n
+	}
+	ids := make([]schema.SourceID, k)
+	for i := range ids {
+		ids[i] = schema.SourceID(i)
+	}
+	return ids
+}

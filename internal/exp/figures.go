@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"math/rand"
+	"time"
+
+	"mube/internal/opt"
+	"mube/internal/qef"
+	"mube/internal/schema"
+)
+
+// Fig5Row is one point of Figure 5: execution time to choose ChooseDefault
+// sources from a universe of Size sources under one constraint config.
+type Fig5Row struct {
+	Size    int
+	Config  string
+	Millis  float64
+	Quality float64
+	Evals   int
+}
+
+// Fig5 reproduces Figure 5: execution time vs universe size (100..700),
+// choosing 20 sources, across the five constraint configurations.
+func Fig5(sc Scale) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, n := range sc.UniverseSizes {
+		res, err := sc.Universe(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, cc := range ConstraintConfigs() {
+			r := rand.New(rand.NewSource(sc.Seed + int64(n)))
+			cons, err := BuildConstraints(res, cc, sc.ChooseDefault, r)
+			if err != nil {
+				return nil, err
+			}
+			p, err := sc.Problem(res, sc.ChooseDefault, cons)
+			if err != nil {
+				return nil, err
+			}
+			solver := sc.Solver(n)
+			var totalMS, totalQ float64
+			var evals int
+			for rep := 0; rep < sc.Repeats; rep++ {
+				start := time.Now()
+				sol, err := solver.Solve(p, sc.Options(sc.Seed+int64(rep)))
+				if err != nil {
+					return nil, err
+				}
+				totalMS += float64(time.Since(start).Microseconds()) / 1000
+				totalQ += sol.Quality
+				evals += sol.Evals
+			}
+			rows = append(rows, Fig5Row{
+				Size:    n,
+				Config:  cc.Label,
+				Millis:  totalMS / float64(sc.Repeats),
+				Quality: totalQ / float64(sc.Repeats),
+				Evals:   evals / sc.Repeats,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig67Row is one point of Figures 6 and 7: execution time and overall
+// quality when choosing Choose sources from the base universe.
+type Fig67Row struct {
+	Choose  int
+	Config  string
+	Millis  float64
+	Quality float64
+	Evals   int
+}
+
+// Fig67 reproduces Figures 6 (time) and 7 (overall quality) in one sweep:
+// choose 10..50 sources from a universe of 200 under the five constraint
+// configurations.
+func Fig67(sc Scale) ([]Fig67Row, error) {
+	res, err := sc.Universe(sc.BaseUniverse)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig67Row
+	for _, m := range sc.ChooseCounts {
+		for _, cc := range ConstraintConfigs() {
+			r := rand.New(rand.NewSource(sc.Seed + int64(m)))
+			cons, err := BuildConstraints(res, cc, m, r)
+			if err != nil {
+				return nil, err
+			}
+			p, err := sc.Problem(res, m, cons)
+			if err != nil {
+				return nil, err
+			}
+			solver := sc.Solver(sc.BaseUniverse)
+			var totalMS, totalQ float64
+			var evals int
+			for rep := 0; rep < sc.Repeats; rep++ {
+				start := time.Now()
+				sol, err := solver.Solve(p, sc.Options(sc.Seed+int64(rep)))
+				if err != nil {
+					return nil, err
+				}
+				totalMS += float64(time.Since(start).Microseconds()) / 1000
+				totalQ += sol.Quality
+				evals += sol.Evals
+			}
+			rows = append(rows, Fig67Row{
+				Choose:  m,
+				Config:  cc.Label,
+				Millis:  totalMS / float64(sc.Repeats),
+				Quality: totalQ / float64(sc.Repeats),
+				Evals:   evals / sc.Repeats,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig8Row is one point of Figure 8: the cardinality of the chosen solution
+// as the weight on the Card QEF grows.
+type Fig8Row struct {
+	CardWeight float64
+	// SolutionCard is Σ|s| over the chosen sources (tuples).
+	SolutionCard int64
+	// CardFraction is Card(S) ∈ [0,1].
+	CardFraction float64
+	Quality      float64
+}
+
+// Fig8 reproduces Figure 8: choose 20 sources from 200 while sweeping the
+// Card QEF weight from 0.1 to 1.0, the remaining weights sharing the rest
+// equally. Increasing the weight biases µBE toward high-cardinality
+// solutions; the curve flattens once the top-cardinality sources that
+// satisfy the matching threshold are already chosen.
+func Fig8(sc Scale) ([]Fig8Row, error) {
+	res, err := sc.Universe(sc.BaseUniverse)
+	if err != nil {
+		return nil, err
+	}
+	matcher, err := sc.Matcher(res)
+	if err != nil {
+		return nil, err
+	}
+	qefs := append(qef.MainQEFs(), qef.Characteristic{Char: "mttf", Agg: qef.WSum{}})
+	var rows []Fig8Row
+	// Each repeat sweeps the weight upward, warm-starting every step from
+	// the previous step's solution — the iterative-session dynamic of a
+	// user nudging one weight and re-solving.
+	warm := make(map[int][]schema.SourceID, sc.Repeats)
+	for w := 0.1; w <= 1.0001; w += 0.1 {
+		weights := make(qef.Weights, len(qefs))
+		rest := (1 - w) / float64(len(qefs)-1)
+		for _, f := range qefs {
+			if f.Name() == qef.NameCardinality {
+				weights[f.Name()] = w
+			} else {
+				weights[f.Name()] = rest
+			}
+		}
+		quality, err := qef.NewQuality(qefs, weights)
+		if err != nil {
+			return nil, err
+		}
+		p := &opt.Problem{
+			Universe:   res.Universe,
+			Matcher:    matcher,
+			Quality:    quality,
+			MaxSources: sc.ChooseDefault,
+		}
+		var cardSum int64
+		var fracSum, qSum float64
+		for rep := 0; rep < sc.Repeats; rep++ {
+			opts := sc.Options(sc.Seed + int64(rep))
+			opts.Initial = warm[rep]
+			sol, err := sc.Solver(sc.BaseUniverse).Solve(p, opts)
+			if err != nil {
+				return nil, err
+			}
+			warm[rep] = sol.IDs
+			cardSum += res.Universe.SumCardinality(sol.IDs)
+			fracSum += sol.Breakdown[qef.NameCardinality]
+			qSum += sol.Quality
+		}
+		rows = append(rows, Fig8Row{
+			CardWeight:   w,
+			SolutionCard: cardSum / int64(sc.Repeats),
+			CardFraction: fracSum / float64(sc.Repeats),
+			Quality:      qSum / float64(sc.Repeats),
+		})
+	}
+	return rows, nil
+}

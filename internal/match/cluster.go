@@ -1,0 +1,218 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"mube/internal/constraint"
+	"mube/internal/schema"
+)
+
+// cluster is Algorithm 1's unit of work: a growing GA plus bookkeeping flags.
+type cluster struct {
+	ga    schema.GA
+	names []int // interned name ids of the members, for linkage
+
+	keep       bool // seeded from a user GA constraint (or grown from one)
+	everMerged bool // produced by at least one merge (multi-attribute)
+	merged     bool // consumed by a merge in the current round
+	mergeCand  bool // blocked this round because its partner already merged
+	dead       bool // removed from the active set
+}
+
+// linkage returns the cluster-to-cluster similarity under the configured
+// linkage rule.
+func (m *Matcher) linkage(a, b *cluster) float64 {
+	switch m.cfg.Linkage {
+	case AvgLinkage:
+		sum := 0.0
+		for _, na := range a.names {
+			for _, nb := range b.names {
+				sum += m.simByID(na, nb)
+			}
+		}
+		return sum / float64(len(a.names)*len(b.names))
+	default: // MaxLinkage
+		best := 0.0
+		for _, na := range a.names {
+			for _, nb := range b.names {
+				if s := m.simByID(na, nb); s > best {
+					best = s
+				}
+			}
+		}
+		return best
+	}
+}
+
+// pair is an entry of the round's priority queue H_sim.
+type pair struct {
+	i, j int
+	sim  float64
+}
+
+// Match runs the greedy constrained similarity clustering (Algorithm 1) over
+// the attributes of the sources ids, honoring the user constraints. The set
+// ids must contain every source required by cons (explicit source
+// constraints and sources implied by GA constraints); Match returns an error
+// otherwise — µBE's evaluator guarantees this precondition (§3: "we ensure
+// for any call to Match(S) that S contains C").
+//
+// Per the paper, if the resulting mediated schema is not valid on the source
+// constraints (some constrained source matches nothing at threshold θ), the
+// result has OK == false and Quality == 0.
+func (m *Matcher) Match(ids []schema.SourceID, cons constraint.Set) (Result, error) {
+	if !cons.SatisfiedBy(ids) {
+		return Result{}, fmt.Errorf("match: source set %v does not contain all required sources %v",
+			ids, cons.RequiredSources())
+	}
+
+	clusters := m.cluster(m.seed(ids, cons))
+
+	// Collect surviving clusters, applying the β lower bound to GAs that do
+	// not stem from a user GA constraint (§2.5: θ and β apply to M − G only).
+	var gas []schema.GA
+	for _, c := range clusters {
+		if c.dead {
+			continue
+		}
+		if !c.keep && c.ga.Size() < m.cfg.Beta {
+			continue
+		}
+		gas = append(gas, c.ga)
+	}
+	med := schema.NewMediated(gas...)
+
+	res := Result{Schema: med}
+	if med.Len() > 0 {
+		res.GAQuality = make([]float64, med.Len())
+		sum := 0.0
+		for i, g := range med.GAs {
+			q := m.GAQuality(g)
+			res.GAQuality[i] = q
+			sum += q
+		}
+		res.Quality = sum / float64(med.Len())
+	}
+	// Validity on C: the schema must span every explicitly constrained
+	// source (disjointness and per-GA validity hold by construction).
+	if !med.Spans(cons.Sources) {
+		return Result{OK: false}, nil
+	}
+	res.OK = true
+	return res, nil
+}
+
+// seed builds the initial cluster set: one cluster per user GA constraint
+// (keep = TRUE), then one singleton cluster per remaining attribute of every
+// source in ids (Algorithm 1, lines 1–4).
+func (m *Matcher) seed(ids []schema.SourceID, cons constraint.Set) []*cluster {
+	inConstraint := make(map[schema.AttrRef]struct{})
+	clusters := make([]*cluster, 0, len(cons.GAs))
+	for _, g := range cons.GAs {
+		c := &cluster{ga: g, keep: true}
+		for _, r := range g.Refs() {
+			inConstraint[r] = struct{}{}
+			c.names = append(c.names, m.simID[r.Source][r.Attr])
+		}
+		clusters = append(clusters, c)
+	}
+	for _, id := range ids {
+		n := m.u.Source(id).Schema.Len()
+		for a := 0; a < n; a++ {
+			r := schema.AttrRef{Source: id, Attr: a}
+			if _, taken := inConstraint[r]; taken {
+				continue
+			}
+			clusters = append(clusters, &cluster{
+				ga:    schema.NewGA(r),
+				names: []int{m.simID[id][a]},
+			})
+		}
+	}
+	return clusters
+}
+
+// cluster runs the iterative merge rounds and returns the final cluster set
+// (dead clusters are marked rather than removed so indexes stay stable, and
+// merge products are appended).
+func (m *Matcher) cluster(clusters []*cluster) []*cluster {
+	theta := m.cfg.Theta
+	for {
+		// Reset per-round flags (Algorithm 1, line 7).
+		for _, c := range clusters {
+			if !c.dead {
+				c.merged, c.mergeCand = false, false
+			}
+		}
+
+		// H_sim: all live pairs with similarity ≥ θ, best first (line 8).
+		var h []pair
+		for i := 0; i < len(clusters); i++ {
+			if clusters[i].dead {
+				continue
+			}
+			for j := i + 1; j < len(clusters); j++ {
+				if clusters[j].dead {
+					continue
+				}
+				if s := m.linkage(clusters[i], clusters[j]); s >= theta {
+					h = append(h, pair{i: i, j: j, sim: s})
+				}
+			}
+		}
+		sort.Slice(h, func(a, b int) bool {
+			if h[a].sim != h[b].sim {
+				return h[a].sim > h[b].sim
+			}
+			if h[a].i != h[b].i {
+				return h[a].i < h[b].i
+			}
+			return h[a].j < h[b].j
+		})
+
+		anyMerge, anyCand := false, false
+		for _, p := range h {
+			// Clusters consumed by a merge earlier in this round carry
+			// merged == true and are handled by the cases below; they were
+			// alive when H_sim was built.
+			c1, c2 := clusters[p.i], clusters[p.j]
+			switch {
+			case !c1.merged && !c2.merged && c1.ga.CanMerge(c2.ga):
+				// Merge c1 and c2 into a new cluster (lines 12–14).
+				nc := &cluster{
+					ga:         c1.ga.Union(c2.ga),
+					names:      append(append([]int(nil), c1.names...), c2.names...),
+					keep:       c1.keep || c2.keep,
+					everMerged: true,
+				}
+				c1.merged, c2.merged = true, true
+				c1.dead, c2.dead = true, true
+				clusters = append(clusters, nc)
+				anyMerge = true
+			case c1.merged != c2.merged:
+				// One of the pair was already consumed this round; keep the
+				// other alive for the next round (lines 15–19).
+				if c1.merged {
+					c2.mergeCand = true
+				} else {
+					c1.mergeCand = true
+				}
+				anyCand = true
+			}
+		}
+
+		// Prune clusters that can never merge: still-singleton, not a user
+		// constraint, and not blocked by this round's merges (lines 20–22).
+		for _, c := range clusters {
+			if c.dead || c.keep || c.everMerged || c.mergeCand {
+				continue
+			}
+			c.dead = true
+		}
+
+		if !anyMerge && !anyCand {
+			return clusters
+		}
+	}
+}

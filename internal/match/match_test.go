@@ -1,0 +1,458 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+	"mube/internal/source"
+	"mube/internal/strutil"
+)
+
+var sigCfg = pcsa.Config{NumMaps: 64}
+
+// universe builds a universe from attribute-name lists.
+func universe(t testing.TB, schemas ...[]string) *source.Universe {
+	t.Helper()
+	u := source.NewUniverse(sigCfg)
+	for _, attrs := range schemas {
+		if _, err := u.Add(source.Uncooperative("s", schema.NewSchema(attrs...))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u
+}
+
+func ref(s, a int) schema.AttrRef { return schema.AttrRef{Source: schema.SourceID(s), Attr: a} }
+
+func ids(ns ...int) []schema.SourceID {
+	out := make([]schema.SourceID, len(ns))
+	for i, n := range ns {
+		out[i] = schema.SourceID(n)
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	u := universe(t, []string{"a"})
+	if _, err := New(u, Config{Theta: 1.5}); err == nil {
+		t.Error("theta > 1 accepted")
+	}
+	if _, err := New(u, Config{Theta: -0.1}); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := New(u, Config{Beta: -2}); err == nil {
+		t.Error("negative beta accepted")
+	}
+	m, err := New(u, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Config().Theta != DefaultTheta || m.Config().Beta != DefaultBeta {
+		t.Errorf("defaults not applied: %+v", m.Config())
+	}
+	if m.Theta() != DefaultTheta {
+		t.Errorf("Theta() = %v", m.Theta())
+	}
+}
+
+func TestPairSim(t *testing.T) {
+	u := universe(t, []string{"author", "title"}, []string{"author name"})
+	m := MustNew(u, Config{})
+	same := m.PairSim(ref(0, 0), ref(1, 0))
+	want := strutil.TriGramJaccard.Sim("author", "author name")
+	if diff := same - want; diff > 1e-6 || diff < -1e-6 {
+		// The matcher stores similarities as float32; allow that rounding.
+		t.Errorf("PairSim = %v, want %v", same, want)
+	}
+	if m.PairSim(ref(0, 0), ref(0, 0)) != 1 {
+		t.Error("self-similarity must be 1")
+	}
+}
+
+func TestMatchClustersIdenticalNames(t *testing.T) {
+	u := universe(t,
+		[]string{"author", "title"},
+		[]string{"author", "price"},
+		[]string{"author", "title"},
+	)
+	m := MustNew(u, Config{Theta: 0.5})
+	res, err := m.Match(u.IDs(), constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("match failed")
+	}
+	// Expect an author GA spanning all three sources and a title GA spanning
+	// sources 0 and 2; "price" is unmatched and pruned.
+	var authorGA, titleGA *schema.GA
+	for i := range res.Schema.GAs {
+		g := &res.Schema.GAs[i]
+		switch {
+		case g.Contains(ref(0, 0)):
+			authorGA = g
+		case g.Contains(ref(0, 1)):
+			titleGA = g
+		}
+	}
+	if authorGA == nil || authorGA.Size() != 3 {
+		t.Errorf("author GA = %v, want 3 attrs", authorGA)
+	}
+	if titleGA == nil || titleGA.Size() != 2 {
+		t.Errorf("title GA = %v, want 2 attrs", titleGA)
+	}
+	if res.Quality != 1 {
+		t.Errorf("quality = %v, want 1 for identical names", res.Quality)
+	}
+}
+
+func TestMatchRespectsGAValidity(t *testing.T) {
+	// Both attributes of source 0 are named "keyword"; a GA may absorb only
+	// one attribute per source (Definition 1).
+	u := universe(t,
+		[]string{"keyword", "keyword"},
+		[]string{"keyword"},
+		[]string{"keyword"},
+	)
+	m := MustNew(u, Config{Theta: 0.5})
+	res, err := m.Match(u.IDs(), constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Schema.GAs {
+		if !g.Valid() {
+			t.Errorf("invalid GA in output: %v", g)
+		}
+	}
+	if !res.Schema.Disjoint() {
+		t.Error("output GAs overlap")
+	}
+}
+
+func TestMatchPerGAQualityMeetsTheta(t *testing.T) {
+	u := universe(t,
+		[]string{"author", "book title", "publisher"},
+		[]string{"author name", "title of book", "publishing house"},
+		[]string{"writer", "title", "press"},
+		[]string{"isbn", "subject"},
+	)
+	theta := 0.3
+	m := MustNew(u, Config{Theta: theta})
+	res, err := m.Match(u.IDs(), constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range res.GAQuality {
+		if q < theta {
+			t.Errorf("GA %d quality %v below theta %v (no constraints given)", i, q, theta)
+		}
+	}
+	if res.Quality < theta {
+		t.Errorf("schema quality %v below theta", res.Quality)
+	}
+}
+
+func TestMatchBetaFiltersSmallGAs(t *testing.T) {
+	u := universe(t,
+		[]string{"alpha", "omega"},
+		[]string{"alpha", "omega"},
+		[]string{"alpha"},
+	)
+	// With beta=3, the omega GA (size 2) must be dropped; alpha (size 3) kept.
+	m := MustNew(u, Config{Theta: 0.5, Beta: 3})
+	res, err := m.Match(u.IDs(), constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Len() != 1 {
+		t.Fatalf("schema = %v, want exactly the alpha GA", res.Schema)
+	}
+	if got := res.Schema.GAs[0].Size(); got != 3 {
+		t.Errorf("surviving GA size = %d, want 3", got)
+	}
+}
+
+func TestGAConstraintBridging(t *testing.T) {
+	// "F name" and "Prenom" share no grams, but a GA constraint bridges the
+	// semantic gap and lets the cluster keep growing on both sides (§3,
+	// Figure 3 d–f).
+	u := universe(t,
+		[]string{"f name"},
+		[]string{"prenom"},
+		[]string{"first name"},
+		[]string{"nom prenom"},
+	)
+	m := MustNew(u, Config{Theta: 0.4})
+
+	// Without the constraint the two halves stay separate.
+	res, err := m.Match(u.IDs(), constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Schema.GAs {
+		if g.Contains(ref(0, 0)) && g.Contains(ref(1, 0)) {
+			t.Fatal("f name and prenom merged without a bridge")
+		}
+	}
+
+	bridge := schema.NewGA(ref(0, 0), ref(1, 0))
+	res, err = m.Match(u.IDs(), constraint.Set{GAs: []schema.GA{bridge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("constrained match failed")
+	}
+	var grown *schema.GA
+	for i := range res.Schema.GAs {
+		if res.Schema.GAs[i].ContainsAll(bridge) {
+			grown = &res.Schema.GAs[i]
+		}
+	}
+	if grown == nil {
+		t.Fatal("constraint GA missing from output (G ⋢ M)")
+	}
+	// The bridge must attract both "first name" (similar to f name) and
+	// "nom prenom" (similar to prenom).
+	if !grown.Contains(ref(2, 0)) || !grown.Contains(ref(3, 0)) {
+		t.Errorf("bridged GA = %v, want all four attributes", grown)
+	}
+}
+
+func TestGAConstraintExemptFromThetaAndBeta(t *testing.T) {
+	u := universe(t,
+		[]string{"xyzzy"},
+		[]string{"qwert"},
+	)
+	g := schema.NewGA(ref(0, 0), ref(1, 0))
+	m := MustNew(u, Config{Theta: 0.9, Beta: 3})
+	res, err := m.Match(u.IDs(), constraint.Set{GAs: []schema.GA{g}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Schema.Len() != 1 || !res.Schema.GAs[0].Equal(g) {
+		t.Errorf("constraint GA should survive θ and β: %v", res.Schema)
+	}
+}
+
+func TestSourceConstraintValidity(t *testing.T) {
+	u := universe(t,
+		[]string{"author"},
+		[]string{"author"},
+		[]string{"zzzzz"}, // matches nothing
+	)
+	m := MustNew(u, Config{Theta: 0.5})
+
+	// Constraining source 2, whose attribute matches nothing, makes every
+	// schema invalid on C → null schema, 0 quality.
+	res, err := m.Match(u.IDs(), constraint.Set{Sources: ids(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK || res.Quality != 0 {
+		t.Errorf("expected failed match, got OK=%v quality=%v", res.OK, res.Quality)
+	}
+
+	// Constraining source 0 (which matches source 1) succeeds.
+	res, err = m.Match(u.IDs(), constraint.Set{Sources: ids(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Error("expected valid match with satisfiable source constraint")
+	}
+}
+
+func TestMatchRequiresRequiredSources(t *testing.T) {
+	u := universe(t, []string{"a"}, []string{"b"})
+	m := MustNew(u, Config{})
+	if _, err := m.Match(ids(0), constraint.Set{Sources: ids(1)}); err == nil {
+		t.Error("Match should reject S ⊉ C")
+	}
+	if _, err := m.Match(ids(0), constraint.Set{GAs: []schema.GA{schema.NewGA(ref(1, 0))}}); err == nil {
+		t.Error("Match should reject S missing GA-implied source")
+	}
+}
+
+func TestMatchEmptySelection(t *testing.T) {
+	u := universe(t, []string{"a"}, []string{"b"})
+	m := MustNew(u, Config{})
+	res, err := m.Match(nil, constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Schema.Len() != 0 || res.Quality != 0 {
+		t.Errorf("empty selection: %+v", res)
+	}
+}
+
+func TestMatchTransitiveGrowth(t *testing.T) {
+	// a-b similar, b-c similar, a-c dissimilar: max linkage grows the chain
+	// across rounds (merge a+b first, then attract c via b).
+	u := universe(t,
+		[]string{"publication year"},
+		[]string{"publication date"},
+		[]string{"pub date"},
+	)
+	m := MustNew(u, Config{Theta: 0.45})
+	ab := m.PairSim(ref(0, 0), ref(1, 0))
+	bc := m.PairSim(ref(1, 0), ref(2, 0))
+	ac := m.PairSim(ref(0, 0), ref(2, 0))
+	if !(ab >= 0.45 && bc >= 0.45 && ac < 0.45) {
+		t.Skipf("test premise broken: ab=%v bc=%v ac=%v", ab, bc, ac)
+	}
+	res, err := m.Match(u.IDs(), constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Len() != 1 || res.Schema.GAs[0].Size() != 3 {
+		t.Errorf("expected one 3-attribute GA, got %v", res.Schema)
+	}
+}
+
+func TestMatchDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var schemas [][]string
+	vocab := []string{"title", "book title", "author", "author name", "price", "price range", "isbn", "keyword"}
+	for i := 0; i < 12; i++ {
+		n := 1 + r.Intn(4)
+		attrs := make([]string, 0, n)
+		seen := map[string]bool{}
+		for len(attrs) < n {
+			w := vocab[r.Intn(len(vocab))]
+			if !seen[w] {
+				seen[w] = true
+				attrs = append(attrs, w)
+			}
+		}
+		schemas = append(schemas, attrs)
+	}
+	u := universe(t, schemas...)
+	m := MustNew(u, Config{Theta: 0.4})
+	first, err := m.Match(u.IDs(), constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := m.Match(u.IDs(), constraint.Set{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Schema.String() != first.Schema.String() || again.Quality != first.Quality {
+			t.Fatal("Match is not deterministic")
+		}
+	}
+}
+
+func TestAvgLinkage(t *testing.T) {
+	u := universe(t,
+		[]string{"author"},
+		[]string{"author"},
+		[]string{"author name of record"},
+	)
+	mMax := MustNew(u, Config{Theta: 0.3, Linkage: MaxLinkage})
+	mAvg := MustNew(u, Config{Theta: 0.3, Linkage: AvgLinkage})
+	rMax, _ := mMax.Match(u.IDs(), constraint.Set{})
+	rAvg, _ := mAvg.Match(u.IDs(), constraint.Set{})
+	// Both should produce valid disjoint schemas; max linkage absorbs at
+	// least as many attributes as avg.
+	count := func(m schema.Mediated) int {
+		n := 0
+		for _, g := range m.GAs {
+			n += g.Size()
+		}
+		return n
+	}
+	if count(rMax.Schema) < count(rAvg.Schema) {
+		t.Errorf("max linkage (%d attrs) absorbed fewer than avg (%d)", count(rMax.Schema), count(rAvg.Schema))
+	}
+	if MaxLinkage.String() != "max" || AvgLinkage.String() != "avg" {
+		t.Error("Linkage.String broken")
+	}
+}
+
+func TestGAQualitySingleton(t *testing.T) {
+	u := universe(t, []string{"a"})
+	m := MustNew(u, Config{})
+	if q := m.GAQuality(schema.NewGA(ref(0, 0))); q != 1 {
+		t.Errorf("singleton GA quality = %v, want 1", q)
+	}
+}
+
+// TestMatchPropertyInvariants fuzzes random universes and checks the core
+// Match invariants: disjoint valid GAs, G ⊑ M, and per-GA quality ≥ θ for
+// non-constraint GAs.
+func TestMatchPropertyInvariants(t *testing.T) {
+	vocab := []string{
+		"title", "book title", "name of book", "author", "author name",
+		"writer", "price", "price range", "keyword", "keywords", "isbn",
+		"publisher", "subject", "category", "zebra", "quux",
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var schemas [][]string
+		n := 3 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			k := 1 + r.Intn(5)
+			seen := map[string]bool{}
+			var attrs []string
+			for len(attrs) < k {
+				w := vocab[r.Intn(len(vocab))]
+				if !seen[w] {
+					seen[w] = true
+					attrs = append(attrs, w)
+				}
+			}
+			schemas = append(schemas, attrs)
+		}
+		u := universe(t, schemas...)
+		theta := 0.3 + r.Float64()*0.5
+		m := MustNew(u, Config{Theta: theta})
+
+		var cons constraint.Set
+		if r.Intn(2) == 0 && n >= 2 {
+			// Random (valid) GA constraint across two sources.
+			s1, s2 := 0, 1+r.Intn(n-1)
+			cons.GAs = []schema.GA{schema.NewGA(
+				ref(s1, r.Intn(len(schemas[s1]))),
+				ref(s2, r.Intn(len(schemas[s2]))),
+			)}
+		}
+		res, err := m.Match(u.IDs(), cons)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK {
+			continue
+		}
+		if !res.Schema.Disjoint() {
+			t.Fatalf("seed %d: overlapping GAs", seed)
+		}
+		constraintGAs := schema.NewMediated(cons.GAs...)
+		if !res.Schema.Subsumes(constraintGAs) {
+			t.Fatalf("seed %d: G ⋢ M", seed)
+		}
+		for i, g := range res.Schema.GAs {
+			if !g.Valid() {
+				t.Fatalf("seed %d: invalid GA %v", seed, g)
+			}
+			isConstraint := false
+			for _, cg := range cons.GAs {
+				if g.ContainsAll(cg) {
+					isConstraint = true
+				}
+			}
+			if !isConstraint {
+				if res.GAQuality[i] < theta {
+					t.Fatalf("seed %d: GA %v quality %v < theta %v", seed, g, res.GAQuality[i], theta)
+				}
+				if g.Size() < DefaultBeta {
+					t.Fatalf("seed %d: GA %v smaller than beta", seed, g)
+				}
+			}
+		}
+	}
+}

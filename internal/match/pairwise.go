@@ -1,0 +1,200 @@
+package match
+
+import (
+	"math"
+
+	"mube/internal/schema"
+)
+
+// This file implements the *pairwise* schema-matching baseline the paper
+// positions µBE against (§8): traditional matchers such as Cupid or
+// Similarity Flooding match two schemas at a time with an optimal 1:1
+// assignment, and holistic mediation is then approximated by matching every
+// source against a hub schema (a star topology). µBE's clustering needs no
+// hub and no pairwise assignment; the baseline exists so the difference is
+// measurable (exp.AblationPairwise).
+
+// Assignment is an optimal 1:1 matching between the attributes of two
+// sources.
+type Assignment struct {
+	// Pairs maps attribute indexes of the left source to attribute indexes
+	// of the right source. Only pairs with similarity ≥ the threshold are
+	// kept.
+	Pairs map[int]int
+	// Total is the summed similarity of the kept pairs.
+	Total float64
+}
+
+// PairwiseMatch computes the maximum-weight 1:1 assignment between the
+// schemas of sources a and b (Hungarian algorithm over the similarity
+// matrix), keeping only pairs with similarity ≥ theta.
+func (m *Matcher) PairwiseMatch(a, b schema.SourceID, theta float64) Assignment {
+	na := m.u.Source(a).Schema.Len()
+	nb := m.u.Source(b).Schema.Len()
+	n := na
+	if nb > n {
+		n = nb
+	}
+	// Build a square cost matrix: we minimize (1 − sim); padding entries
+	// cost 1 (similarity 0).
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i < na && j < nb {
+				cost[i][j] = 1 - m.PairSim(
+					schema.AttrRef{Source: a, Attr: i},
+					schema.AttrRef{Source: b, Attr: j})
+			} else {
+				cost[i][j] = 1
+			}
+		}
+	}
+	match := hungarian(cost)
+	out := Assignment{Pairs: make(map[int]int)}
+	for i, j := range match {
+		if i >= na || j >= nb {
+			continue
+		}
+		sim := 1 - cost[i][j]
+		if sim >= theta {
+			out.Pairs[i] = j
+			out.Total += sim
+		}
+	}
+	return out
+}
+
+// StarMediate builds a mediated schema the traditional way: pick hub as the
+// reference source and pairwise-match every other source in ids against it;
+// the hub's attributes become the GAs and each source contributes its
+// assigned attributes. Attributes that match nothing at the hub are dropped
+// — the structural weakness µBE's holistic clustering avoids.
+//
+// The result honors the same β bound as clustering (GAs spanning fewer than
+// β sources are dropped) so comparisons against Match(S) are fair.
+func (m *Matcher) StarMediate(hub schema.SourceID, ids []schema.SourceID, theta float64, beta int) Result {
+	nHub := m.u.Source(hub).Schema.Len()
+	members := make([][]schema.AttrRef, nHub)
+	for h := 0; h < nHub; h++ {
+		members[h] = []schema.AttrRef{{Source: hub, Attr: h}}
+	}
+	for _, id := range ids {
+		if id == hub {
+			continue
+		}
+		as := m.PairwiseMatch(hub, id, theta)
+		for h, j := range as.Pairs {
+			members[h] = append(members[h], schema.AttrRef{Source: id, Attr: j})
+		}
+	}
+	var gas []schema.GA
+	for _, refs := range members {
+		if len(refs) < beta {
+			continue
+		}
+		gas = append(gas, schema.NewGA(refs...))
+	}
+	med := schema.NewMediated(gas...)
+	res := Result{OK: true, Schema: med}
+	if med.Len() > 0 {
+		res.GAQuality = make([]float64, med.Len())
+		sum := 0.0
+		for i, g := range med.GAs {
+			q := m.GAQuality(g)
+			res.GAQuality[i] = q
+			sum += q
+		}
+		res.Quality = sum / float64(med.Len())
+	}
+	return res
+}
+
+// BestStarMediate tries every source in ids as the hub and returns the
+// mediation with the most attributes covered (ties broken by quality) —
+// the strongest version of the star baseline.
+func (m *Matcher) BestStarMediate(ids []schema.SourceID, theta float64, beta int) Result {
+	var best Result
+	bestCover := -1
+	for _, hub := range ids {
+		r := m.StarMediate(hub, ids, theta, beta)
+		cover := 0
+		for _, g := range r.Schema.GAs {
+			cover += g.Size()
+		}
+		if cover > bestCover || (cover == bestCover && r.Quality > best.Quality) {
+			best = r
+			bestCover = cover
+		}
+	}
+	return best
+}
+
+// hungarian solves the square assignment problem, returning for each row the
+// assigned column, minimizing total cost. O(n³) implementation using the
+// standard potentials-and-augmenting-paths formulation.
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row assigned to column j (1-based)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign
+}

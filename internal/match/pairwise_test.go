@@ -1,0 +1,197 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"mube/internal/constraint"
+)
+
+func TestHungarianKnownMatrix(t *testing.T) {
+	// Classic 3×3 assignment with optimum 1→2, 2→0, 3→1 (cost 5).
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign := hungarian(cost)
+	total := 0.0
+	seen := map[int]bool{}
+	for i, j := range assign {
+		total += cost[i][j]
+		if seen[j] {
+			t.Fatalf("column %d assigned twice", j)
+		}
+		seen[j] = true
+	}
+	if total != 5 {
+		t.Errorf("assignment cost = %v, want 5 (assign %v)", total, assign)
+	}
+	if hungarian(nil) != nil {
+		t.Error("empty matrix should return nil")
+	}
+}
+
+func TestHungarianIsOptimalVsBruteForce(t *testing.T) {
+	// Randomized check against brute-force enumeration on 4×4 matrices.
+	r := rand.New(rand.NewSource(2))
+	perms4 := [][]int{}
+	var gen func(cur []int, rest []int)
+	gen = func(cur, rest []int) {
+		if len(rest) == 0 {
+			perms4 = append(perms4, append([]int(nil), cur...))
+			return
+		}
+		for i, v := range rest {
+			next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			gen(append(cur, v), next)
+		}
+	}
+	gen(nil, []int{0, 1, 2, 3})
+
+	for trial := 0; trial < 50; trial++ {
+		cost := make([][]float64, 4)
+		for i := range cost {
+			cost[i] = make([]float64, 4)
+			for j := range cost[i] {
+				cost[i][j] = r.Float64()
+			}
+		}
+		best := 1e9
+		for _, p := range perms4 {
+			tot := 0.0
+			for i, j := range p {
+				tot += cost[i][j]
+			}
+			if tot < best {
+				best = tot
+			}
+		}
+		assign := hungarian(cost)
+		tot := 0.0
+		for i, j := range assign {
+			tot += cost[i][j]
+		}
+		if tot > best+1e-9 {
+			t.Fatalf("trial %d: hungarian %v > optimum %v", trial, tot, best)
+		}
+	}
+}
+
+func TestPairwiseMatch(t *testing.T) {
+	u := universe(t,
+		[]string{"title", "author", "price"},
+		[]string{"author name", "book title"},
+	)
+	m := MustNew(u, Config{Theta: 0.3})
+	as := m.PairwiseMatch(0, 1, 0.3)
+	// title↔book title and author↔author name; price unmatched.
+	if len(as.Pairs) != 2 {
+		t.Fatalf("pairs = %v", as.Pairs)
+	}
+	if as.Pairs[0] != 1 {
+		t.Errorf("title matched to %d, want 1 (book title)", as.Pairs[0])
+	}
+	if as.Pairs[1] != 0 {
+		t.Errorf("author matched to %d, want 0 (author name)", as.Pairs[1])
+	}
+	if as.Total <= 0 {
+		t.Error("total similarity not accumulated")
+	}
+	// High threshold prunes everything.
+	if got := m.PairwiseMatch(0, 1, 0.99); len(got.Pairs) != 0 {
+		t.Errorf("theta=0.99 kept pairs %v", got.Pairs)
+	}
+}
+
+func TestPairwiseAssignmentIs1to1(t *testing.T) {
+	// Two near-identical attributes on the left compete for one target; the
+	// assignment must stay 1:1.
+	u := universe(t,
+		[]string{"keyword", "keywords"},
+		[]string{"keyword"},
+	)
+	m := MustNew(u, Config{Theta: 0.3})
+	as := m.PairwiseMatch(0, 1, 0.3)
+	if len(as.Pairs) != 1 {
+		t.Fatalf("pairs = %v, want exactly one (1:1)", as.Pairs)
+	}
+	if _, ok := as.Pairs[0]; !ok {
+		t.Errorf("exact-name pair should win: %v", as.Pairs)
+	}
+}
+
+func TestStarMediate(t *testing.T) {
+	u := universe(t,
+		[]string{"title", "author"}, // hub
+		[]string{"book title", "author name"},
+		[]string{"title", "price"},
+	)
+	m := MustNew(u, Config{Theta: 0.3})
+	res := m.StarMediate(0, u.IDs(), 0.3, 2)
+	if !res.OK || res.Schema.Len() != 2 {
+		t.Fatalf("star schema = %v", res.Schema)
+	}
+	// price (source 2) matches nothing at the hub → absent.
+	for _, g := range res.Schema.GAs {
+		if g.Contains(ref(2, 1)) {
+			t.Error("price leaked into star mediation")
+		}
+		if !g.Valid() {
+			t.Errorf("invalid GA %v", g)
+		}
+	}
+	if !res.Schema.Disjoint() {
+		t.Error("star GAs overlap")
+	}
+}
+
+func TestStarDropsNonHubConcepts(t *testing.T) {
+	// The structural weakness of the star topology: a concept shared by
+	// non-hub sources but absent from the hub cannot become a GA; µBE's
+	// clustering finds it.
+	u := universe(t,
+		[]string{"title"}, // hub lacks "price"
+		[]string{"title", "price"},
+		[]string{"title", "price"},
+	)
+	m := MustNew(u, Config{Theta: 0.5})
+	star := m.StarMediate(0, u.IDs(), 0.5, 2)
+	for _, g := range star.Schema.GAs {
+		if g.Contains(ref(1, 1)) || g.Contains(ref(2, 1)) {
+			t.Fatalf("star found the price GA it should structurally miss: %v", star.Schema)
+		}
+	}
+	holistic, err := m.Match(u.IDs(), constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range holistic.Schema.GAs {
+		if g.Contains(ref(1, 1)) && g.Contains(ref(2, 1)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("holistic clustering missed the price GA")
+	}
+}
+
+func TestBestStarMediate(t *testing.T) {
+	u := universe(t,
+		[]string{"title"},                    // weak hub
+		[]string{"title", "price", "author"}, // strong hub
+		[]string{"title", "price"},
+		[]string{"author", "price"},
+	)
+	m := MustNew(u, Config{Theta: 0.5})
+	best := m.BestStarMediate(u.IDs(), 0.5, 2)
+	cover := 0
+	for _, g := range best.Schema.GAs {
+		cover += g.Size()
+	}
+	// The strong hub covers title(3) + price(3) + author(2) = 8 attrs.
+	if cover < 8 {
+		t.Errorf("best star covers %d attrs, want ≥ 8", cover)
+	}
+}

@@ -1,0 +1,300 @@
+// Package mediator executes queries over a chosen µBE data integration
+// system: a set of selected sources and the mediated schema generated for
+// them. It completes the life cycle the paper's introduction motivates —
+// once sources and schema are chosen, the system must "retrieve data from
+// the source while executing queries, map this data to the global mediated
+// schema, and resolve any inconsistencies with data retrieved from other
+// sources" — and makes the cost argument concrete: the more sources a
+// solution includes, the more rows are scanned and the higher the simulated
+// latency.
+//
+// Queries are selections and projections over Global Attributes. A source
+// contributes to a query if its schema maps attributes to every GA the query
+// filters on; rows are translated to the mediated schema through the GA
+// membership of their attributes, merged across sources, and deduplicated,
+// with provenance retained per merged row.
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mube/internal/schema"
+	"mube/internal/source"
+	"mube/internal/store"
+)
+
+// System is a queryable data integration system.
+type System struct {
+	u       *source.Universe
+	med     schema.Mediated
+	sources []schema.SourceID
+	tables  map[schema.SourceID]*store.Table
+	// attrGA maps a source attribute to the GA it belongs to (-1 if none).
+	attrGA map[schema.AttrRef]int
+}
+
+// New assembles a system from a universe, the selected sources, the mediated
+// schema over them, and a row table per selected source.
+func New(u *source.Universe, med schema.Mediated, sources []schema.SourceID, tables map[schema.SourceID]*store.Table) (*System, error) {
+	if u == nil {
+		return nil, fmt.Errorf("mediator: nil universe")
+	}
+	if !med.Disjoint() {
+		return nil, fmt.Errorf("mediator: mediated schema GAs overlap")
+	}
+	for _, id := range sources {
+		if id < 0 || int(id) >= u.Len() {
+			return nil, fmt.Errorf("mediator: source %d out of range", id)
+		}
+		tb, ok := tables[id]
+		if !ok {
+			return nil, fmt.Errorf("mediator: no row table for source %d", id)
+		}
+		if tb.Schema().Len() != u.Source(id).Schema.Len() {
+			return nil, fmt.Errorf("mediator: table arity %d != schema arity %d for source %d",
+				tb.Schema().Len(), u.Source(id).Schema.Len(), id)
+		}
+	}
+	attrGA := make(map[schema.AttrRef]int)
+	for gi, g := range med.GAs {
+		for _, r := range g.Refs() {
+			attrGA[r] = gi
+		}
+	}
+	return &System{
+		u:       u,
+		med:     med,
+		sources: append([]schema.SourceID(nil), sources...),
+		tables:  tables,
+		attrGA:  attrGA,
+	}, nil
+}
+
+// Schema returns the system's mediated schema.
+func (sys *System) Schema() schema.Mediated { return sys.med }
+
+// Op is a predicate operator.
+type Op int
+
+const (
+	// OpEq matches values exactly.
+	OpEq Op = iota
+	// OpContains matches values containing the operand as a substring.
+	OpContains
+	// OpPrefix matches values starting with the operand.
+	OpPrefix
+)
+
+// String names the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpContains:
+		return "contains"
+	case OpPrefix:
+		return "prefix"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// match applies the operator.
+func (o Op) match(value, operand string) bool {
+	switch o {
+	case OpEq:
+		return value == operand
+	case OpContains:
+		return strings.Contains(value, operand)
+	case OpPrefix:
+		return strings.HasPrefix(value, operand)
+	}
+	return false
+}
+
+// Predicate filters on one GA of the mediated schema.
+type Predicate struct {
+	GA    int
+	Op    Op
+	Value string
+}
+
+// Query selects GA columns from the integration system, filtered by
+// conjunctive predicates.
+type Query struct {
+	// Select lists the GA indexes to project. Must be non-empty.
+	Select []int
+	// Where is a conjunction of predicates.
+	Where []Predicate
+	// Limit caps the number of merged result rows (0 = no limit).
+	Limit int
+}
+
+// validate checks GA indexes and operators.
+func (q Query) validate(med schema.Mediated) error {
+	if len(q.Select) == 0 {
+		return fmt.Errorf("mediator: query selects nothing")
+	}
+	check := func(ga int) error {
+		if ga < 0 || ga >= med.Len() {
+			return fmt.Errorf("mediator: GA %d out of range [0,%d)", ga, med.Len())
+		}
+		return nil
+	}
+	for _, ga := range q.Select {
+		if err := check(ga); err != nil {
+			return err
+		}
+	}
+	for _, p := range q.Where {
+		if err := check(p.GA); err != nil {
+			return err
+		}
+		if p.Op != OpEq && p.Op != OpContains && p.Op != OpPrefix {
+			return fmt.Errorf("mediator: unknown operator %v", p.Op)
+		}
+	}
+	if q.Limit < 0 {
+		return fmt.Errorf("mediator: negative limit")
+	}
+	return nil
+}
+
+// Row is one merged result row: values aligned with the query's Select list
+// and the provenance of every source that contributed it.
+type Row struct {
+	Values     []string
+	Provenance []schema.SourceID
+}
+
+// Stats quantifies the execution — the cost side of µBE's source-selection
+// trade-off.
+type Stats struct {
+	// SourcesQueried counts sources that could answer the query.
+	SourcesQueried int
+	// SourcesSkipped counts selected sources lacking a queried GA.
+	SourcesSkipped int
+	// RowsScanned counts rows read across all queried sources.
+	RowsScanned int
+	// RowsMerged counts duplicate rows merged away across sources.
+	RowsMerged int
+	// MaxLatency simulates querying sources in parallel: the largest
+	// per-source latency characteristic among queried sources.
+	MaxLatency time.Duration
+	// TotalLatency simulates querying serially: the sum of latencies.
+	TotalLatency time.Duration
+}
+
+// Result is the query output.
+type Result struct {
+	Rows  []Row
+	Stats Stats
+}
+
+// Execute runs the query against every selected source that can answer it.
+func (sys *System) Execute(q Query) (*Result, error) {
+	if err := q.validate(sys.med); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	type merged struct {
+		idx  int
+		prov map[schema.SourceID]struct{}
+	}
+	seen := make(map[string]*merged)
+
+	for _, id := range sys.sources {
+		cols, ok := sys.bind(id, q)
+		if !ok {
+			res.Stats.SourcesSkipped++
+			continue
+		}
+		res.Stats.SourcesQueried++
+		if lat, has := sys.u.Source(id).Characteristic("latency"); has {
+			d := time.Duration(lat * float64(time.Millisecond))
+			res.Stats.TotalLatency += d
+			if d > res.Stats.MaxLatency {
+				res.Stats.MaxLatency = d
+			}
+		}
+		tb := sys.tables[id]
+		tb.Scan(func(r store.Row) bool {
+			res.Stats.RowsScanned++
+			for i, p := range q.Where {
+				if !p.Op.match(r[cols.where[i]], p.Value) {
+					return true
+				}
+			}
+			values := make([]string, len(q.Select))
+			for i, col := range cols.sel {
+				if col >= 0 {
+					values[i] = r[col]
+				}
+			}
+			key := strings.Join(values, "\x00")
+			if m, dup := seen[key]; dup {
+				m.prov[id] = struct{}{}
+				res.Stats.RowsMerged++
+				return true
+			}
+			seen[key] = &merged{idx: len(res.Rows), prov: map[schema.SourceID]struct{}{id: {}}}
+			res.Rows = append(res.Rows, Row{Values: values})
+			return true
+		})
+	}
+
+	// Attach provenance in a deterministic order.
+	for _, m := range seen {
+		prov := make([]schema.SourceID, 0, len(m.prov))
+		for id := range m.prov {
+			prov = append(prov, id)
+		}
+		sort.Slice(prov, func(i, j int) bool { return prov[i] < prov[j] })
+		res.Rows[m.idx].Provenance = prov
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// binding maps a query's GA positions to one source's attribute columns.
+type binding struct {
+	sel   []int // per Select entry: column index or -1 (source lacks the GA)
+	where []int // per Where entry: column index (all present, or no binding)
+}
+
+// bind resolves the query's GAs against source id's schema. A source can
+// answer the query only if it has a column for every WHERE GA and for at
+// least one SELECT GA.
+func (sys *System) bind(id schema.SourceID, q Query) (binding, bool) {
+	n := sys.u.Source(id).Schema.Len()
+	colOf := func(ga int) int {
+		for a := 0; a < n; a++ {
+			if gi, ok := sys.attrGA[schema.AttrRef{Source: id, Attr: a}]; ok && gi == ga {
+				return a
+			}
+		}
+		return -1
+	}
+	b := binding{sel: make([]int, len(q.Select)), where: make([]int, len(q.Where))}
+	anySel := false
+	for i, ga := range q.Select {
+		b.sel[i] = colOf(ga)
+		if b.sel[i] >= 0 {
+			anySel = true
+		}
+	}
+	if !anySel {
+		return binding{}, false
+	}
+	for i, p := range q.Where {
+		b.where[i] = colOf(p.GA)
+		if b.where[i] < 0 {
+			return binding{}, false
+		}
+	}
+	return b, true
+}

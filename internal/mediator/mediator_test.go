@@ -1,0 +1,256 @@
+package mediator
+
+import (
+	"testing"
+	"time"
+
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+	"mube/internal/source"
+	"mube/internal/store"
+)
+
+func ref(s, a int) schema.AttrRef { return schema.AttrRef{Source: schema.SourceID(s), Attr: a} }
+
+// fixture builds a 3-source system:
+//
+//	s0 {title, author}        rows: (dune,herbert) (emma,austen)
+//	s1 {book title, writer}   rows: (dune,herbert) (ilion,simmons)
+//	s2 {title, price}         rows: (dune,9) (emma,7)
+//
+// mediated schema: GA0 = title ∪ book title, GA1 = author ∪ writer,
+// GA2 = price.
+func fixture(t *testing.T) *System {
+	t.Helper()
+	u := source.NewUniverse(pcsa.Config{NumMaps: 64})
+	add := func(name string, lat float64, attrs ...string) schema.SourceID {
+		s := source.Uncooperative(name, schema.NewSchema(attrs...))
+		if lat > 0 {
+			s.SetCharacteristic("latency", lat)
+		}
+		id, err := u.Add(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	s0 := add("a", 100, "title", "author")
+	s1 := add("b", 300, "book title", "writer")
+	s2 := add("c", 50, "title", "price")
+
+	med := schema.NewMediated(
+		schema.NewGA(ref(0, 0), ref(1, 0), ref(2, 0)), // GA0 title
+		schema.NewGA(ref(0, 1), ref(1, 1)),            // GA1 author
+		schema.NewGA(ref(2, 1)),                       // GA2 price
+	)
+	tables := map[schema.SourceID]*store.Table{}
+	t0 := store.NewTable(u.Source(s0).Schema)
+	t0.MustAppend(store.Row{"dune", "herbert"})
+	t0.MustAppend(store.Row{"emma", "austen"})
+	t1 := store.NewTable(u.Source(s1).Schema)
+	t1.MustAppend(store.Row{"dune", "herbert"})
+	t1.MustAppend(store.Row{"ilion", "simmons"})
+	t2 := store.NewTable(u.Source(s2).Schema)
+	t2.MustAppend(store.Row{"dune", "9"})
+	t2.MustAppend(store.Row{"emma", "7"})
+	tables[s0], tables[s1], tables[s2] = t0, t1, t2
+
+	sys, err := New(u, med, []schema.SourceID{s0, s1, s2}, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// gaIndex finds the GA of the fixture schema containing the given ref.
+func gaIndex(t *testing.T, sys *System, r schema.AttrRef) int {
+	t.Helper()
+	for i, g := range sys.Schema().GAs {
+		if g.Contains(r) {
+			return i
+		}
+	}
+	t.Fatalf("ref %v not in schema", r)
+	return -1
+}
+
+func TestSelectAcrossNameVariants(t *testing.T) {
+	sys := fixture(t)
+	gaTitle := gaIndex(t, sys, ref(0, 0))
+	gaAuthor := gaIndex(t, sys, ref(0, 1))
+	res, err := sys.Execute(Query{
+		Select: []int{gaTitle, gaAuthor},
+		Where:  []Predicate{{GA: gaTitle, Op: OpEq, Value: "dune"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s0 and s1 both answer (they cover title and author); s2 lacks GA1 in
+	// SELECT but has GA0, so it answers too with author = "".
+	want := map[string]bool{"dune\x00herbert": true, "dune\x00": true}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		key := r.Values[0] + "\x00" + r.Values[1]
+		if !want[key] {
+			t.Errorf("unexpected row %v", r.Values)
+		}
+	}
+	if res.Stats.SourcesQueried != 3 || res.Stats.SourcesSkipped != 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestDeduplicationAndProvenance(t *testing.T) {
+	sys := fixture(t)
+	gaTitle := gaIndex(t, sys, ref(0, 0))
+	gaAuthor := gaIndex(t, sys, ref(0, 1))
+	res, err := sys.Execute(Query{
+		Select: []int{gaTitle, gaAuthor},
+		Where:  []Predicate{{GA: gaAuthor, Op: OpEq, Value: "herbert"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only s0 and s1 can evaluate the author predicate; both return
+	// (dune, herbert), merged into one row with both sources as provenance.
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	r := res.Rows[0]
+	if r.Values[0] != "dune" || r.Values[1] != "herbert" {
+		t.Errorf("row = %v", r.Values)
+	}
+	if len(r.Provenance) != 2 || r.Provenance[0] != 0 || r.Provenance[1] != 1 {
+		t.Errorf("provenance = %v", r.Provenance)
+	}
+	if res.Stats.RowsMerged != 1 {
+		t.Errorf("RowsMerged = %d, want 1", res.Stats.RowsMerged)
+	}
+	if res.Stats.SourcesSkipped != 1 { // s2 lacks the author GA
+		t.Errorf("SourcesSkipped = %d", res.Stats.SourcesSkipped)
+	}
+}
+
+func TestPredicateOnGAMissingFromSourceSkipsIt(t *testing.T) {
+	sys := fixture(t)
+	gaTitle := gaIndex(t, sys, ref(0, 0))
+	gaPrice := gaIndex(t, sys, ref(2, 1))
+	res, err := sys.Execute(Query{
+		Select: []int{gaTitle, gaPrice},
+		Where:  []Predicate{{GA: gaPrice, Op: OpEq, Value: "7"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SourcesQueried != 1 {
+		t.Errorf("only s2 can filter on price; queried = %d", res.Stats.SourcesQueried)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Values[0] != "emma" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	sys := fixture(t)
+	gaTitle := gaIndex(t, sys, ref(0, 0))
+	cases := []struct {
+		op   Op
+		val  string
+		want int
+	}{
+		{OpContains, "un", 1}, // dune
+		{OpPrefix, "e", 1},    // emma
+		{OpEq, "nothing", 0},
+	}
+	for _, c := range cases {
+		res, err := sys.Execute(Query{
+			Select: []int{gaTitle},
+			Where:  []Predicate{{GA: gaTitle, Op: c.op, Value: c.val}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != c.want {
+			t.Errorf("%v %q: rows = %d, want %d", c.op, c.val, len(res.Rows), c.want)
+		}
+	}
+	if OpEq.String() != "=" || OpContains.String() != "contains" || OpPrefix.String() != "prefix" {
+		t.Error("Op.String broken")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	sys := fixture(t)
+	gaTitle := gaIndex(t, sys, ref(0, 0))
+	res, err := sys.Execute(Query{Select: []int{gaTitle}, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("limit ignored: %d rows", len(res.Rows))
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	sys := fixture(t)
+	gaTitle := gaIndex(t, sys, ref(0, 0))
+	res, err := sys.Execute(Query{Select: []int{gaTitle}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxLatency != 300*time.Millisecond {
+		t.Errorf("MaxLatency = %v, want 300ms", res.Stats.MaxLatency)
+	}
+	if res.Stats.TotalLatency != 450*time.Millisecond {
+		t.Errorf("TotalLatency = %v, want 450ms", res.Stats.TotalLatency)
+	}
+	if res.Stats.RowsScanned != 6 {
+		t.Errorf("RowsScanned = %d, want 6", res.Stats.RowsScanned)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	sys := fixture(t)
+	bad := []Query{
+		{},                  // no select
+		{Select: []int{99}}, // GA out of range
+		{Select: []int{0}, Where: []Predicate{{GA: -1}}},            // where out of range
+		{Select: []int{0}, Where: []Predicate{{GA: 0, Op: Op(42)}}}, // bad op
+		{Select: []int{0}, Limit: -1},                               // negative limit
+	}
+	for i, q := range bad {
+		if _, err := sys.Execute(q); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	u := source.NewUniverse(pcsa.Config{NumMaps: 64})
+	id, _ := u.Add(source.Uncooperative("x", schema.NewSchema("a")))
+	med := schema.NewMediated(schema.NewGA(ref(0, 0)))
+	tables := map[schema.SourceID]*store.Table{id: store.NewTable(u.Source(id).Schema)}
+
+	if _, err := New(nil, med, nil, nil); err == nil {
+		t.Error("nil universe accepted")
+	}
+	if _, err := New(u, med, []schema.SourceID{5}, tables); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := New(u, med, []schema.SourceID{id}, nil); err == nil {
+		t.Error("missing table accepted")
+	}
+	badTable := map[schema.SourceID]*store.Table{id: store.NewTable(schema.NewSchema("a", "b"))}
+	if _, err := New(u, med, []schema.SourceID{id}, badTable); err == nil {
+		t.Error("mismatched table arity accepted")
+	}
+	overlapping := schema.NewMediated(schema.NewGA(ref(0, 0)), schema.NewGA(ref(0, 0), ref(1, 0)))
+	if _, err := New(u, overlapping, []schema.SourceID{id}, tables); err == nil {
+		t.Error("overlapping mediated schema accepted")
+	}
+	if _, err := New(u, med, []schema.SourceID{id}, tables); err != nil {
+		t.Errorf("valid system rejected: %v", err)
+	}
+}

@@ -1,0 +1,169 @@
+package minhash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// build returns a signature over the integer range [lo, hi).
+func build(t testing.TB, k int, seed uint64, lo, hi uint64) *Signature {
+	t.Helper()
+	s := MustNew(k, seed)
+	for x := lo; x < hi; x++ {
+		s.AddUint64(x)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(-5, 1); err == nil {
+		t.Error("negative k accepted")
+	}
+	s := MustNew(64, 1)
+	if s.K() != 64 || !s.Empty() {
+		t.Errorf("fresh signature: K=%d Empty=%v", s.K(), s.Empty())
+	}
+	s.AddUint64(7)
+	if s.Empty() {
+		t.Error("signature with a value reports Empty")
+	}
+}
+
+func TestJaccardEstimates(t *testing.T) {
+	const k = 512 // SE ≈ 4.4%
+	cases := []struct {
+		aLo, aHi, bLo, bHi uint64
+		want               float64
+	}{
+		{0, 1000, 0, 1000, 1.0},         // identical
+		{0, 1000, 500, 1500, 1.0 / 3.0}, // |∩|=500, |∪|=1500
+		{0, 1000, 1000, 2000, 0.0},      // disjoint
+		{0, 2000, 0, 1000, 0.5},         // containment
+	}
+	for _, c := range cases {
+		a := build(t, k, 9, c.aLo, c.aHi)
+		b := build(t, k, 9, c.bLo, c.bHi)
+		got, err := a.Jaccard(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 0.12 {
+			t.Errorf("J([%d,%d),[%d,%d)) = %.3f, want ≈%.3f", c.aLo, c.aHi, c.bLo, c.bHi, got, c.want)
+		}
+	}
+}
+
+func TestJaccardSymmetricAndBounded(t *testing.T) {
+	prop := func(seedA, seedB uint8) bool {
+		a := build(t, 128, 3, uint64(seedA), uint64(seedA)+200)
+		b := build(t, 128, 3, uint64(seedB), uint64(seedB)+300)
+		ab, err1 := a.Jaccard(b)
+		ba, err2 := b.Jaccard(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ab == ba && ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncompatible(t *testing.T) {
+	a := MustNew(64, 1)
+	b := MustNew(128, 1)
+	c := MustNew(64, 2)
+	if _, err := a.Jaccard(b); err != ErrIncompatible {
+		t.Errorf("size mismatch: %v", err)
+	}
+	if _, err := a.Jaccard(c); err != ErrIncompatible {
+		t.Errorf("seed mismatch: %v", err)
+	}
+	if err := a.MergeFrom(b); err != ErrIncompatible {
+		t.Errorf("merge size mismatch: %v", err)
+	}
+}
+
+func TestMergeIsUnion(t *testing.T) {
+	const k = 256
+	a := build(t, k, 5, 0, 1000)
+	b := build(t, k, 5, 500, 1500)
+	direct := build(t, k, 5, 0, 1500)
+	merged := a.Clone()
+	if err := merged.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	j, err := merged.Jaccard(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 1 {
+		t.Errorf("merged signature differs from union signature: J = %v", j)
+	}
+	// Clone independence.
+	clone := a.Clone()
+	clone.AddUint64(999999)
+	if ja, _ := a.Jaccard(clone); ja == 1 && !a.Empty() {
+		// Possible but astronomically unlikely for one extra min update;
+		// check the underlying slices are separate instead.
+		a.mins[0] = 0
+		if clone.mins[0] == 0 {
+			t.Error("Clone shares storage")
+		}
+	}
+}
+
+func TestStringsAndDuplicates(t *testing.T) {
+	a := MustNew(128, 7)
+	b := MustNew(128, 7)
+	for i := 0; i < 10; i++ {
+		a.AddString("value-x")
+		a.AddString("value-y")
+	}
+	b.AddString("value-x")
+	b.AddString("value-y")
+	j, err := a.Jaccard(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 1 {
+		t.Errorf("duplicates changed the signature: J = %v", j)
+	}
+}
+
+func TestEmptyJaccard(t *testing.T) {
+	a := MustNew(64, 1)
+	b := MustNew(64, 1)
+	if j, _ := a.Jaccard(b); j != 0 {
+		t.Errorf("empty vs empty = %v, want 0", j)
+	}
+	b.AddUint64(1)
+	if j, _ := a.Jaccard(b); j != 0 {
+		t.Errorf("empty vs non-empty = %v, want 0", j)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	a := build(t, 128, 11, 0, 500)
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Signature
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if j, err := a.Jaccard(&back); err != nil || j != 1 {
+		t.Errorf("round trip: J=%v err=%v", j, err)
+	}
+	if err := back.UnmarshalBinary(data[:10]); err == nil {
+		t.Error("truncated data accepted")
+	}
+	if err := back.UnmarshalBinary(nil); err == nil {
+		t.Error("nil data accepted")
+	}
+}

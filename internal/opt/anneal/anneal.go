@@ -1,0 +1,85 @@
+// Package anneal implements constrained simulated annealing, one of the
+// baseline solvers the paper compared against tabu search (§6). Moves are
+// drawn from the feasibility-preserving neighborhood, so hard constraints
+// are never violated; uphill moves are always taken and downhill moves are
+// accepted with probability exp(Δ/T) under a geometric cooling schedule.
+package anneal
+
+import (
+	"math"
+
+	"mube/internal/opt"
+)
+
+// Solver is a configured simulated annealing run.
+type Solver struct {
+	// T0 is the initial temperature. Default 0.08 — roughly the scale of a
+	// single QEF swing, since Q(S) ∈ [0,1].
+	T0 float64
+	// Cooling is the geometric cooling factor applied each iteration.
+	// Default 0.97.
+	Cooling float64
+	// MovesPerTemp is the number of random moves attempted per temperature
+	// step. Default 10.
+	MovesPerTemp int
+}
+
+// Defaults for the solver's zero fields.
+const (
+	DefaultT0           = 0.08
+	DefaultCooling      = 0.97
+	DefaultMovesPerTemp = 10
+)
+
+// Name returns "anneal".
+func (Solver) Name() string { return "anneal" }
+
+// Solve runs the annealing schedule within the options' budget.
+func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+	if s.T0 == 0 {
+		s.T0 = DefaultT0
+	}
+	if s.Cooling == 0 {
+		s.Cooling = DefaultCooling
+	}
+	if s.MovesPerTemp == 0 {
+		s.MovesPerTemp = DefaultMovesPerTemp
+	}
+	opts = opts.WithDefaults()
+	search, err := opt.NewSearch(p, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	cur := search.NewSubset(search.StartSubset(p, opts))
+	curQ := search.Eval.Eval(cur.IDs())
+	bestIDs := cur.IDs()
+	bestQ := curQ
+
+	temp := s.T0
+	noImprove := 0
+	for iter := 0; iter < opts.MaxIters && noImprove < opts.Patience && !search.Eval.Exhausted(); iter++ {
+		for k := 0; k < s.MovesPerTemp; k++ {
+			moves := search.Moves(cur, 4)
+			if len(moves) == 0 {
+				break
+			}
+			mv := moves[search.Rand.Intn(len(moves))]
+			q := search.EvalMove(cur, mv)
+			delta := q - curQ
+			if delta >= 0 || search.Rand.Float64() < math.Exp(delta/math.Max(temp, 1e-9)) {
+				cur.Apply(mv)
+				curQ = q
+			}
+		}
+		if curQ > bestQ {
+			bestQ = curQ
+			bestIDs = cur.IDs()
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+		temp *= s.Cooling
+	}
+	return search.Eval.Solution(bestIDs, s.Name()), nil
+}

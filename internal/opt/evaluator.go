@@ -1,0 +1,285 @@
+package opt
+
+import (
+	"math/rand"
+
+	"mube/internal/qef"
+	"mube/internal/schema"
+)
+
+// Evaluator computes Q(S) for candidate source sets, memoizing results so
+// that revisits of a subset (common in local search) are free and so that
+// solver budgets can be expressed in *distinct* evaluations.
+type Evaluator struct {
+	p     *Problem
+	memo  map[string]float64
+	evals int // cache misses (distinct subsets evaluated)
+	calls int // total Eval calls
+	limit int // MaxEvals; 0 = unlimited
+}
+
+// NewEvaluator builds an evaluator for p with an optional evaluation limit.
+func NewEvaluator(p *Problem, maxEvals int) *Evaluator {
+	return &Evaluator{p: p, memo: make(map[string]float64), limit: maxEvals}
+}
+
+// key canonicalizes a *sorted* id slice into a compact map key.
+func key(ids []schema.SourceID) string {
+	buf := make([]byte, 0, len(ids)*2)
+	for _, id := range ids {
+		// Universe sizes are in the thousands; two bytes suffice.
+		buf = append(buf, byte(id>>8), byte(id))
+	}
+	return string(buf)
+}
+
+// Exhausted reports whether the evaluation budget is spent.
+func (e *Evaluator) Exhausted() bool { return e.limit > 0 && e.evals >= e.limit }
+
+// Evals returns the number of distinct subsets evaluated so far.
+func (e *Evaluator) Evals() int { return e.evals }
+
+// Calls returns the total number of Eval invocations (including cache hits).
+func (e *Evaluator) Calls() int { return e.calls }
+
+// Eval returns Q(S) for the given source set. ids must be sorted (use
+// SortIDs); infeasible sets score 0. Once the budget is exhausted, unknown
+// subsets also score 0 — solvers should check Exhausted and stop.
+func (e *Evaluator) Eval(ids []schema.SourceID) float64 {
+	e.calls++
+	k := key(ids)
+	if v, ok := e.memo[k]; ok {
+		return v
+	}
+	if e.Exhausted() {
+		return 0
+	}
+	e.evals++
+	v := 0.0
+	if e.p.Feasible(ids) {
+		ctx := qef.NewContext(e.p.Universe, e.p.Matcher, e.p.Constraints, ids)
+		v = e.p.Quality.Eval(ctx)
+	}
+	e.memo[k] = v
+	return v
+}
+
+// Solution materializes the full solution report for a chosen subset,
+// re-deriving the mediated schema and per-QEF breakdown.
+func (e *Evaluator) Solution(ids []schema.SourceID, solver string) *Solution {
+	sorted := SortIDs(append([]schema.SourceID(nil), ids...))
+	ctx := qef.NewContext(e.p.Universe, e.p.Matcher, e.p.Constraints, sorted)
+	sol := &Solution{
+		IDs:       sorted,
+		Quality:   e.Eval(sorted),
+		Breakdown: e.p.Quality.Breakdown(ctx),
+		Evals:     e.evals,
+		Solver:    solver,
+	}
+	if e.p.Matcher != nil {
+		if res, err := ctx.MatchResult(); err == nil && res.OK {
+			sol.Schema = res.Schema
+			sol.GAQuality = res.GAQuality
+			sol.MatchOK = true
+		}
+	}
+	return sol
+}
+
+// Search is the shared state local-search solvers operate on: the problem
+// split into required sources (fixed) and optional candidates, plus an RNG.
+type Search struct {
+	// Eval is the shared memoizing evaluator.
+	Eval *Evaluator
+	// Required are the sources every feasible solution must contain.
+	Required []schema.SourceID
+	// Optional are all non-required source IDs.
+	Optional []schema.SourceID
+	// Rand drives all stochastic choices.
+	Rand *rand.Rand
+	// MaxSources is m.
+	MaxSources int
+}
+
+// NewSearch prepares shared search state. It validates the problem.
+func NewSearch(p *Problem, opts Options) (*Search, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.WithDefaults()
+	req := p.Constraints.RequiredSources()
+	reqSet := make(map[schema.SourceID]struct{}, len(req))
+	for _, id := range req {
+		reqSet[id] = struct{}{}
+	}
+	var optional []schema.SourceID
+	for _, id := range p.Universe.IDs() {
+		if _, isReq := reqSet[id]; !isReq {
+			optional = append(optional, id)
+		}
+	}
+	return &Search{
+		Eval:       NewEvaluator(p, opts.MaxEvals),
+		Required:   req,
+		Optional:   optional,
+		Rand:       rand.New(rand.NewSource(opts.Seed)),
+		MaxSources: p.MaxSources,
+	}, nil
+}
+
+// StartSubset returns the search's starting point: the feasible warm-start
+// set when one was supplied, otherwise a random feasible subset.
+func (s *Search) StartSubset(p *Problem, opts Options) []schema.SourceID {
+	if len(opts.Initial) > 0 {
+		ids := SortIDs(append([]schema.SourceID(nil), opts.Initial...))
+		if p.Feasible(ids) {
+			return ids
+		}
+	}
+	return s.RandomSubset()
+}
+
+// RandomSubset returns a random feasible subset: all required sources plus a
+// random draw of optional sources filling up to MaxSources.
+func (s *Search) RandomSubset() []schema.SourceID {
+	ids := append([]schema.SourceID(nil), s.Required...)
+	free := s.MaxSources - len(ids)
+	if free > len(s.Optional) {
+		free = len(s.Optional)
+	}
+	perm := s.Rand.Perm(len(s.Optional))
+	for i := 0; i < free; i++ {
+		ids = append(ids, s.Optional[perm[i]])
+	}
+	return SortIDs(ids)
+}
+
+// Subset is a mutable feasible source set used by the local-search solvers.
+type Subset struct {
+	members map[schema.SourceID]struct{}
+	search  *Search
+}
+
+// NewSubset wraps ids (assumed feasible) for neighborhood exploration.
+func (s *Search) NewSubset(ids []schema.SourceID) *Subset {
+	m := make(map[schema.SourceID]struct{}, len(ids))
+	for _, id := range ids {
+		m[id] = struct{}{}
+	}
+	return &Subset{members: m, search: s}
+}
+
+// IDs returns the subset's members, sorted.
+func (ss *Subset) IDs() []schema.SourceID {
+	ids := make([]schema.SourceID, 0, len(ss.members))
+	for id := range ss.members {
+		ids = append(ids, id)
+	}
+	return SortIDs(ids)
+}
+
+// Len returns the subset size.
+func (ss *Subset) Len() int { return len(ss.members) }
+
+// Contains reports membership.
+func (ss *Subset) Contains(id schema.SourceID) bool {
+	_, ok := ss.members[id]
+	return ok
+}
+
+// Clone returns an independent copy.
+func (ss *Subset) Clone() *Subset {
+	m := make(map[schema.SourceID]struct{}, len(ss.members))
+	for id := range ss.members {
+		m[id] = struct{}{}
+	}
+	return &Subset{members: m, search: ss.search}
+}
+
+// Apply mutates the subset by one move.
+func (ss *Subset) Apply(mv Move) {
+	if mv.Drop >= 0 {
+		delete(ss.members, mv.Drop)
+	}
+	if mv.Add >= 0 {
+		ss.members[mv.Add] = struct{}{}
+	}
+}
+
+// Move is one neighborhood step: drop a member and/or add a non-member. A
+// field of -1 means "no change". Moves generated by Moves are always
+// feasibility-preserving.
+type Move struct {
+	Add  schema.SourceID
+	Drop schema.SourceID
+}
+
+// NoMove is the identity move.
+var NoMove = Move{Add: -1, Drop: -1}
+
+// required reports whether id is constraint-required.
+func (s *Search) required(id schema.SourceID) bool {
+	for _, r := range s.Required {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Moves samples up to limit distinct feasibility-preserving moves from the
+// neighborhood of ss: adds (if below m), drops of non-required members, and
+// swaps. The full swap neighborhood is |S|·(N−|S|) moves — far too large for
+// Internet-scale universes — so moves are sampled uniformly.
+func (s *Search) Moves(ss *Subset, limit int) []Move {
+	var moves []Move
+	canAdd := ss.Len() < s.MaxSources
+	var droppable []schema.SourceID
+	for id := range ss.members {
+		if !s.required(id) {
+			droppable = append(droppable, id)
+		}
+	}
+	SortIDs(droppable)
+	var addable []schema.SourceID
+	for _, id := range s.Optional {
+		if !ss.Contains(id) {
+			addable = append(addable, id)
+		}
+	}
+
+	if canAdd {
+		for _, id := range addable {
+			moves = append(moves, Move{Add: id, Drop: -1})
+		}
+	}
+	if ss.Len() > 1 {
+		for _, id := range droppable {
+			moves = append(moves, Move{Add: -1, Drop: id})
+		}
+	}
+	// Swap moves: sample rather than enumerate.
+	nswap := limit
+	if nswap > 0 && len(droppable) > 0 && len(addable) > 0 {
+		for i := 0; i < nswap; i++ {
+			moves = append(moves, Move{
+				Add:  addable[s.Rand.Intn(len(addable))],
+				Drop: droppable[s.Rand.Intn(len(droppable))],
+			})
+		}
+	}
+	// Downsample to limit, keeping a uniform random subset.
+	if limit > 0 && len(moves) > limit {
+		s.Rand.Shuffle(len(moves), func(i, j int) { moves[i], moves[j] = moves[j], moves[i] })
+		moves = moves[:limit]
+	}
+	return moves
+}
+
+// EvalMove returns Q(S') for the subset that Apply(mv) would produce,
+// without mutating ss.
+func (s *Search) EvalMove(ss *Subset, mv Move) float64 {
+	next := ss.Clone()
+	next.Apply(mv)
+	return s.Eval.Eval(next.IDs())
+}

@@ -1,0 +1,84 @@
+// Package exhaustive enumerates every feasible subset and returns the true
+// optimum. It is only tractable for small universes and serves as the test
+// oracle against which the heuristic solvers are validated.
+package exhaustive
+
+import (
+	"fmt"
+
+	"mube/internal/opt"
+	"mube/internal/schema"
+)
+
+// Solver is exact enumeration.
+type Solver struct {
+	// Limit caps the number of subsets the solver will enumerate before
+	// giving up with an error. Default 2 000 000.
+	Limit int
+}
+
+// DefaultLimit bounds the enumeration.
+const DefaultLimit = 2_000_000
+
+// Name returns "exhaustive".
+func (Solver) Name() string { return "exhaustive" }
+
+// Solve enumerates all subsets S with C ⊆ S and |S| ≤ m and returns the best.
+func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+	if s.Limit == 0 {
+		s.Limit = DefaultLimit
+	}
+	// Exhaustive search needs no evaluation cap: budget by subset count.
+	opts = opts.WithDefaults()
+	opts.MaxEvals = s.Limit + 1
+	search, err := opt.NewSearch(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	free := search.MaxSources - len(search.Required)
+	total := countSubsets(len(search.Optional), free)
+	if total > s.Limit {
+		return nil, fmt.Errorf("exhaustive: %d candidate subsets exceed limit %d", total, s.Limit)
+	}
+
+	var bestIDs []schema.SourceID
+	bestQ := -1.0
+	pick := make([]schema.SourceID, 0, free)
+	var walk func(start, remaining int)
+	walk = func(start, remaining int) {
+		ids := append(append([]schema.SourceID(nil), search.Required...), pick...)
+		if q := search.Eval.Eval(opt.SortIDs(ids)); q > bestQ {
+			bestQ = q
+			bestIDs = ids
+		}
+		if remaining == 0 {
+			return
+		}
+		for i := start; i < len(search.Optional); i++ {
+			pick = append(pick, search.Optional[i])
+			walk(i+1, remaining-1)
+			pick = pick[:len(pick)-1]
+		}
+	}
+	walk(0, free)
+	return search.Eval.Solution(bestIDs, s.Name()), nil
+}
+
+// countSubsets returns Σ_{k=0..m} C(n,k), saturating at a large sentinel to
+// avoid overflow.
+func countSubsets(n, m int) int {
+	if m > n {
+		m = n
+	}
+	total := 0
+	c := 1 // C(n,0)
+	for k := 0; k <= m; k++ {
+		total += c
+		if total > DefaultLimit*10 || total < 0 {
+			return DefaultLimit * 10
+		}
+		// C(n,k+1) = C(n,k)·(n−k)/(k+1)
+		c = c * (n - k) / (k + 1)
+	}
+	return total
+}

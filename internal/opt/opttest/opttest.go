@@ -1,0 +1,53 @@
+// Package opttest provides the shared problem fixture for the per-solver
+// test suites. It lives beside the solver packages so their tests don't each
+// rebuild the QEF stack.
+package opttest
+
+import (
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/match"
+	"mube/internal/opt"
+	"mube/internal/qef"
+	"mube/internal/schema"
+	"mube/internal/testutil"
+)
+
+// Problem builds the standard 12-source Books problem with the paper's five
+// QEFs.
+func Problem(t testing.TB, maxSources int, cons constraint.Set) *opt.Problem {
+	t.Helper()
+	u := testutil.BooksUniverse(t)
+	matcher, err := match.New(u, match.Config{Theta: 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qefs := append(qef.MainQEFs(), qef.Characteristic{Char: "mttf", Agg: qef.WSum{}})
+	q, err := qef.NewQuality(qefs, qef.Weights{
+		qef.NameMatchQuality: 0.25,
+		qef.NameCardinality:  0.25,
+		qef.NameCoverage:     0.20,
+		qef.NameRedundancy:   0.15,
+		"mttf":               0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &opt.Problem{
+		Universe:    u,
+		Matcher:     matcher,
+		Quality:     q,
+		MaxSources:  maxSources,
+		Constraints: cons,
+	}
+}
+
+// FullyConstrained returns a problem whose required sources already fill m —
+// exactly one feasible subset exists. Every solver must return it.
+func FullyConstrained(t testing.TB) (*opt.Problem, constraint.Set) {
+	t.Helper()
+	cons := constraint.Set{Sources: []schema.SourceID{3, 7, 9}}
+	p := Problem(t, 3, cons)
+	return p, cons
+}

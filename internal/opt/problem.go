@@ -1,0 +1,183 @@
+// Package opt defines µBE's constrained optimization problem (§2.5) and the
+// shared machinery its solvers build on: a memoizing objective evaluator,
+// feasibility rules, and the neighborhood moves used by the local-search
+// solvers.
+//
+// The problem: given a universe U, QEFs F with weights W, source constraints
+// C, GA constraints G and a budget m, find
+//
+//	argmax_{S ⊆ U} Q(S) = Σ w_i·F_i(S)
+//	subject to |S| ≤ m, C ⊆ S, G ⊑ M,
+//	           F1({g}) ≥ θ and |g| ≥ β for all g ∈ M − G,
+//
+// where M is the mediated schema Match(S) produces. The θ/β/G⊑M constraints
+// are enforced inside the Match operator itself (package match); C ⊆ S and
+// |S| ≤ m are enforced here as hard feasibility rules.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"mube/internal/constraint"
+	"mube/internal/match"
+	"mube/internal/qef"
+	"mube/internal/schema"
+	"mube/internal/source"
+)
+
+// Problem is one fully specified optimization problem. Between µBE
+// iterations the user edits constraints, weights, and thresholds and solves
+// a fresh Problem.
+type Problem struct {
+	// Universe is U.
+	Universe *source.Universe
+	// Matcher is the Match(S) operator (carries θ, β, and the similarity
+	// measure). May be nil only if no QEF needs matching.
+	Matcher *match.Matcher
+	// Quality is the weighted objective Q(S).
+	Quality *qef.Quality
+	// MaxSources is m, the largest source set the user will accept.
+	MaxSources int
+	// Constraints are the user's source and GA constraints.
+	Constraints constraint.Set
+}
+
+// Validate checks the problem for internal consistency.
+func (p *Problem) Validate() error {
+	if p.Universe == nil {
+		return fmt.Errorf("opt: nil universe")
+	}
+	if p.Quality == nil {
+		return fmt.Errorf("opt: nil quality objective")
+	}
+	if p.MaxSources < 1 {
+		return fmt.Errorf("opt: MaxSources %d < 1", p.MaxSources)
+	}
+	if p.MaxSources > p.Universe.Len() {
+		return fmt.Errorf("opt: MaxSources %d exceeds universe size %d", p.MaxSources, p.Universe.Len())
+	}
+	if err := p.Constraints.Validate(p.Universe); err != nil {
+		return err
+	}
+	if req := p.Constraints.RequiredSources(); len(req) > p.MaxSources {
+		return fmt.Errorf("opt: %d required sources exceed MaxSources %d", len(req), p.MaxSources)
+	}
+	for _, f := range p.Quality.QEFs {
+		if _, needsMatch := f.(qef.MatchQuality); needsMatch && p.Matcher == nil {
+			return fmt.Errorf("opt: matching-quality QEF requires a Matcher")
+		}
+	}
+	return nil
+}
+
+// Feasible reports whether ids satisfies the hard constraints: no
+// duplicates, all IDs in range, C ⊆ S, and |S| ≤ m.
+func (p *Problem) Feasible(ids []schema.SourceID) bool {
+	if len(ids) > p.MaxSources {
+		return false
+	}
+	seen := make(map[schema.SourceID]struct{}, len(ids))
+	n := schema.SourceID(p.Universe.Len())
+	for _, id := range ids {
+		if id < 0 || id >= n {
+			return false
+		}
+		if _, dup := seen[id]; dup {
+			return false
+		}
+		seen[id] = struct{}{}
+	}
+	return p.Constraints.SatisfiedBy(ids)
+}
+
+// Solution is the output of a solver: the chosen source set, its overall
+// quality and per-QEF breakdown, and the mediated schema Match(S) generated
+// for it.
+type Solution struct {
+	// IDs is the chosen source set S, sorted.
+	IDs []schema.SourceID
+	// Quality is Q(S).
+	Quality float64
+	// Breakdown maps QEF name → raw (unweighted) value.
+	Breakdown map[string]float64
+	// Schema is the generated mediated schema M (empty if matching failed
+	// or no matcher was configured).
+	Schema schema.Mediated
+	// GAQuality aligns with Schema.GAs.
+	GAQuality []float64
+	// MatchOK reports whether Match(S) produced a schema valid on C.
+	MatchOK bool
+	// Evals is the number of distinct objective evaluations the solver
+	// consumed.
+	Evals int
+	// Solver names the algorithm that produced this solution.
+	Solver string
+}
+
+// SourceNames resolves the solution's source IDs to names.
+func (s *Solution) SourceNames(u *source.Universe) []string {
+	names := make([]string, len(s.IDs))
+	for i, id := range s.IDs {
+		names[i] = u.Source(id).Name
+	}
+	return names
+}
+
+// Options bound a solver run. Zero values select solver-appropriate
+// defaults.
+type Options struct {
+	// Seed seeds the solver's random number generator; runs with the same
+	// seed are reproducible.
+	Seed int64
+	// MaxEvals caps the number of distinct objective evaluations (cache
+	// misses). Default 3000; a negative value means unlimited (bounded by
+	// MaxIters/Patience only).
+	MaxEvals int
+	// MaxIters caps solver iterations. Default 300.
+	MaxIters int
+	// Patience stops the search after this many consecutive iterations
+	// without improving the best solution. Default 40.
+	Patience int
+	// Initial warm-starts the search from this source set instead of a
+	// random feasible subset, when the local-search solver supports it and
+	// the set is feasible. µBE's iterative sessions use this to continue
+	// from the previous iteration's solution.
+	Initial []schema.SourceID
+}
+
+// Defaults for Options' zero values.
+const (
+	DefaultMaxEvals = 3000
+	DefaultMaxIters = 300
+	DefaultPatience = 40
+)
+
+// WithDefaults fills zero fields with the package defaults.
+func (o Options) WithDefaults() Options {
+	if o.MaxEvals == 0 {
+		o.MaxEvals = DefaultMaxEvals
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = DefaultMaxIters
+	}
+	if o.Patience == 0 {
+		o.Patience = DefaultPatience
+	}
+	return o
+}
+
+// Solver is a strategy that maximizes a Problem's objective. Implementations
+// live in the subpackages tabu, sls, anneal, pso, random, and exhaustive.
+type Solver interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Solve returns the best solution found within the options' budget.
+	Solve(p *Problem, opts Options) (*Solution, error)
+}
+
+// SortIDs sorts a source-ID slice in place and returns it.
+func SortIDs(ids []schema.SourceID) []schema.SourceID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

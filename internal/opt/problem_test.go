@@ -1,0 +1,303 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/match"
+	"mube/internal/qef"
+	"mube/internal/schema"
+	"mube/internal/testutil"
+)
+
+// problem builds a standard test problem over the Books fixture.
+func problem(t testing.TB, maxSources int, cons constraint.Set) *Problem {
+	t.Helper()
+	u := testutil.BooksUniverse(t)
+	matcher := match.MustNew(u, match.Config{Theta: 0.45})
+	qefs := append(qef.MainQEFs(), qef.Characteristic{Char: "mttf", Agg: qef.WSum{}})
+	w := qef.Weights{
+		qef.NameMatchQuality: 0.25,
+		qef.NameCardinality:  0.25,
+		qef.NameCoverage:     0.20,
+		qef.NameRedundancy:   0.15,
+		"mttf":               0.15,
+	}
+	q, err := qef.NewQuality(qefs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Problem{
+		Universe:    u,
+		Matcher:     matcher,
+		Quality:     q,
+		MaxSources:  maxSources,
+		Constraints: cons,
+	}
+}
+
+func ids(ns ...int) []schema.SourceID {
+	out := make([]schema.SourceID, len(ns))
+	for i, n := range ns {
+		out[i] = schema.SourceID(n)
+	}
+	return out
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := problem(t, 5, constraint.Set{})
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+
+	bad := *p
+	bad.MaxSources = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("MaxSources=0 accepted")
+	}
+	bad = *p
+	bad.MaxSources = 100
+	if err := bad.Validate(); err == nil {
+		t.Error("MaxSources > N accepted")
+	}
+	bad = *p
+	bad.Universe = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil universe accepted")
+	}
+	bad = *p
+	bad.Quality = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil quality accepted")
+	}
+	bad = *p
+	bad.Matcher = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("match QEF without matcher accepted")
+	}
+	bad = *p
+	bad.Constraints = constraint.Set{Sources: ids(0, 1, 2, 3)}
+	bad.MaxSources = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("more required sources than MaxSources accepted")
+	}
+	bad = *p
+	bad.Constraints = constraint.Set{Sources: ids(99)}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range constraint accepted")
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	p := problem(t, 3, constraint.Set{Sources: ids(2)})
+	cases := []struct {
+		ids  []schema.SourceID
+		want bool
+	}{
+		{ids(2), true},
+		{ids(0, 2), true},
+		{ids(0, 1, 2), true},
+		{ids(0, 1), false},       // missing required source 2
+		{ids(0, 1, 2, 3), false}, // too large
+		{ids(2, 2), false},       // duplicate
+		{ids(2, 99), false},      // out of range
+		{ids(2, -1), false},      // negative
+	}
+	for _, c := range cases {
+		if got := p.Feasible(c.ids); got != c.want {
+			t.Errorf("Feasible(%v) = %v, want %v", c.ids, got, c.want)
+		}
+	}
+}
+
+func TestEvaluatorMemoizes(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	e := NewEvaluator(p, 0)
+	a := e.Eval(ids(0, 1, 2))
+	if e.Evals() != 1 || e.Calls() != 1 {
+		t.Fatalf("evals=%d calls=%d after first eval", e.Evals(), e.Calls())
+	}
+	b := e.Eval(ids(0, 1, 2))
+	if a != b {
+		t.Errorf("memoized value differs: %v vs %v", a, b)
+	}
+	if e.Evals() != 1 || e.Calls() != 2 {
+		t.Errorf("evals=%d calls=%d after repeat", e.Evals(), e.Calls())
+	}
+	// Different subset is a new evaluation.
+	e.Eval(ids(0, 1, 3))
+	if e.Evals() != 2 {
+		t.Errorf("evals=%d after new subset", e.Evals())
+	}
+}
+
+func TestEvaluatorBudget(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	e := NewEvaluator(p, 2)
+	e.Eval(ids(0))
+	e.Eval(ids(1))
+	if !e.Exhausted() {
+		t.Fatal("budget of 2 not exhausted after 2 distinct evals")
+	}
+	if got := e.Eval(ids(2)); got != 0 {
+		t.Errorf("post-budget eval = %v, want 0", got)
+	}
+	// Cached subsets still return real values.
+	if got := e.Eval(ids(0)); got == 0 {
+		t.Error("cached value lost after budget exhaustion")
+	}
+}
+
+func TestEvaluatorInfeasibleScoresZero(t *testing.T) {
+	p := problem(t, 2, constraint.Set{Sources: ids(5)})
+	e := NewEvaluator(p, 0)
+	if got := e.Eval(ids(0, 1)); got != 0 {
+		t.Errorf("infeasible subset scored %v", got)
+	}
+	if got := e.Eval(ids(5, 1)); got == 0 {
+		t.Error("feasible subset scored 0 (universe should have quality signal)")
+	}
+}
+
+func TestEvaluatorSolution(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	e := NewEvaluator(p, 0)
+	sol := e.Solution(ids(3, 0, 1), "test")
+	if len(sol.IDs) != 3 || sol.IDs[0] != 0 || sol.IDs[2] != 3 {
+		t.Errorf("solution IDs not sorted: %v", sol.IDs)
+	}
+	if sol.Solver != "test" {
+		t.Errorf("Solver = %q", sol.Solver)
+	}
+	if !sol.MatchOK || sol.Schema.Len() == 0 {
+		t.Errorf("expected a mediated schema, got MatchOK=%v len=%d", sol.MatchOK, sol.Schema.Len())
+	}
+	if len(sol.GAQuality) != sol.Schema.Len() {
+		t.Errorf("GAQuality misaligned: %d vs %d", len(sol.GAQuality), sol.Schema.Len())
+	}
+	if len(sol.Breakdown) != 5 {
+		t.Errorf("breakdown = %v", sol.Breakdown)
+	}
+	names := sol.SourceNames(p.Universe)
+	if len(names) != 3 || names[0] == "" {
+		t.Errorf("SourceNames = %v", names)
+	}
+}
+
+func TestSearchRandomSubsetAlwaysFeasible(t *testing.T) {
+	cons := constraint.Set{Sources: ids(7)}
+	p := problem(t, 5, cons)
+	s, err := NewSearch(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		sub := s.RandomSubset()
+		if !p.Feasible(sub) {
+			t.Fatalf("RandomSubset produced infeasible %v", sub)
+		}
+		if len(sub) != 5 {
+			t.Fatalf("RandomSubset size %d, want full m=5", len(sub))
+		}
+	}
+}
+
+func TestMovesPreserveFeasibility(t *testing.T) {
+	cons := constraint.Set{Sources: ids(4)}
+	p := problem(t, 4, cons)
+	s, err := NewSearch(p, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	sub := s.NewSubset(s.RandomSubset())
+	for step := 0; step < 200; step++ {
+		moves := s.Moves(sub, 15)
+		if len(moves) == 0 {
+			t.Fatal("no moves generated")
+		}
+		for _, mv := range moves {
+			next := sub.Clone()
+			next.Apply(mv)
+			if !p.Feasible(next.IDs()) {
+				t.Fatalf("move %+v broke feasibility: %v", mv, next.IDs())
+			}
+		}
+		sub.Apply(moves[r.Intn(len(moves))])
+	}
+}
+
+func TestMovesNeverDropRequired(t *testing.T) {
+	cons := constraint.Set{Sources: ids(0, 1)}
+	p := problem(t, 3, cons)
+	s, err := NewSearch(p, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := s.NewSubset(ids(0, 1, 5))
+	for i := 0; i < 50; i++ {
+		for _, mv := range s.Moves(sub, 20) {
+			if mv.Drop == 0 || mv.Drop == 1 {
+				t.Fatalf("move drops required source: %+v", mv)
+			}
+		}
+	}
+}
+
+func TestSubsetBasics(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	s, err := NewSearch(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := s.NewSubset(ids(1, 3))
+	if !sub.Contains(1) || sub.Contains(2) || sub.Len() != 2 {
+		t.Error("subset membership broken")
+	}
+	cl := sub.Clone()
+	cl.Apply(Move{Add: 2, Drop: 1})
+	if sub.Contains(2) || !sub.Contains(1) {
+		t.Error("Clone shares state")
+	}
+	got := cl.IDs()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("IDs after move = %v", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.MaxEvals != DefaultMaxEvals || o.MaxIters != DefaultMaxIters || o.Patience != DefaultPatience {
+		t.Errorf("defaults = %+v", o)
+	}
+	keep := Options{MaxEvals: 7, MaxIters: 8, Patience: 9}.WithDefaults()
+	if keep.MaxEvals != 7 || keep.MaxIters != 8 || keep.Patience != 9 {
+		t.Errorf("explicit options overwritten: %+v", keep)
+	}
+}
+
+func TestStartSubsetWarmStart(t *testing.T) {
+	p := problem(t, 4, constraint.Set{Sources: ids(2)})
+	s, err := NewSearch(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasible warm start is honored verbatim (sorted).
+	warm := []schema.SourceID{5, 2, 0}
+	got := s.StartSubset(p, Options{Initial: warm})
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 5 {
+		t.Errorf("StartSubset = %v, want [0 2 5]", got)
+	}
+	// Infeasible warm start (missing required source 2) falls back to a
+	// random feasible subset.
+	got = s.StartSubset(p, Options{Initial: ids(0, 1)})
+	if !p.Feasible(got) {
+		t.Errorf("fallback start %v infeasible", got)
+	}
+	// No warm start → random feasible subset.
+	got = s.StartSubset(p, Options{})
+	if !p.Feasible(got) {
+		t.Errorf("random start %v infeasible", got)
+	}
+}

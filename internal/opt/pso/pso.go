@@ -1,0 +1,174 @@
+// Package pso implements binary particle swarm optimization, one of the
+// baseline solvers the paper compared against tabu search (§6). Each
+// particle's position is a bit vector over the optional sources (required
+// sources are always in); velocities evolve toward the particle's own best
+// and the swarm's best, positions are re-sampled through a sigmoid, and a
+// repair step trims positions back to the size cap m.
+package pso
+
+import (
+	"math"
+
+	"mube/internal/opt"
+	"mube/internal/schema"
+	"sort"
+)
+
+// Solver is a configured binary PSO.
+type Solver struct {
+	// Particles is the swarm size. Default 16.
+	Particles int
+	// Inertia, Cognitive, and Social are the standard PSO coefficients
+	// (w, c1, c2). Defaults 0.7, 1.4, 1.4.
+	Inertia   float64
+	Cognitive float64
+	Social    float64
+}
+
+// Defaults for the solver's zero fields.
+const (
+	DefaultParticles = 16
+	DefaultInertia   = 0.7
+	DefaultCognitive = 1.4
+	DefaultSocial    = 1.4
+)
+
+// Name returns "pso".
+func (Solver) Name() string { return "pso" }
+
+// particle is one swarm member over the optional-source dimensions.
+type particle struct {
+	pos     []bool
+	vel     []float64
+	bestPos []bool
+	bestQ   float64
+}
+
+// Solve runs the swarm within the options' budget.
+func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+	if s.Particles == 0 {
+		s.Particles = DefaultParticles
+	}
+	if s.Inertia == 0 {
+		s.Inertia = DefaultInertia
+	}
+	if s.Cognitive == 0 {
+		s.Cognitive = DefaultCognitive
+	}
+	if s.Social == 0 {
+		s.Social = DefaultSocial
+	}
+	opts = opts.WithDefaults()
+	search, err := opt.NewSearch(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	dims := len(search.Optional)
+	freeSlots := search.MaxSources - len(search.Required)
+
+	// toIDs converts a position vector to a feasible sorted id set.
+	toIDs := func(pos []bool) []schema.SourceID {
+		ids := append([]schema.SourceID(nil), search.Required...)
+		for d, on := range pos {
+			if on {
+				ids = append(ids, search.Optional[d])
+			}
+		}
+		return opt.SortIDs(ids)
+	}
+
+	// repair clamps the number of set bits to freeSlots, keeping the bits
+	// with the strongest (most positive) velocities.
+	repair := func(pos []bool, vel []float64) {
+		var on []int
+		for d, b := range pos {
+			if b {
+				on = append(on, d)
+			}
+		}
+		if len(on) <= freeSlots {
+			return
+		}
+		sort.Slice(on, func(i, j int) bool { return vel[on[i]] > vel[on[j]] })
+		for _, d := range on[freeSlots:] {
+			pos[d] = false
+		}
+	}
+
+	swarm := make([]*particle, s.Particles)
+	var globalBest []bool
+	globalQ := -1.0
+	for i := range swarm {
+		pt := &particle{
+			pos: make([]bool, dims),
+			vel: make([]float64, dims),
+		}
+		// Random initial position with ≈ freeSlots bits set.
+		for d := 0; d < dims; d++ {
+			if dims > 0 && search.Rand.Float64() < float64(freeSlots)/float64(dims) {
+				pt.pos[d] = true
+			}
+			pt.vel[d] = search.Rand.Float64()*2 - 1
+		}
+		repair(pt.pos, pt.vel)
+		pt.bestPos = append([]bool(nil), pt.pos...)
+		pt.bestQ = search.Eval.Eval(toIDs(pt.pos))
+		if pt.bestQ > globalQ {
+			globalQ = pt.bestQ
+			globalBest = append([]bool(nil), pt.pos...)
+		}
+		swarm[i] = pt
+	}
+
+	noImprove := 0
+	for iter := 0; iter < opts.MaxIters && noImprove < opts.Patience && !search.Eval.Exhausted(); iter++ {
+		improved := false
+		for _, pt := range swarm {
+			for d := 0; d < dims; d++ {
+				r1, r2 := search.Rand.Float64(), search.Rand.Float64()
+				pt.vel[d] = s.Inertia*pt.vel[d] +
+					s.Cognitive*r1*indicator(pt.bestPos[d], pt.pos[d]) +
+					s.Social*r2*indicator(globalBest[d], pt.pos[d])
+				// Clamp velocities to keep sigmoid responsive.
+				if pt.vel[d] > 4 {
+					pt.vel[d] = 4
+				} else if pt.vel[d] < -4 {
+					pt.vel[d] = -4
+				}
+				pt.pos[d] = search.Rand.Float64() < sigmoid(pt.vel[d])
+			}
+			repair(pt.pos, pt.vel)
+			q := search.Eval.Eval(toIDs(pt.pos))
+			if q > pt.bestQ {
+				pt.bestQ = q
+				pt.bestPos = append(pt.bestPos[:0], pt.pos...)
+			}
+			if q > globalQ {
+				globalQ = q
+				globalBest = append(globalBest[:0], pt.pos...)
+				improved = true
+			}
+		}
+		if improved {
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+	}
+	return search.Eval.Solution(toIDs(globalBest), s.Name()), nil
+}
+
+// indicator returns +1 when the reference bit is set and the current bit is
+// not (pull toward setting), −1 in the opposite case, and 0 when equal.
+func indicator(ref, cur bool) float64 {
+	switch {
+	case ref && !cur:
+		return 1
+	case !ref && cur:
+		return -1
+	}
+	return 0
+}
+
+// sigmoid is the logistic squashing function used by binary PSO.
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

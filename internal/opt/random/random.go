@@ -1,0 +1,42 @@
+// Package random implements pure random search — sampling feasible subsets
+// uniformly and keeping the best. It is the floor any serious solver must
+// beat and calibrates the solver-comparison experiment.
+package random
+
+import (
+	"mube/internal/opt"
+	"mube/internal/schema"
+)
+
+// Solver is random search.
+type Solver struct{}
+
+// Name returns "random".
+func (Solver) Name() string { return "random" }
+
+// Solve samples random feasible subsets until the budget is exhausted.
+func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+	opts = opts.WithDefaults()
+	search, err := opt.NewSearch(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	var bestIDs []schema.SourceID
+	bestQ := -1.0
+	samples := opts.MaxEvals
+	if samples < 0 {
+		// Unlimited evaluation budget: bound by iterations instead.
+		samples = opts.MaxIters
+	}
+	for i := 0; i < samples && !search.Eval.Exhausted(); i++ {
+		ids := search.RandomSubset()
+		if q := search.Eval.Eval(ids); q > bestQ {
+			bestQ = q
+			bestIDs = ids
+		}
+	}
+	if bestIDs == nil {
+		bestIDs = search.RandomSubset()
+	}
+	return search.Eval.Solution(bestIDs, s.Name()), nil
+}

@@ -1,0 +1,61 @@
+package random
+
+import (
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/opt"
+	"mube/internal/opt/opttest"
+)
+
+func TestName(t *testing.T) {
+	if (Solver{}).Name() != "random" {
+		t.Errorf("Name = %q", Solver{}.Name())
+	}
+}
+
+func TestSolveFeasibleAndDeterministic(t *testing.T) {
+	p := opttest.Problem(t, 4, constraint.Set{})
+	a, err := (Solver{}).Solve(p, opt.Options{Seed: 5, MaxEvals: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible(a.IDs) || a.Quality <= 0 {
+		t.Errorf("solution %v q=%v", a.IDs, a.Quality)
+	}
+	b, err := (Solver{}).Solve(p, opt.Options{Seed: 5, MaxEvals: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Quality != b.Quality {
+		t.Errorf("same seed differs: %v vs %v", a.Quality, b.Quality)
+	}
+}
+
+func TestMoreSamplesNeverWorse(t *testing.T) {
+	p := opttest.Problem(t, 3, constraint.Set{})
+	few, err := (Solver{}).Solve(p, opt.Options{Seed: 9, MaxEvals: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := (Solver{}).Solve(p, opt.Options{Seed: 9, MaxEvals: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Quality+1e-9 < few.Quality {
+		t.Errorf("more samples got worse: %v vs %v", many.Quality, few.Quality)
+	}
+}
+
+func TestUnlimitedEvalBudgetFallsBackToIters(t *testing.T) {
+	// MaxEvals < 0 means "unlimited" for iteration-bounded solvers; random
+	// search must fall back to MaxIters samples instead of zero.
+	p := opttest.Problem(t, 3, constraint.Set{})
+	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 2, MaxEvals: -1, MaxIters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Quality <= 0 {
+		t.Errorf("quality = %v with unlimited budget", sol.Quality)
+	}
+}

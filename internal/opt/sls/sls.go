@@ -1,0 +1,77 @@
+// Package sls implements stochastic local search — random-restart
+// steepest-ascent hill climbing — one of the baseline solvers the paper
+// compared against tabu search (§6).
+package sls
+
+import (
+	"mube/internal/opt"
+	"mube/internal/schema"
+)
+
+// Solver is a configured stochastic local search.
+type Solver struct {
+	// Neighbors is the number of candidate moves sampled per step.
+	// Default 30.
+	Neighbors int
+}
+
+// DefaultNeighbors is the default per-step neighborhood sample size.
+const DefaultNeighbors = 30
+
+// Name returns "sls".
+func (Solver) Name() string { return "sls" }
+
+// Solve climbs from random starting subsets, restarting at every local
+// optimum, until the budget is exhausted.
+func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+	if s.Neighbors == 0 {
+		s.Neighbors = DefaultNeighbors
+	}
+	opts = opts.WithDefaults()
+	search, err := opt.NewSearch(p, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var bestIDs []schema.SourceID
+	bestQ := -1.0
+	iters := 0
+	first := true
+	for iters < opts.MaxIters && !search.Eval.Exhausted() {
+		start := search.RandomSubset()
+		if first {
+			// The first climb honors a warm start; restarts are random.
+			start = search.StartSubset(p, opts)
+			first = false
+		}
+		cur := search.NewSubset(start)
+		curQ := search.Eval.Eval(cur.IDs())
+		// Climb to a local optimum.
+		for iters < opts.MaxIters && !search.Eval.Exhausted() {
+			iters++
+			improved := false
+			var stepMove opt.Move
+			stepQ := curQ
+			for _, mv := range search.Moves(cur, s.Neighbors) {
+				if q := search.EvalMove(cur, mv); q > stepQ {
+					stepQ = q
+					stepMove = mv
+					improved = true
+				}
+			}
+			if !improved {
+				break // local optimum: restart
+			}
+			cur.Apply(stepMove)
+			curQ = stepQ
+		}
+		if curQ > bestQ {
+			bestQ = curQ
+			bestIDs = cur.IDs()
+		}
+	}
+	if bestIDs == nil {
+		bestIDs = search.RandomSubset()
+	}
+	return search.Eval.Solution(bestIDs, s.Name()), nil
+}

@@ -1,0 +1,48 @@
+// Package solvers is the registry of all optimization algorithms µBE ships:
+// tabu search (the default, per the paper) and the baselines it was compared
+// against. It exists so the CLI, the session layer, and the solver-comparison
+// experiment can enumerate algorithms without importing each subpackage.
+package solvers
+
+import (
+	"fmt"
+
+	"mube/internal/opt"
+	"mube/internal/opt/anneal"
+	"mube/internal/opt/exhaustive"
+	"mube/internal/opt/pso"
+	"mube/internal/opt/random"
+	"mube/internal/opt/sls"
+	"mube/internal/opt/tabu"
+)
+
+// Default returns µBE's default solver: tabu search with default parameters.
+func Default() opt.Solver { return tabu.Solver{} }
+
+// All returns every heuristic solver in comparison order (tabu first). The
+// exhaustive oracle is excluded; use Exhaustive for it.
+func All() []opt.Solver {
+	return []opt.Solver{
+		tabu.Solver{},
+		sls.Solver{},
+		anneal.Solver{},
+		pso.Solver{},
+		random.Solver{},
+	}
+}
+
+// Exhaustive returns the exact enumeration oracle.
+func Exhaustive() opt.Solver { return exhaustive.Solver{} }
+
+// ByName resolves a solver by its Name(), including "exhaustive".
+func ByName(name string) (opt.Solver, error) {
+	for _, s := range All() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	if name == "exhaustive" {
+		return Exhaustive(), nil
+	}
+	return nil, fmt.Errorf("solvers: unknown solver %q", name)
+}

@@ -1,0 +1,220 @@
+package solvers
+
+import (
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/match"
+	"mube/internal/opt"
+	"mube/internal/opt/exhaustive"
+	"mube/internal/qef"
+	"mube/internal/schema"
+	"mube/internal/testutil"
+)
+
+// problem builds the shared solver-test problem over the 12-source Books
+// fixture.
+func problem(t testing.TB, maxSources int, cons constraint.Set) *opt.Problem {
+	t.Helper()
+	u := testutil.BooksUniverse(t)
+	matcher := match.MustNew(u, match.Config{Theta: 0.45})
+	qefs := append(qef.MainQEFs(), qef.Characteristic{Char: "mttf", Agg: qef.WSum{}})
+	q, err := qef.NewQuality(qefs, qef.Weights{
+		qef.NameMatchQuality: 0.25,
+		qef.NameCardinality:  0.25,
+		qef.NameCoverage:     0.20,
+		qef.NameRedundancy:   0.15,
+		"mttf":               0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &opt.Problem{
+		Universe:    u,
+		Matcher:     matcher,
+		Quality:     q,
+		MaxSources:  maxSources,
+		Constraints: cons,
+	}
+}
+
+func ids(ns ...int) []schema.SourceID {
+	out := make([]schema.SourceID, len(ns))
+	for i, n := range ns {
+		out[i] = schema.SourceID(n)
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	if Default().Name() != "tabu" {
+		t.Errorf("default solver = %q, want tabu", Default().Name())
+	}
+	all := All()
+	if len(all) != 5 || all[0].Name() != "tabu" {
+		t.Errorf("All() = %d solvers, first %q", len(all), all[0].Name())
+	}
+	for _, s := range append(all, Exhaustive()) {
+		got, err := ByName(s.Name())
+		if err != nil || got.Name() != s.Name() {
+			t.Errorf("ByName(%q) = %v, %v", s.Name(), got, err)
+		}
+	}
+	if _, err := ByName("gradient-descent"); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+// TestAllSolversProduceFeasibleSolutions runs every solver on a constrained
+// problem and checks the §2.5 hard constraints hold on the output.
+func TestAllSolversProduceFeasibleSolutions(t *testing.T) {
+	cons := constraint.Set{
+		Sources: ids(3),
+		GAs: []schema.GA{schema.NewGA(
+			schema.AttrRef{Source: 0, Attr: 0},
+			schema.AttrRef{Source: 1, Attr: 0},
+		)},
+	}
+	p := problem(t, 5, cons)
+	for _, s := range append(All(), Exhaustive()) {
+		sol, err := s.Solve(p, opt.Options{Seed: 11, MaxEvals: 500, MaxIters: 60, Patience: 15})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !p.Feasible(sol.IDs) {
+			t.Errorf("%s: infeasible solution %v", s.Name(), sol.IDs)
+		}
+		if !cons.SatisfiedBy(sol.IDs) {
+			t.Errorf("%s: constraints unsatisfied by %v", s.Name(), sol.IDs)
+		}
+		if sol.Quality < 0 || sol.Quality > 1 {
+			t.Errorf("%s: quality %v out of range", s.Name(), sol.Quality)
+		}
+		if sol.Solver != s.Name() {
+			t.Errorf("%s: solution labeled %q", s.Name(), sol.Solver)
+		}
+		if sol.MatchOK && !sol.Schema.Subsumes(schema.NewMediated(cons.GAs...)) {
+			t.Errorf("%s: G ⋢ M in solution schema", s.Name())
+		}
+	}
+}
+
+// TestSolversNearOptimal compares each heuristic against the exhaustive
+// oracle on a problem small enough to enumerate (m=2 over 12 sources: 79
+// subsets). Every solver should find the exact optimum here; tabu gets the
+// strictest check.
+func TestSolversNearOptimal(t *testing.T) {
+	p := problem(t, 2, constraint.Set{})
+	oracle, err := Exhaustive().Solve(p, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Quality <= 0 {
+		t.Fatalf("oracle quality %v", oracle.Quality)
+	}
+	for _, s := range All() {
+		sol, err := s.Solve(p, opt.Options{Seed: 7, MaxEvals: 2000})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		slack := 0.05
+		if s.Name() == "tabu" {
+			slack = 0.01
+		}
+		if sol.Quality < oracle.Quality*(1-slack) {
+			t.Errorf("%s: quality %.4f below oracle %.4f", s.Name(), sol.Quality, oracle.Quality)
+		}
+	}
+}
+
+func TestTabuBeatsOrMatchesRandom(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	budget := opt.Options{Seed: 3, MaxEvals: 300}
+	tabuSol, err := Default().Solve(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randSol, err := ByNameMust(t, "random").Solve(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tabuSol.Quality+1e-9 < randSol.Quality {
+		t.Errorf("tabu %.4f worse than random %.4f at equal budget", tabuSol.Quality, randSol.Quality)
+	}
+}
+
+// ByNameMust resolves a solver or fails the test.
+func ByNameMust(t testing.TB, name string) opt.Solver {
+	t.Helper()
+	s, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSolversDeterministicPerSeed(t *testing.T) {
+	p := problem(t, 3, constraint.Set{})
+	for _, s := range All() {
+		a, err := s.Solve(p, opt.Options{Seed: 42, MaxEvals: 400})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		b, err := s.Solve(p, opt.Options{Seed: 42, MaxEvals: 400})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if a.Quality != b.Quality || len(a.IDs) != len(b.IDs) {
+			t.Errorf("%s: runs with equal seed differ: %v/%v vs %v/%v",
+				s.Name(), a.IDs, a.Quality, b.IDs, b.Quality)
+		}
+		for i := range a.IDs {
+			if a.IDs[i] != b.IDs[i] {
+				t.Errorf("%s: id sets differ: %v vs %v", s.Name(), a.IDs, b.IDs)
+				break
+			}
+		}
+	}
+}
+
+func TestSolversRespectEvalBudget(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	for _, s := range All() {
+		sol, err := s.Solve(p, opt.Options{Seed: 1, MaxEvals: 50})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		// Solution() may add one extra evaluation when re-deriving the
+		// final subset after exhaustion.
+		if sol.Evals > 51 {
+			t.Errorf("%s: used %d evals with budget 50", s.Name(), sol.Evals)
+		}
+	}
+}
+
+func TestExhaustiveRejectsHugeSpaces(t *testing.T) {
+	p := problem(t, 9, constraint.Set{})
+	// With a tiny enumeration limit, exhaustive must refuse instead of
+	// silently truncating the search.
+	if sol, err := (exhaustive.Solver{Limit: 1}).Solve(p, opt.Options{}); err == nil {
+		t.Errorf("exhaustive with limit 1 should refuse, got %v", sol.IDs)
+	}
+}
+
+func TestExhaustiveHonorsConstraints(t *testing.T) {
+	cons := constraint.Set{Sources: ids(5)}
+	p := problem(t, 2, cons)
+	sol, err := Exhaustive().Solve(p, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range sol.IDs {
+		if id == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("exhaustive solution %v misses required source 5", sol.IDs)
+	}
+}

@@ -1,0 +1,134 @@
+// Package tabu implements µBE's default solver (§6): tabu search, a
+// combinatorial optimization algorithm that remembers its recent path
+// through the search space and declares recently touched moves tabu for a
+// number of iterations, forcing the search out of local optima while
+// bounding search time. The paper found tabu search more robust and
+// higher-quality than stochastic local search, simulated annealing, and
+// particle swarm optimization on this problem.
+//
+// User constraints define permanently tabu regions: required sources can
+// never be dropped and the size cap m can never be exceeded — such moves are
+// simply never generated.
+package tabu
+
+import (
+	"mube/internal/opt"
+	"mube/internal/schema"
+)
+
+// Solver is a configured tabu search.
+type Solver struct {
+	// Tenure is the number of iterations a touched source stays tabu.
+	// Default 8.
+	Tenure int
+	// Neighbors is the number of candidate moves sampled per iteration.
+	// Default 30.
+	Neighbors int
+}
+
+// Defaults for the solver's zero fields.
+const (
+	DefaultTenure    = 8
+	DefaultNeighbors = 30
+)
+
+// Name returns "tabu".
+func (Solver) Name() string { return "tabu" }
+
+// Solve runs tabu search within the options' budget and returns the best
+// solution found.
+func (s Solver) Solve(p *opt.Problem, opts Options) (*opt.Solution, error) {
+	return s.solve(p, opts)
+}
+
+// Options aliases opt.Options so callers can use either name.
+type Options = opt.Options
+
+func (s Solver) solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+	if s.Tenure == 0 {
+		s.Tenure = DefaultTenure
+	}
+	if s.Neighbors == 0 {
+		s.Neighbors = DefaultNeighbors
+	}
+	opts = opts.WithDefaults()
+	search, err := opt.NewSearch(p, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	cur := search.NewSubset(search.StartSubset(p, opts))
+	curQ := search.Eval.Eval(cur.IDs())
+	bestIDs := cur.IDs()
+	bestQ := curQ
+
+	// tabuUntil[id] = first iteration at which moves touching id are
+	// admissible again.
+	tabuUntil := make(map[schema.SourceID]int)
+	noImprove := 0
+
+	for iter := 0; iter < opts.MaxIters && noImprove < opts.Patience && !search.Eval.Exhausted(); iter++ {
+		// Intensification: after half the patience without improvement,
+		// jump back to the best solution found and clear the tabu list, so
+		// the remaining budget explores the elite neighborhood instead of
+		// drifting.
+		if noImprove == opts.Patience/2 && noImprove > 0 {
+			cur = search.NewSubset(bestIDs)
+			curQ = bestQ
+			tabuUntil = make(map[schema.SourceID]int)
+		}
+		moves := search.Moves(cur, s.Neighbors)
+		bestMove := opt.NoMove
+		bestMoveQ := -1.0
+		for _, mv := range moves {
+			q := search.EvalMove(cur, mv)
+			tabu := isTabu(tabuUntil, mv, iter)
+			// Aspiration criterion: a tabu move that beats the best-ever
+			// solution is always admissible.
+			if tabu && q <= bestQ {
+				continue
+			}
+			if q > bestMoveQ {
+				bestMoveQ = q
+				bestMove = mv
+			}
+		}
+		if bestMove == opt.NoMove {
+			// Entire sampled neighborhood is tabu; age the list by one
+			// iteration and resample.
+			noImprove++
+			continue
+		}
+
+		// Tabu search's hallmark: take the best admissible move even when
+		// it worsens the current solution.
+		cur.Apply(bestMove)
+		curQ = bestMoveQ
+		if bestMove.Add >= 0 {
+			tabuUntil[bestMove.Add] = iter + s.Tenure
+		}
+		if bestMove.Drop >= 0 {
+			tabuUntil[bestMove.Drop] = iter + s.Tenure
+		}
+
+		if curQ > bestQ {
+			bestQ = curQ
+			bestIDs = cur.IDs()
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+	}
+	return search.Eval.Solution(bestIDs, s.Name()), nil
+}
+
+// isTabu reports whether mv touches a source that is still tabu at iter.
+func isTabu(tabuUntil map[schema.SourceID]int, mv opt.Move, iter int) bool {
+	if mv.Add >= 0 && tabuUntil[mv.Add] > iter {
+		return true
+	}
+	if mv.Drop >= 0 && tabuUntil[mv.Drop] > iter {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package tabu
+
+import (
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/opt"
+	"mube/internal/opt/opttest"
+	"mube/internal/opt/random"
+	"mube/internal/schema"
+)
+
+func TestName(t *testing.T) {
+	if (Solver{}).Name() != "tabu" {
+		t.Errorf("Name = %q", Solver{}.Name())
+	}
+}
+
+func TestSolveImprovesOverRandomStart(t *testing.T) {
+	p := opttest.Problem(t, 4, constraint.Set{})
+	// A random baseline with a tiny budget approximates the starting point.
+	base, err := (random.Solver{}).Solve(p, opt.Options{Seed: 1, MaxEvals: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 1, MaxEvals: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Quality+1e-9 < base.Quality {
+		t.Errorf("tabu %.4f below 5-sample random %.4f", sol.Quality, base.Quality)
+	}
+}
+
+func TestTenureVariantsStayFeasible(t *testing.T) {
+	cons := constraint.Set{Sources: []schema.SourceID{2}}
+	p := opttest.Problem(t, 4, cons)
+	for _, tenure := range []int{1, 4, 16, 64} {
+		s := Solver{Tenure: tenure}
+		sol, err := s.Solve(p, opt.Options{Seed: 3, MaxEvals: 300})
+		if err != nil {
+			t.Fatalf("tenure %d: %v", tenure, err)
+		}
+		if !p.Feasible(sol.IDs) {
+			t.Errorf("tenure %d: infeasible %v", tenure, sol.IDs)
+		}
+	}
+}
+
+func TestFullyConstrainedProblem(t *testing.T) {
+	// Required sources fill m: the only feasible subset is the constraint
+	// set itself; tabu must return it without crashing on the empty
+	// neighborhood.
+	p, cons := opttest.FullyConstrained(t)
+	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 1, MaxEvals: 100, MaxIters: 20, Patience: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := cons.RequiredSources()
+	if len(sol.IDs) != len(req) {
+		t.Fatalf("solution %v, want exactly %v", sol.IDs, req)
+	}
+	for i := range req {
+		if sol.IDs[i] != req[i] {
+			t.Fatalf("solution %v, want %v", sol.IDs, req)
+		}
+	}
+}
+
+func TestSmallNeighborhoodStillSearches(t *testing.T) {
+	p := opttest.Problem(t, 3, constraint.Set{})
+	sol, err := (Solver{Neighbors: 2}).Solve(p, opt.Options{Seed: 5, MaxEvals: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Quality <= 0 {
+		t.Errorf("quality = %v", sol.Quality)
+	}
+}
+
+func TestIsTabu(t *testing.T) {
+	tu := map[schema.SourceID]int{}
+	tu[3] = 10
+	if !isTabu(tu, opt.Move{Add: 3, Drop: -1}, 5) {
+		t.Error("move touching tabu source admitted")
+	}
+	if isTabu(tu, opt.Move{Add: 3, Drop: -1}, 10) {
+		t.Error("expired tabu still blocks")
+	}
+	if isTabu(tu, opt.Move{Add: 4, Drop: -1}, 5) {
+		t.Error("untouched source tabu")
+	}
+	if !isTabu(tu, opt.Move{Add: -1, Drop: 3}, 5) {
+		t.Error("drop of tabu source admitted")
+	}
+}

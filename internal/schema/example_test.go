@@ -1,0 +1,54 @@
+package schema_test
+
+import (
+	"fmt"
+
+	"mube/internal/schema"
+)
+
+// ExampleGA shows GA construction, validity, and merging — the vocabulary of
+// µBE's mediated schemas.
+func ExampleGA() {
+	author := schema.NewGA(
+		schema.AttrRef{Source: 0, Attr: 1},
+		schema.AttrRef{Source: 3, Attr: 0},
+	)
+	fmt.Println("valid:", author.Valid())
+	fmt.Println("size:", author.Size())
+
+	// A GA may hold at most one attribute per source.
+	clash := schema.NewGA(
+		schema.AttrRef{Source: 0, Attr: 1},
+		schema.AttrRef{Source: 0, Attr: 2},
+	)
+	fmt.Println("clash valid:", clash.Valid())
+
+	// Merging is allowed only across disjoint source sets.
+	title := schema.NewGA(schema.AttrRef{Source: 2, Attr: 0})
+	fmt.Println("can merge:", author.CanMerge(title))
+	fmt.Println("merged:", author.Union(title))
+	// Output:
+	// valid: true
+	// size: 2
+	// clash valid: false
+	// can merge: true
+	// merged: [s0.a1 s2.a0 s3.a0]
+}
+
+// ExampleMediated_Subsumes shows the G ⊑ M test used for GA constraints.
+func ExampleMediated_Subsumes() {
+	grown := schema.NewMediated(schema.NewGA(
+		schema.AttrRef{Source: 0, Attr: 0},
+		schema.AttrRef{Source: 1, Attr: 0},
+		schema.AttrRef{Source: 2, Attr: 0},
+	))
+	constraint := schema.NewMediated(schema.NewGA(
+		schema.AttrRef{Source: 0, Attr: 0},
+		schema.AttrRef{Source: 1, Attr: 0},
+	))
+	fmt.Println(grown.Subsumes(constraint))
+	fmt.Println(constraint.Subsumes(grown))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,287 @@
+package schema
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ref(s, a int) AttrRef { return AttrRef{Source: SourceID(s), Attr: a} }
+
+func TestNewGASortsAndDedups(t *testing.T) {
+	g := NewGA(ref(3, 1), ref(0, 2), ref(3, 1), ref(0, 0))
+	want := []AttrRef{ref(0, 0), ref(0, 2), ref(3, 1)}
+	got := g.Refs()
+	if len(got) != len(want) {
+		t.Fatalf("refs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("refs[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGAValid(t *testing.T) {
+	if (GA{}).Valid() {
+		t.Error("empty GA must be invalid (g ≠ φ)")
+	}
+	if !NewGA(ref(0, 1)).Valid() {
+		t.Error("singleton GA should be valid")
+	}
+	if NewGA(ref(0, 1), ref(0, 2)).Valid() {
+		t.Error("two attributes from one source must be invalid")
+	}
+	if !NewGA(ref(0, 1), ref(1, 1), ref(2, 0)).Valid() {
+		t.Error("one attribute per source should be valid")
+	}
+}
+
+func TestGAContains(t *testing.T) {
+	g := NewGA(ref(0, 1), ref(2, 3), ref(5, 0))
+	if !g.Contains(ref(2, 3)) {
+		t.Error("Contains missed a member")
+	}
+	if g.Contains(ref(2, 4)) {
+		t.Error("Contains found a non-member")
+	}
+	if !g.ContainsAll(NewGA(ref(0, 1), ref(5, 0))) {
+		t.Error("ContainsAll missed a subset")
+	}
+	if g.ContainsAll(NewGA(ref(0, 1), ref(9, 9))) {
+		t.Error("ContainsAll accepted a non-subset")
+	}
+}
+
+func TestGAMerge(t *testing.T) {
+	a := NewGA(ref(0, 1), ref(1, 0))
+	b := NewGA(ref(2, 2))
+	c := NewGA(ref(1, 3))
+	if !a.CanMerge(b) {
+		t.Error("disjoint-source GAs should merge")
+	}
+	if a.CanMerge(c) {
+		t.Error("GAs sharing source 1 must not merge")
+	}
+	u := a.Union(b)
+	if u.Size() != 3 || !u.Valid() {
+		t.Errorf("union = %v, want valid size-3 GA", u)
+	}
+	// Union with a source collision yields an invalid GA.
+	if a.Union(c).Valid() {
+		t.Error("colliding union should be invalid")
+	}
+}
+
+func TestGAIntersects(t *testing.T) {
+	a := NewGA(ref(0, 1), ref(4, 2))
+	if !a.Intersects(NewGA(ref(4, 2), ref(9, 9))) {
+		t.Error("shared ref not detected")
+	}
+	if a.Intersects(NewGA(ref(4, 3))) {
+		t.Error("same source, different attr is not an intersection of refs")
+	}
+}
+
+func TestMediatedValidity(t *testing.T) {
+	m := NewMediated(
+		NewGA(ref(0, 0), ref(1, 0)),
+		NewGA(ref(0, 1), ref(2, 0)),
+	)
+	ids := []SourceID{0, 1, 2}
+	if !m.ValidOn(ids) {
+		t.Error("expected valid mediated schema")
+	}
+	if !m.Disjoint() {
+		t.Error("expected disjoint GAs")
+	}
+	// Fails span when a source contributes nothing.
+	if m.ValidOn([]SourceID{0, 1, 2, 3}) {
+		t.Error("schema should not span source 3")
+	}
+	// Overlapping GAs are invalid.
+	bad := NewMediated(
+		NewGA(ref(0, 0), ref(1, 0)),
+		NewGA(ref(0, 0), ref(2, 0)),
+	)
+	if bad.Disjoint() || bad.ValidOn(ids) {
+		t.Error("overlapping GAs must be invalid")
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	big := NewMediated(
+		NewGA(ref(0, 0), ref(1, 0), ref(2, 1)),
+		NewGA(ref(0, 1), ref(3, 0)),
+	)
+	small := NewMediated(
+		NewGA(ref(0, 0), ref(2, 1)),
+		NewGA(ref(3, 0)),
+	)
+	if !big.Subsumes(small) {
+		t.Error("big should subsume small")
+	}
+	if small.Subsumes(big) {
+		t.Error("small should not subsume big")
+	}
+	// A GA split across two GAs of m is not subsumed.
+	split := NewMediated(NewGA(ref(0, 0), ref(3, 0)))
+	if big.Subsumes(split) {
+		t.Error("GA spanning two of big's GAs must not be subsumed")
+	}
+}
+
+// randomGA builds a random (always valid) GA over up to 8 sources.
+func randomGA(r *rand.Rand) GA {
+	n := 1 + r.Intn(5)
+	refs := make([]AttrRef, 0, n)
+	used := map[int]bool{}
+	for len(refs) < n {
+		s := r.Intn(8)
+		if used[s] {
+			continue
+		}
+		used[s] = true
+		refs = append(refs, ref(s, r.Intn(4)))
+	}
+	return NewGA(refs...)
+}
+
+func TestSubsumptionProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	// Reflexivity: every mediated schema subsumes itself.
+	refl := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		m := NewMediated(randomGA(rr), randomGA(rr))
+		return m.Subsumes(m)
+	}
+	if err := quick.Check(refl, &quick.Config{MaxCount: 200, Rand: r}); err != nil {
+		t.Errorf("reflexivity: %v", err)
+	}
+	// Transitivity on a constructed chain: m2 ⊑ m1 and m1 ⊑ m0 ⇒ m2 ⊑ m0.
+	trans := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		g := randomGA(rr)
+		refs := g.Refs()
+		if len(refs) < 3 {
+			return true
+		}
+		m0 := NewMediated(g)
+		m1 := NewMediated(NewGA(refs[:2]...))
+		m2 := NewMediated(NewGA(refs[:1]...))
+		return m0.Subsumes(m1) && m1.Subsumes(m2) && m0.Subsumes(m2)
+	}
+	if err := quick.Check(trans, &quick.Config{MaxCount: 200, Rand: r}); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+	// Union of mergeable GAs is valid and contains both parts.
+	union := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randomGA(rr), randomGA(rr)
+		if !a.CanMerge(b) {
+			return true
+		}
+		u := a.Union(b)
+		return u.Valid() && u.ContainsAll(a) && u.ContainsAll(b)
+	}
+	if err := quick.Check(union, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Errorf("union: %v", err)
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema("title", "author", "isbn")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Name(1) != "author" {
+		t.Errorf("Name(1) = %q", s.Name(1))
+	}
+	if s.IndexOf("isbn") != 2 || s.IndexOf("missing") != -1 {
+		t.Error("IndexOf failed")
+	}
+	if s.String() != "{title, author, isbn}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestGAKeyAndString(t *testing.T) {
+	g := NewGA(ref(1, 2), ref(0, 3))
+	if g.Key() != "0.3|1.2" {
+		t.Errorf("Key = %q", g.Key())
+	}
+	if g.String() != "[s0.a3 s1.a2]" {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+type mapNamer map[AttrRef]string
+
+func (m mapNamer) AttrName(r AttrRef) string { return m[r] }
+
+func TestMediatedRender(t *testing.T) {
+	m := NewMediated(NewGA(ref(0, 0), ref(1, 1)))
+	n := mapNamer{ref(0, 0): "author", ref(1, 1): "writer"}
+	got := m.Render(n)
+	want := "GA0: {s0:author, s1:writer}\n"
+	if got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+}
+
+func TestMediatedSourceSet(t *testing.T) {
+	m := NewMediated(NewGA(ref(0, 0), ref(2, 1)), NewGA(ref(5, 0)))
+	set := m.SourceSet()
+	for _, id := range []SourceID{0, 2, 5} {
+		if _, ok := set[id]; !ok {
+			t.Errorf("source %d missing from set", id)
+		}
+	}
+	if len(set) != 3 {
+		t.Errorf("set size = %d, want 3", len(set))
+	}
+}
+
+func TestGAAccessors(t *testing.T) {
+	g := NewGA(ref(0, 1), ref(3, 0))
+	if g.Empty() {
+		t.Error("non-empty GA reports Empty")
+	}
+	if !(GA{}).Empty() {
+		t.Error("zero GA should be Empty")
+	}
+	srcs := g.Sources()
+	if len(srcs) != 2 {
+		t.Errorf("Sources = %v", srcs)
+	}
+	if !g.HasSource(3) || g.HasSource(7) {
+		t.Error("HasSource broken")
+	}
+	if !g.Equal(NewGA(ref(3, 0), ref(0, 1))) {
+		t.Error("Equal should ignore construction order")
+	}
+	if g.Equal(NewGA(ref(0, 1))) || g.Equal(NewGA(ref(0, 1), ref(3, 1))) {
+		t.Error("Equal matched a different GA")
+	}
+}
+
+func TestMediatedAccessors(t *testing.T) {
+	m := NewMediated(NewGA(ref(0, 0)), NewGA(ref(1, 0)))
+	if m.Len() != 2 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	s := m.String()
+	if s != "[s0.a0]\n[s1.a0]" {
+		t.Errorf("String = %q", s)
+	}
+	// ValidOn rejects a schema containing an invalid GA.
+	bad := Mediated{GAs: []GA{NewGA(ref(0, 0), ref(0, 1))}}
+	if bad.ValidOn([]SourceID{0}) {
+		t.Error("schema with invalid GA accepted")
+	}
+	// Intersects with disjoint later-source ranges.
+	a := NewGA(ref(0, 0), ref(1, 0))
+	if a.Intersects(NewGA(ref(2, 0), ref(3, 0))) {
+		t.Error("disjoint GAs intersect")
+	}
+}

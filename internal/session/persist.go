@@ -1,0 +1,118 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mube/internal/constraint"
+	"mube/internal/match"
+	"mube/internal/opt"
+	"mube/internal/schema"
+)
+
+// specJSON is the wire form of a Spec. GA constraints serialize as
+// [source, attr] pairs.
+type specJSON struct {
+	Weights    map[string]float64 `json:"weights"`
+	Theta      float64            `json:"theta"`
+	Beta       int                `json:"beta"`
+	Linkage    string             `json:"linkage"`
+	MaxSources int                `json:"max_sources"`
+	Solver     string             `json:"solver"`
+	Sources    []int              `json:"source_constraints,omitempty"`
+	GAs        [][][2]int         `json:"ga_constraints,omitempty"`
+	Seed       int64              `json:"seed,omitempty"`
+	MaxEvals   int                `json:"max_evals,omitempty"`
+	MaxIters   int                `json:"max_iters,omitempty"`
+	Patience   int                `json:"patience,omitempty"`
+}
+
+// SaveSpec serializes the session's current problem specification so an
+// exploration can be resumed later (LoadSpec) against the same universe.
+// History is not saved — the spec *is* the accumulated state of the
+// exploration (constraints, weights, thresholds).
+func (s *Session) SaveSpec(w io.Writer) error {
+	spec := s.spec
+	out := specJSON{
+		Weights:    spec.Weights,
+		Theta:      spec.Theta,
+		Beta:       spec.Beta,
+		Linkage:    spec.Linkage.String(),
+		MaxSources: spec.MaxSources,
+		Solver:     spec.Solver,
+		Seed:       spec.SolverOptions.Seed,
+		MaxEvals:   spec.SolverOptions.MaxEvals,
+		MaxIters:   spec.SolverOptions.MaxIters,
+		Patience:   spec.SolverOptions.Patience,
+	}
+	for _, id := range spec.Constraints.Sources {
+		out.Sources = append(out.Sources, int(id))
+	}
+	for _, g := range spec.Constraints.GAs {
+		var refs [][2]int
+		for _, r := range g.Refs() {
+			refs = append(refs, [2]int{int(r.Source), r.Attr})
+		}
+		out.GAs = append(out.GAs, refs)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadSpec opens a session over cfg.Universe (and cfg.QEFs, if set) with the
+// saved specification applied. The universe must be the one the spec was
+// saved against — constraints are validated and an error is returned if they
+// no longer fit.
+func LoadSpec(r io.Reader, cfg Config) (*Session, error) {
+	var in specJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("session: decode spec: %w", err)
+	}
+	linkage := match.MaxLinkage
+	switch in.Linkage {
+	case "", "max":
+	case "avg":
+		linkage = match.AvgLinkage
+	default:
+		return nil, fmt.Errorf("session: unknown linkage %q", in.Linkage)
+	}
+	cfg.Match.Theta = in.Theta
+	cfg.Match.Beta = in.Beta
+	cfg.Match.Linkage = linkage
+	cfg.MaxSources = in.MaxSources
+	cfg.Solver = in.Solver
+	if in.Weights != nil {
+		w := make(map[string]float64, len(in.Weights))
+		for k, v := range in.Weights {
+			w[k] = v
+		}
+		cfg.Weights = w
+	}
+	cfg.SolverOptions = opt.Options{
+		Seed:     in.Seed,
+		MaxEvals: in.MaxEvals,
+		MaxIters: in.MaxIters,
+		Patience: in.Patience,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var cons constraint.Set
+	for _, id := range in.Sources {
+		cons.Sources = append(cons.Sources, schema.SourceID(id))
+	}
+	for _, refs := range in.GAs {
+		ga := make([]schema.AttrRef, 0, len(refs))
+		for _, r := range refs {
+			ga = append(ga, schema.AttrRef{Source: schema.SourceID(r[0]), Attr: r[1]})
+		}
+		cons.GAs = append(cons.GAs, schema.NewGA(ga...))
+	}
+	if err := s.setConstraints(cons); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,103 @@
+package session
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"mube/internal/schema"
+)
+
+// Report is the JSON-serializable record of a session — one entry per
+// iteration, with the solved spec and the solution in human-readable form.
+// It is the artifact `mube interactive` and `mube solve` emit.
+type Report struct {
+	UniverseSize int               `json:"universe_size"`
+	Iterations   []IterationReport `json:"iterations"`
+}
+
+// IterationReport is one iteration's record.
+type IterationReport struct {
+	Index       int                `json:"index"`
+	Weights     map[string]float64 `json:"weights"`
+	Theta       float64            `json:"theta"`
+	Beta        int                `json:"beta"`
+	MaxSources  int                `json:"max_sources"`
+	Solver      string             `json:"solver"`
+	Constraints ConstraintReport   `json:"constraints"`
+	Sources     []string           `json:"sources"`
+	SourceIDs   []int              `json:"source_ids"`
+	Quality     float64            `json:"quality"`
+	Breakdown   map[string]float64 `json:"breakdown"`
+	Schema      []GAReport         `json:"schema"`
+	MatchOK     bool               `json:"match_ok"`
+	Evals       int                `json:"evals"`
+	ElapsedMS   float64            `json:"elapsed_ms"`
+}
+
+// ConstraintReport summarizes the constraints of one iteration.
+type ConstraintReport struct {
+	Sources []int      `json:"sources,omitempty"`
+	GAs     [][]string `json:"gas,omitempty"` // rendered "s<id>:<attr>" entries
+}
+
+// GAReport is one mediated-schema GA with resolved attribute names.
+type GAReport struct {
+	Attrs   []string `json:"attrs"` // "s<id>:<attr name>"
+	Quality float64  `json:"quality"`
+}
+
+// BuildReport snapshots the session history.
+func (s *Session) BuildReport() Report {
+	rep := Report{UniverseSize: s.u.Len()}
+	for _, it := range s.history {
+		ir := IterationReport{
+			Index:      it.Index,
+			Weights:    it.Spec.Weights,
+			Theta:      it.Spec.Theta,
+			Beta:       it.Spec.Beta,
+			MaxSources: it.Spec.MaxSources,
+			Solver:     it.Spec.Solver,
+			Quality:    it.Solution.Quality,
+			Breakdown:  it.Solution.Breakdown,
+			MatchOK:    it.Solution.MatchOK,
+			Evals:      it.Solution.Evals,
+			ElapsedMS:  float64(it.Elapsed.Microseconds()) / 1000,
+		}
+		for _, id := range it.Spec.Constraints.Sources {
+			ir.Constraints.Sources = append(ir.Constraints.Sources, int(id))
+		}
+		for _, g := range it.Spec.Constraints.GAs {
+			ir.Constraints.GAs = append(ir.Constraints.GAs, s.renderGA(g))
+		}
+		ir.Sources = it.Solution.SourceNames(s.u)
+		for _, id := range it.Solution.IDs {
+			ir.SourceIDs = append(ir.SourceIDs, int(id))
+		}
+		for i, g := range it.Solution.Schema.GAs {
+			gr := GAReport{Attrs: s.renderGA(g)}
+			if i < len(it.Solution.GAQuality) {
+				gr.Quality = it.Solution.GAQuality[i]
+			}
+			ir.Schema = append(ir.Schema, gr)
+		}
+		rep.Iterations = append(rep.Iterations, ir)
+	}
+	return rep
+}
+
+// renderGA resolves a GA's attribute references to "s<id>:<name>" strings.
+func (s *Session) renderGA(g schema.GA) []string {
+	out := make([]string, 0, g.Size())
+	for _, r := range g.Refs() {
+		out = append(out, "s"+strconv.Itoa(int(r.Source))+":"+s.u.AttrName(r))
+	}
+	return out
+}
+
+// WriteReport serializes the session history as indented JSON.
+func (s *Session) WriteReport(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.BuildReport())
+}

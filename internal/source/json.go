@@ -1,0 +1,128 @@
+package source
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mube/internal/minhash"
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+)
+
+// sourceJSON is the wire form of a Source. Signatures are base64-encoded
+// binary; uncooperative sources omit cardinality and signature.
+type sourceJSON struct {
+	Name            string             `json:"name"`
+	Attrs           []string           `json:"attrs"`
+	Cardinality     *int64             `json:"cardinality,omitempty"`
+	Signature       string             `json:"signature,omitempty"`
+	AttrSignatures  []string           `json:"attr_signatures,omitempty"`
+	Characteristics map[string]float64 `json:"characteristics,omitempty"`
+}
+
+// universeJSON is the wire form of a Universe.
+type universeJSON struct {
+	SigNumMaps int          `json:"sig_num_maps"`
+	SigSeed    uint64       `json:"sig_seed"`
+	Sources    []sourceJSON `json:"sources"`
+}
+
+// WriteJSON serializes the universe (source descriptions, synopses, and
+// characteristics) so that a discovered universe can be cached between µBE
+// sessions.
+func (u *Universe) WriteJSON(w io.Writer) error {
+	out := universeJSON{
+		SigNumMaps: u.sigCfg.NumMaps,
+		SigSeed:    u.sigCfg.Seed,
+		Sources:    make([]sourceJSON, 0, len(u.sources)),
+	}
+	for _, s := range u.sources {
+		sj := sourceJSON{
+			Name:            s.Name,
+			Attrs:           s.Schema.Attrs,
+			Characteristics: s.Characteristics,
+		}
+		if s.Cardinality >= 0 {
+			c := s.Cardinality
+			sj.Cardinality = &c
+		}
+		if s.Signature != nil {
+			raw, err := s.Signature.MarshalBinary()
+			if err != nil {
+				return fmt.Errorf("source %q: %w", s.Name, err)
+			}
+			sj.Signature = base64.StdEncoding.EncodeToString(raw)
+		}
+		if s.AttrSignatures != nil {
+			sj.AttrSignatures = make([]string, len(s.AttrSignatures))
+			for i, sig := range s.AttrSignatures {
+				if sig == nil {
+					continue
+				}
+				raw, err := sig.MarshalBinary()
+				if err != nil {
+					return fmt.Errorf("source %q attr %d: %w", s.Name, i, err)
+				}
+				sj.AttrSignatures[i] = base64.StdEncoding.EncodeToString(raw)
+			}
+		}
+		out.Sources = append(out.Sources, sj)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a universe written by WriteJSON.
+func ReadJSON(r io.Reader) (*Universe, error) {
+	var in universeJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("source: decode universe: %w", err)
+	}
+	cfg := pcsa.Config{NumMaps: in.SigNumMaps, Seed: in.SigSeed}
+	u := NewUniverse(cfg)
+	for i, sj := range in.Sources {
+		s := &Source{
+			Name:            sj.Name,
+			Schema:          schema.NewSchema(sj.Attrs...),
+			Cardinality:     -1,
+			Characteristics: sj.Characteristics,
+		}
+		if sj.Cardinality != nil {
+			s.Cardinality = *sj.Cardinality
+		}
+		if sj.Signature != "" {
+			raw, err := base64.StdEncoding.DecodeString(sj.Signature)
+			if err != nil {
+				return nil, fmt.Errorf("source %d (%q): signature: %w", i, sj.Name, err)
+			}
+			var sig pcsa.Signature
+			if err := sig.UnmarshalBinary(raw); err != nil {
+				return nil, fmt.Errorf("source %d (%q): signature: %w", i, sj.Name, err)
+			}
+			s.Signature = &sig
+		}
+		if sj.AttrSignatures != nil {
+			s.AttrSignatures = make([]*minhash.Signature, len(sj.AttrSignatures))
+			for a, enc := range sj.AttrSignatures {
+				if enc == "" {
+					continue
+				}
+				raw, err := base64.StdEncoding.DecodeString(enc)
+				if err != nil {
+					return nil, fmt.Errorf("source %d (%q) attr %d: %w", i, sj.Name, a, err)
+				}
+				var sig minhash.Signature
+				if err := sig.UnmarshalBinary(raw); err != nil {
+					return nil, fmt.Errorf("source %d (%q) attr %d: %w", i, sj.Name, a, err)
+				}
+				s.AttrSignatures[a] = &sig
+			}
+		}
+		if _, err := u.Add(s); err != nil {
+			return nil, fmt.Errorf("source %d (%q): %w", i, sj.Name, err)
+		}
+	}
+	return u, nil
+}

@@ -1,0 +1,350 @@
+// Package source models µBE's view of a data source (§2.1): a schema, data
+// characteristics (cardinality and a PCSA hash signature), and a set of
+// user-meaningful source characteristics (latency, availability, fees,
+// reputation, MTTF, …). It also defines the Universe — the set of all
+// candidate sources from which µBE selects a data integration solution.
+//
+// µBE never needs a source's actual tuples: cooperative sources export their
+// cardinality and a hash signature computed in one pass over their data, and
+// those synopses are cached by µBE (§4). Uncooperative sources may still be
+// selected, but score zero on the data-dependent quality metrics.
+package source
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mube/internal/minhash"
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+)
+
+// TupleID identifies a tuple. Synthetic workloads draw IDs from a fixed
+// pool; real adapters would hash tuple content into an ID (see pcsa.AddBytes).
+type TupleID = uint64
+
+// TupleIterator streams a source's tuples one at a time.
+type TupleIterator interface {
+	// Next returns the next tuple and true, or 0 and false when exhausted.
+	Next() (TupleID, bool)
+}
+
+// SliceIterator iterates over an in-memory slice of tuples.
+type SliceIterator struct {
+	tuples []TupleID
+	pos    int
+}
+
+// NewSliceIterator returns an iterator over tuples.
+func NewSliceIterator(tuples []TupleID) *SliceIterator {
+	return &SliceIterator{tuples: tuples}
+}
+
+// Next implements TupleIterator.
+func (it *SliceIterator) Next() (TupleID, bool) {
+	if it.pos >= len(it.tuples) {
+		return 0, false
+	}
+	t := it.tuples[it.pos]
+	it.pos++
+	return t, true
+}
+
+// Source is one candidate data source. Cardinality counts tuples *stored* at
+// the source (with multiplicity, as reported by the source); the Signature
+// summarizes the distinct tuples for union estimation.
+type Source struct {
+	// ID is the dense index of the source within its Universe; assigned by
+	// Universe.Add.
+	ID schema.SourceID
+	// Name is a human-readable label (e.g. a site's hostname).
+	Name string
+	// Schema is the source's exported query schema.
+	Schema schema.Schema
+	// Cardinality is the number of tuples at the source, or -1 when the
+	// source does not cooperate.
+	Cardinality int64
+	// Signature is the source's PCSA synopsis, or nil when the source does
+	// not cooperate.
+	Signature *pcsa.Signature
+	// AttrSignatures optionally holds one MinHash synopsis per schema
+	// attribute, sketching that attribute's value set. They enable the
+	// data-based attribute similarity of §3 ("Match(S) can use any
+	// attribute similarity measure, whether it is schema based or data
+	// based"); nil or per-slot nil means the source did not provide one.
+	AttrSignatures []*minhash.Signature
+	// Characteristics holds named non-functional properties (§5): MTTF,
+	// latency, fees, reputation, … Values are non-negative reals of any
+	// magnitude; QEF aggregators normalize them per-universe.
+	Characteristics map[string]float64
+}
+
+// Cooperative reports whether the source provided the data synopses µBE
+// needs for the coverage and redundancy QEFs.
+func (s *Source) Cooperative() bool { return s.Cardinality >= 0 && s.Signature != nil }
+
+// AttrSignature returns the MinHash synopsis of attribute a's value set, or
+// nil when the source did not provide one.
+func (s *Source) AttrSignature(a int) *minhash.Signature {
+	if a < 0 || a >= len(s.AttrSignatures) {
+		return nil
+	}
+	return s.AttrSignatures[a]
+}
+
+// Characteristic returns the named characteristic and whether it is set.
+func (s *Source) Characteristic(name string) (float64, bool) {
+	v, ok := s.Characteristics[name]
+	return v, ok
+}
+
+// SetCharacteristic sets a named characteristic, allocating the map if
+// needed.
+func (s *Source) SetCharacteristic(name string, v float64) {
+	if s.Characteristics == nil {
+		s.Characteristics = make(map[string]float64)
+	}
+	s.Characteristics[name] = v
+}
+
+// FromTuples builds a cooperative source by scanning its tuples once,
+// computing the cardinality and PCSA signature exactly as a cooperating
+// source would (§4: "computing the hash signature requires scanning the data
+// only once").
+func FromTuples(name string, sch schema.Schema, it TupleIterator, cfg pcsa.Config) (*Source, error) {
+	sig, err := pcsa.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		sig.AddUint64(t)
+		n++
+	}
+	return &Source{
+		ID:          -1,
+		Name:        name,
+		Schema:      sch,
+		Cardinality: n,
+		Signature:   sig,
+	}, nil
+}
+
+// Uncooperative builds a source that exports only its schema and
+// characteristics.
+func Uncooperative(name string, sch schema.Schema) *Source {
+	return &Source{ID: -1, Name: name, Schema: sch, Cardinality: -1}
+}
+
+// Universe is the set U = {s_1 … s_N} of all candidate sources. Sources are
+// added once, then the universe is effectively immutable; the aggregate
+// synopses used as QEF denominators are computed lazily and cached.
+type Universe struct {
+	sources []*Source
+	sigCfg  pcsa.Config
+
+	// lazily computed aggregates
+	totalCard    int64
+	totalValid   bool
+	unionAll     *pcsa.Signature
+	unionAllEst  float64
+	unionValid   bool
+	charRangeMem map[string][2]float64
+}
+
+// NewUniverse returns an empty universe whose cooperative sources use the
+// given signature configuration.
+func NewUniverse(cfg pcsa.Config) *Universe {
+	return &Universe{sigCfg: cfg, charRangeMem: make(map[string][2]float64)}
+}
+
+// SignatureConfig returns the signature configuration shared by the
+// universe's cooperative sources.
+func (u *Universe) SignatureConfig() pcsa.Config { return u.sigCfg }
+
+// ErrSignatureConfig is returned when a cooperative source's signature does
+// not match the universe's configuration.
+var ErrSignatureConfig = errors.New("source: signature config does not match universe")
+
+// Add inserts s into the universe, assigns its ID, and returns it.
+func (u *Universe) Add(s *Source) (schema.SourceID, error) {
+	if s.Signature != nil && s.Signature.Config() != u.sigCfg {
+		return -1, ErrSignatureConfig
+	}
+	s.ID = schema.SourceID(len(u.sources))
+	u.sources = append(u.sources, s)
+	u.invalidate()
+	return s.ID, nil
+}
+
+// invalidate clears cached aggregates after a mutation.
+func (u *Universe) invalidate() {
+	u.totalValid = false
+	u.unionValid = false
+	u.charRangeMem = make(map[string][2]float64)
+}
+
+// Len returns the number of sources N.
+func (u *Universe) Len() int { return len(u.sources) }
+
+// Source returns the source with the given ID; it panics on an invalid ID,
+// matching slice-index semantics.
+func (u *Universe) Source(id schema.SourceID) *Source { return u.sources[id] }
+
+// Sources returns all sources in ID order. The slice must not be modified.
+func (u *Universe) Sources() []*Source { return u.sources }
+
+// AttrName implements schema.Namer.
+func (u *Universe) AttrName(r schema.AttrRef) string {
+	return u.sources[r.Source].Schema.Name(r.Attr)
+}
+
+// NumAttrs returns the total number of attributes across all sources.
+func (u *Universe) NumAttrs() int {
+	n := 0
+	for _, s := range u.sources {
+		n += s.Schema.Len()
+	}
+	return n
+}
+
+// TotalCardinality returns Σ_{t∈U} |t| over cooperative sources — the
+// denominator of the Card QEF.
+func (u *Universe) TotalCardinality() int64 {
+	if !u.totalValid {
+		var sum int64
+		for _, s := range u.sources {
+			if s.Cardinality > 0 {
+				sum += s.Cardinality
+			}
+		}
+		u.totalCard = sum
+		u.totalValid = true
+	}
+	return u.totalCard
+}
+
+// UnionAllEstimate returns the estimated |∪_{t∈U} t| over cooperative
+// sources — the denominator of the Coverage QEF. It returns 0 when no source
+// cooperates.
+func (u *Universe) UnionAllEstimate() float64 {
+	if !u.unionValid {
+		var sigs []*pcsa.Signature
+		for _, s := range u.sources {
+			if s.Signature != nil {
+				sigs = append(sigs, s.Signature)
+			}
+		}
+		if len(sigs) == 0 {
+			u.unionAll = nil
+			u.unionAllEst = 0
+		} else {
+			un, err := pcsa.Union(sigs...)
+			if err != nil {
+				// Unreachable: Add enforces a uniform config.
+				panic(fmt.Sprintf("source: union of universe signatures: %v", err))
+			}
+			u.unionAll = un
+			u.unionAllEst = un.Estimate()
+		}
+		u.unionValid = true
+	}
+	return u.unionAllEst
+}
+
+// UnionEstimate returns the estimated number of distinct tuples in the union
+// of the given sources, skipping uncooperative ones. It returns 0 when none
+// of the sources has a signature.
+func (u *Universe) UnionEstimate(ids []schema.SourceID) float64 {
+	var acc *pcsa.Signature
+	for _, id := range ids {
+		s := u.sources[id]
+		if s.Signature == nil {
+			continue
+		}
+		if acc == nil {
+			acc = s.Signature.Clone()
+			continue
+		}
+		if err := acc.MergeFrom(s.Signature); err != nil {
+			panic(fmt.Sprintf("source: union of signatures: %v", err))
+		}
+	}
+	if acc == nil {
+		return 0
+	}
+	return acc.Estimate()
+}
+
+// SumCardinality returns Σ_{s∈ids} |s| over cooperative sources.
+func (u *Universe) SumCardinality(ids []schema.SourceID) int64 {
+	var sum int64
+	for _, id := range ids {
+		if c := u.sources[id].Cardinality; c > 0 {
+			sum += c
+		}
+	}
+	return sum
+}
+
+// CharacteristicRange returns (min, max) of the named characteristic over
+// all sources that define it, used for normalization by aggregators (§5).
+// ok is false when no source defines the characteristic.
+func (u *Universe) CharacteristicRange(name string) (min, max float64, ok bool) {
+	if r, hit := u.charRangeMem[name]; hit {
+		return r[0], r[1], true
+	}
+	first := true
+	for _, s := range u.sources {
+		v, has := s.Characteristics[name]
+		if !has {
+			continue
+		}
+		if first {
+			min, max, first = v, v, false
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if first {
+		return 0, 0, false
+	}
+	u.charRangeMem[name] = [2]float64{min, max}
+	return min, max, true
+}
+
+// CharacteristicNames returns the sorted set of characteristic names defined
+// by at least one source.
+func (u *Universe) CharacteristicNames() []string {
+	set := make(map[string]struct{})
+	for _, s := range u.sources {
+		for name := range s.Characteristics {
+			set[name] = struct{}{}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IDs returns all source IDs, 0..N-1.
+func (u *Universe) IDs() []schema.SourceID {
+	ids := make([]schema.SourceID, len(u.sources))
+	for i := range ids {
+		ids[i] = schema.SourceID(i)
+	}
+	return ids
+}

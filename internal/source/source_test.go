@@ -1,0 +1,233 @@
+package source
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+)
+
+var testCfg = pcsa.Config{NumMaps: 64}
+
+// makeSource builds a cooperative source over tuples [lo, hi).
+func makeSource(t *testing.T, name string, lo, hi uint64, attrs ...string) *Source {
+	t.Helper()
+	tuples := make([]TupleID, 0, hi-lo)
+	for x := lo; x < hi; x++ {
+		tuples = append(tuples, x)
+	}
+	s, err := FromTuples(name, schema.NewSchema(attrs...), NewSliceIterator(tuples), testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFromTuples(t *testing.T) {
+	s := makeSource(t, "a", 0, 5000, "title", "author")
+	if !s.Cooperative() {
+		t.Error("FromTuples source should be cooperative")
+	}
+	if s.Cardinality != 5000 {
+		t.Errorf("Cardinality = %d, want 5000", s.Cardinality)
+	}
+	est := s.Signature.Estimate()
+	if math.Abs(est-5000)/5000 > 0.25 {
+		t.Errorf("signature estimate %v too far from 5000", est)
+	}
+}
+
+func TestUncooperative(t *testing.T) {
+	s := Uncooperative("u", schema.NewSchema("keyword"))
+	if s.Cooperative() {
+		t.Error("Uncooperative source reports Cooperative")
+	}
+	if s.Cardinality != -1 || s.Signature != nil {
+		t.Error("Uncooperative source should hide data characteristics")
+	}
+}
+
+func TestUniverseAddAssignsIDs(t *testing.T) {
+	u := NewUniverse(testCfg)
+	for i := 0; i < 3; i++ {
+		id, err := u.Add(makeSource(t, "s", 0, 100, "a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(id) != i {
+			t.Errorf("id = %d, want %d", id, i)
+		}
+	}
+	if u.Len() != 3 {
+		t.Errorf("Len = %d", u.Len())
+	}
+}
+
+func TestUniverseRejectsMismatchedSignature(t *testing.T) {
+	u := NewUniverse(pcsa.Config{NumMaps: 128})
+	s := makeSource(t, "bad", 0, 10, "a") // built with testCfg (64 maps)
+	if _, err := u.Add(s); err != ErrSignatureConfig {
+		t.Errorf("expected ErrSignatureConfig, got %v", err)
+	}
+}
+
+func TestTotalCardinalityAndUnion(t *testing.T) {
+	u := NewUniverse(testCfg)
+	u.Add(makeSource(t, "a", 0, 10000, "x"))
+	u.Add(makeSource(t, "b", 5000, 15000, "y")) // overlaps a by 5000
+	u.Add(Uncooperative("c", schema.NewSchema("z")))
+
+	if got := u.TotalCardinality(); got != 20000 {
+		t.Errorf("TotalCardinality = %d, want 20000", got)
+	}
+	est := u.UnionAllEstimate()
+	if math.Abs(est-15000)/15000 > 0.20 {
+		t.Errorf("UnionAllEstimate = %v, want ≈15000", est)
+	}
+	// Union of a subset.
+	sub := u.UnionEstimate([]schema.SourceID{0, 1})
+	if sub != est {
+		t.Errorf("subset union %v should equal all-cooperative union %v", sub, est)
+	}
+	// Union over only uncooperative sources is 0.
+	if got := u.UnionEstimate([]schema.SourceID{2}); got != 0 {
+		t.Errorf("uncooperative union = %v, want 0", got)
+	}
+	if got := u.SumCardinality([]schema.SourceID{0, 2}); got != 10000 {
+		t.Errorf("SumCardinality = %d, want 10000", got)
+	}
+}
+
+func TestAggregatesInvalidatedByAdd(t *testing.T) {
+	u := NewUniverse(testCfg)
+	u.Add(makeSource(t, "a", 0, 1000, "x"))
+	before := u.TotalCardinality()
+	u.Add(makeSource(t, "b", 1000, 3000, "y"))
+	after := u.TotalCardinality()
+	if after != before+2000 {
+		t.Errorf("TotalCardinality not invalidated: before=%d after=%d", before, after)
+	}
+}
+
+func TestCharacteristicRange(t *testing.T) {
+	u := NewUniverse(testCfg)
+	a := Uncooperative("a", schema.NewSchema("x"))
+	a.SetCharacteristic("mttf", 50)
+	b := Uncooperative("b", schema.NewSchema("y"))
+	b.SetCharacteristic("mttf", 150)
+	b.SetCharacteristic("fees", 3)
+	u.Add(a)
+	u.Add(b)
+
+	min, max, ok := u.CharacteristicRange("mttf")
+	if !ok || min != 50 || max != 150 {
+		t.Errorf("mttf range = (%v,%v,%v), want (50,150,true)", min, max, ok)
+	}
+	if _, _, ok := u.CharacteristicRange("latency"); ok {
+		t.Error("undefined characteristic should report ok=false")
+	}
+	names := u.CharacteristicNames()
+	if len(names) != 2 || names[0] != "fees" || names[1] != "mttf" {
+		t.Errorf("CharacteristicNames = %v", names)
+	}
+	// Memoized second call returns the same.
+	min2, max2, _ := u.CharacteristicRange("mttf")
+	if min2 != min || max2 != max {
+		t.Error("memoized range differs")
+	}
+}
+
+func TestAttrName(t *testing.T) {
+	u := NewUniverse(testCfg)
+	u.Add(Uncooperative("a", schema.NewSchema("title", "author")))
+	got := u.AttrName(schema.AttrRef{Source: 0, Attr: 1})
+	if got != "author" {
+		t.Errorf("AttrName = %q", got)
+	}
+	if u.NumAttrs() != 2 {
+		t.Errorf("NumAttrs = %d", u.NumAttrs())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	u := NewUniverse(testCfg)
+	a := makeSource(t, "coop", 0, 2000, "title", "author")
+	a.SetCharacteristic("mttf", 93.5)
+	u.Add(a)
+	u.Add(Uncooperative("shy", schema.NewSchema("keyword")))
+
+	var buf bytes.Buffer
+	if err := u.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round-trip Len = %d", back.Len())
+	}
+	s0, s1 := back.Source(0), back.Source(1)
+	if s0.Name != "coop" || s0.Cardinality != 2000 || !s0.Cooperative() {
+		t.Errorf("source 0 mangled: %+v", s0)
+	}
+	if got := s0.Characteristics["mttf"]; got != 93.5 {
+		t.Errorf("mttf = %v", got)
+	}
+	if s0.Signature.Estimate() != a.Signature.Estimate() {
+		t.Error("signature estimate changed in round trip")
+	}
+	if s1.Cooperative() {
+		t.Error("source 1 should stay uncooperative")
+	}
+	if s1.Schema.Name(0) != "keyword" {
+		t.Errorf("schema mangled: %v", s1.Schema)
+	}
+	if back.SignatureConfig() != testCfg {
+		t.Errorf("config = %+v", back.SignatureConfig())
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{nonsense")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"sig_num_maps":64,"sources":[{"name":"x","attrs":["a"],"signature":"!!!"}]}`)); err == nil {
+		t.Error("bad base64 accepted")
+	}
+}
+
+func TestUnionEstimateRandomizedMatchesExact(t *testing.T) {
+	// Randomized check: union estimates stay within 25% of exact distinct
+	// counts for modest sets (64 bitmaps → SE ≈ 10%).
+	r := rand.New(rand.NewSource(9))
+	u := NewUniverse(testCfg)
+	exact := make([]*pcsa.ExactCounter, 4)
+	for i := 0; i < 4; i++ {
+		n := 2000 + r.Intn(8000)
+		tuples := make([]TupleID, n)
+		exact[i] = pcsa.NewExact()
+		for j := range tuples {
+			x := uint64(r.Intn(20000))
+			tuples[j] = x
+			exact[i].AddUint64(x)
+		}
+		s, err := FromTuples("s", schema.NewSchema("a"), NewSliceIterator(tuples), testCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Add(s)
+	}
+	all := pcsa.NewExact()
+	for _, e := range exact {
+		all.MergeFrom(e)
+	}
+	est := u.UnionEstimate(u.IDs())
+	got, want := est, float64(all.Count())
+	if math.Abs(got-want)/want > 0.25 {
+		t.Errorf("union estimate %v vs exact %v", got, want)
+	}
+}

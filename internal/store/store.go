@@ -1,0 +1,97 @@
+// Package store provides the in-memory row storage behind µBE's mediator
+// query substrate. The selection/mediation layers of µBE only ever see
+// synopses (cardinalities and PCSA signatures); this package holds the
+// actual rows so that a *chosen* data integration system can be queried
+// (package mediator), completing the life cycle the paper's introduction
+// describes — retrieve data from the sources, map it to the global mediated
+// schema, and resolve inconsistencies.
+package store
+
+import (
+	"fmt"
+	"strings"
+
+	"mube/internal/schema"
+)
+
+// Row is one tuple: values aligned positionally with a source schema's
+// attributes.
+type Row []string
+
+// Clone returns an independent copy of the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Table is the row store of one source.
+type Table struct {
+	sch  schema.Schema
+	rows []Row
+}
+
+// NewTable returns an empty table over the schema.
+func NewTable(sch schema.Schema) *Table {
+	return &Table{sch: sch}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() schema.Schema { return t.sch }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Append adds a row; its arity must match the schema.
+func (t *Table) Append(r Row) error {
+	if len(r) != t.sch.Len() {
+		return fmt.Errorf("store: row arity %d does not match schema arity %d", len(r), t.sch.Len())
+	}
+	t.rows = append(t.rows, r)
+	return nil
+}
+
+// MustAppend is Append that panics; for tests and generators.
+func (t *Table) MustAppend(r Row) {
+	if err := t.Append(r); err != nil {
+		panic(err)
+	}
+}
+
+// Row returns row i. The returned slice must not be modified.
+func (t *Table) Row(i int) Row { return t.rows[i] }
+
+// Scan calls fn for every row until fn returns false.
+func (t *Table) Scan(fn func(Row) bool) {
+	for _, r := range t.rows {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Select returns the rows matching pred on attribute attr.
+func (t *Table) Select(attr int, pred func(string) bool) []Row {
+	if attr < 0 || attr >= t.sch.Len() {
+		return nil
+	}
+	var out []Row
+	for _, r := range t.rows {
+		if pred(r[attr]) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders a small table for debugging.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString(t.sch.String())
+	b.WriteByte('\n')
+	for i, r := range t.rows {
+		if i == 10 {
+			fmt.Fprintf(&b, "... (%d more)\n", len(t.rows)-10)
+			break
+		}
+		b.WriteString(strings.Join(r, " | "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

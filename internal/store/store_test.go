@@ -1,0 +1,92 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"mube/internal/schema"
+)
+
+func table(t *testing.T) *Table {
+	t.Helper()
+	tb := NewTable(schema.NewSchema("title", "author"))
+	tb.MustAppend(Row{"dune", "herbert"})
+	tb.MustAppend(Row{"emma", "austen"})
+	tb.MustAppend(Row{"hamlet", "shakespeare"})
+	return tb
+}
+
+func TestAppendArity(t *testing.T) {
+	tb := NewTable(schema.NewSchema("a", "b"))
+	if err := tb.Append(Row{"1"}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tb.Append(Row{"1", "2", "3"}); err == nil {
+		t.Error("long row accepted")
+	}
+	if err := tb.Append(Row{"1", "2"}); err != nil {
+		t.Errorf("correct row rejected: %v", err)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend did not panic on bad arity")
+		}
+	}()
+	NewTable(schema.NewSchema("a")).MustAppend(Row{"1", "2"})
+}
+
+func TestScanStopsEarly(t *testing.T) {
+	tb := table(t)
+	n := 0
+	tb.Scan(func(Row) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("scanned %d rows, want 2", n)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	tb := table(t)
+	got := tb.Select(1, func(v string) bool { return v == "austen" })
+	if len(got) != 1 || got[0][0] != "emma" {
+		t.Errorf("Select = %v", got)
+	}
+	if out := tb.Select(5, func(string) bool { return true }); out != nil {
+		t.Error("out-of-range attribute should select nothing")
+	}
+	all := tb.Select(0, func(string) bool { return true })
+	if len(all) != 3 {
+		t.Errorf("Select all = %d rows", len(all))
+	}
+}
+
+func TestRowCloneIndependent(t *testing.T) {
+	tb := table(t)
+	c := tb.Row(0).Clone()
+	c[0] = "changed"
+	if tb.Row(0)[0] != "dune" {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	tb := NewTable(schema.NewSchema("x"))
+	for i := 0; i < 15; i++ {
+		tb.MustAppend(Row{"v"})
+	}
+	s := tb.String()
+	if !strings.Contains(s, "5 more") {
+		t.Errorf("String missing truncation note: %q", s)
+	}
+	if tb.Schema().Len() != 1 {
+		t.Error("Schema accessor broken")
+	}
+}

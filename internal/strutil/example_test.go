@@ -1,0 +1,27 @@
+package strutil_test
+
+import (
+	"fmt"
+
+	"mube/internal/strutil"
+)
+
+// ExampleTriGramJaccard shows the paper's attribute similarity measure: the
+// Jaccard coefficient of the names' 3-gram sets after normalization.
+func ExampleTriGramJaccard() {
+	sim := strutil.TriGramJaccard
+	fmt.Printf("author / Author_Name: %.2f\n", sim.Sim("author", "Author_Name"))
+	fmt.Printf("author / writer:      %.2f\n", sim.Sim("author", "writer"))
+	fmt.Printf("keyword / keywords:   %.2f\n", sim.Sim("keyword", "keywords"))
+	// Output:
+	// author / Author_Name: 0.40
+	// author / writer:      0.07
+	// keyword / keywords:   0.58
+}
+
+// ExampleNormalize shows the canonical form matching operates on.
+func ExampleNormalize() {
+	fmt.Println(strutil.Normalize("  Publication_Year (YYYY) "))
+	// Output:
+	// publication year yyyy
+}

@@ -1,0 +1,108 @@
+// Package strutil provides the low-level string machinery used by µBE's
+// schema matching layer: attribute-name normalization, tokenization, n-gram
+// extraction, and a family of pluggable string similarity measures.
+//
+// The paper's prototype measures attribute similarity as the Jaccard
+// coefficient between the 3-gram sets of the attribute names (§3); every
+// other measure here exists so that Match(S) can be instantiated with an
+// alternative measure, as the paper explicitly allows ("Match(S) can use any
+// attribute similarity measure").
+package strutil
+
+import "strings"
+
+// Normalize canonicalizes an attribute name for matching: it lowercases the
+// name, maps punctuation and underscores to spaces, and collapses runs of
+// whitespace. Matching is performed on normalized names so that "Author_Name"
+// and "author name" are identical.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastSpace := true // trim leading space
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+			lastSpace = false
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastSpace = false
+		default:
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Tokens splits a normalized name into its word tokens.
+func Tokens(s string) []string {
+	return strings.Fields(Normalize(s))
+}
+
+// NGrams returns the set of character n-grams of s, after normalization.
+// Following common practice (and so that names shorter than n still produce
+// grams), the string is padded with n-1 leading and trailing '#' sentinels.
+// The result is a set: duplicate grams appear once.
+func NGrams(s string, n int) map[string]struct{} {
+	if n <= 0 {
+		return nil
+	}
+	norm := Normalize(s)
+	pad := strings.Repeat("#", n-1)
+	padded := pad + norm + pad
+	set := make(map[string]struct{}, len(padded))
+	for i := 0; i+n <= len(padded); i++ {
+		set[padded[i:i+n]] = struct{}{}
+	}
+	return set
+}
+
+// TriGrams returns the 3-gram set of s, the paper's default representation.
+func TriGrams(s string) map[string]struct{} { return NGrams(s, 3) }
+
+// setOverlap returns |a ∩ b| for two gram sets.
+func setOverlap(a, b map[string]struct{}) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n := 0
+	for g := range a {
+		if _, ok := b[g]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// JaccardSets returns |a∩b| / |a∪b| for two sets, and 0 when both are empty.
+func JaccardSets(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := setOverlap(a, b)
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// DiceSets returns the Sørensen–Dice coefficient 2|a∩b| / (|a|+|b|).
+func DiceSets(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	return 2 * float64(setOverlap(a, b)) / float64(len(a)+len(b))
+}
+
+// OverlapSets returns the overlap coefficient |a∩b| / min(|a|,|b|).
+func OverlapSets(a, b map[string]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	return float64(setOverlap(a, b)) / float64(m)
+}

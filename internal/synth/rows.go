@@ -1,0 +1,131 @@
+package synth
+
+import (
+	"fmt"
+
+	"mube/internal/bamm"
+	"mube/internal/schema"
+	"mube/internal/source"
+	"mube/internal/store"
+	"mube/internal/strutil"
+)
+
+// Materialize converts the kept tuple IDs of the given sources into row
+// tables for the mediator query substrate. Generation requires
+// Config.KeepTuples.
+//
+// Values are a deterministic function of (tuple ID, concept): the same
+// logical book at two different sources renders the same title/author/price
+// even when the sources name the attributes differently — which is what
+// makes cross-source deduplication in the mediator meaningful. Off-domain
+// (noise) attributes derive their values from the attribute name, so they
+// never join across concepts.
+func Materialize(res *Result, ids []schema.SourceID) (map[schema.SourceID]*store.Table, error) {
+	if res.Tuples == nil {
+		return nil, fmt.Errorf("synth: Materialize requires Config.KeepTuples")
+	}
+	out := make(map[schema.SourceID]*store.Table, len(ids))
+	for _, id := range ids {
+		if int(id) >= len(res.Tuples) {
+			return nil, fmt.Errorf("synth: source %d out of range", id)
+		}
+		s := res.Universe.Source(id)
+		origins := res.AttrOrigins[id]
+		scale := VocabScale(res.Config)
+		tb := store.NewTable(s.Schema)
+		for _, tuple := range res.Tuples[id] {
+			row := make(store.Row, s.Schema.Len())
+			for a := 0; a < s.Schema.Len(); a++ {
+				row[a] = ValueForOrigin(tuple, origins[a], s.Schema.Name(a), scale)
+			}
+			tb.MustAppend(row)
+		}
+		out[id] = tb
+	}
+	return out, nil
+}
+
+// conceptVocab bounds the number of distinct values per concept, so joins
+// and duplicates occur at realistic rates (e.g. far fewer authors and
+// publishers than titles).
+var conceptVocab = [bamm.NumConcepts]uint64{
+	bamm.ConceptTitle:        200_000,
+	bamm.ConceptAuthor:       20_000,
+	bamm.ConceptISBN:         1_000_000,
+	bamm.ConceptPublisher:    2_000,
+	bamm.ConceptKeyword:      5_000,
+	bamm.ConceptSubject:      500,
+	bamm.ConceptPrice:        10_000,
+	bamm.ConceptFormat:       6,
+	bamm.ConceptPubYear:      80,
+	bamm.ConceptEdition:      12,
+	bamm.ConceptLanguage:     30,
+	bamm.ConceptCondition:    5,
+	bamm.ConceptSeller:       800,
+	bamm.ConceptAvailability: 3,
+}
+
+// VocabScale returns the vocabulary scale factor implied by a generation
+// config: scaled-down universes have proportionally fewer authors, subjects,
+// and titles, so same-concept value sets still overlap realistically.
+func VocabScale(cfg Config) float64 {
+	return float64(cfg.PoolSize) / float64(Defaults().PoolSize)
+}
+
+// vocabOf returns concept ci's vocabulary size under a scale factor.
+func vocabOf(ci int, scale float64) uint64 {
+	v := uint64(float64(conceptVocab[ci]) * scale)
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
+
+// ValueFor derives the value of one attribute for one logical tuple from the
+// attribute's *name*, at full vocabulary scale. It is pure: the same
+// (tuple, concept-of-name) pair always yields the same value.
+func ValueFor(tuple source.TupleID, attrName string) string {
+	ci, ok := bamm.ConceptOf(attrName)
+	if !ok {
+		ci = -1
+	}
+	return ValueForOrigin(tuple, ci, attrName, 1)
+}
+
+// ValueForOrigin derives the value from an explicit origin concept —
+// renamed attributes (noise name, real concept behind it) render their
+// original concept's values, which is what lets data-based matching recover
+// them. scale is the vocabulary scale (VocabScale of the generating config).
+func ValueForOrigin(tuple source.TupleID, origin int, attrName string, scale float64) string {
+	if origin < 0 {
+		// Genuine noise: value space tied to the (normalized) name so
+		// different noise attributes never produce joinable values.
+		return fmt.Sprintf("%s-%03d", strutil.Normalize(attrName), mix(tuple, 9999)%997)
+	}
+	return fmt.Sprintf("%s-%06d", bamm.ConceptName(origin), mix(tuple, uint64(origin))%vocabOf(origin, scale))
+}
+
+// ValueID is the integer identity of the same value — what the per-attribute
+// MinHash sketches insert, avoiding string formatting in the generation
+// loop. Two attributes share a ValueID exactly when ValueForOrigin renders
+// the same string for them.
+func ValueID(tuple source.TupleID, origin int, attrName string, scale float64) uint64 {
+	if origin < 0 {
+		var h uint64 = 14695981039346656037
+		norm := strutil.Normalize(attrName)
+		for i := 0; i < len(norm); i++ {
+			h ^= uint64(norm[i])
+			h *= 1099511628211
+		}
+		return h ^ (mix(tuple, 9999) % 997)
+	}
+	return uint64(origin+1)<<40 | mix(tuple, uint64(origin))%vocabOf(origin, scale)
+}
+
+// mix hashes (tuple, salt) with the SplitMix64 finalizer.
+func mix(tuple source.TupleID, salt uint64) uint64 {
+	x := uint64(tuple) + salt*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

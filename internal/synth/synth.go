@@ -1,0 +1,342 @@
+// Package synth generates the synthetic universes of the paper's evaluation
+// (§7.1): N source descriptions whose schemas are the 50 BAMM-style Books
+// schemas plus perturbed copies, whose cardinalities follow a Zipf
+// distribution over [10 000, 1 000 000], whose tuples are drawn from a
+// 4 000 000-tuple pool split into General and Specialty halves, and whose
+// MTTF characteristic follows Normal(100, 40) days.
+//
+// Generation is fully deterministic per seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mube/internal/bamm"
+	"mube/internal/minhash"
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+	"mube/internal/source"
+)
+
+// Config parameterizes universe generation. The zero value is not usable;
+// start from Defaults().
+type Config struct {
+	// NumSources is N, the universe size.
+	NumSources int
+	// Seed makes generation reproducible.
+	Seed int64
+	// Sig is the PCSA signature shape for all sources.
+	Sig pcsa.Config
+
+	// Perturbation probabilities (§7.1: "we add attributes to the schema,
+	// remove attributes from the schema, or replace attributes ... with
+	// other attributes whose names we get from a list of words unrelated to
+	// the Books domain"). The first NumBase sources are exact copies of the
+	// base schemas ("fully conformant"); the rest are perturbed.
+	PRemove  float64 // per-attribute removal probability
+	PReplace float64 // per-attribute replacement probability
+	MaxAdd   int     // up to MaxAdd noise attributes appended (uniform)
+
+	// Data shape.
+	PoolSize     uint64  // distinct tuples in the universe pool (paper: 4M)
+	MinCard      int64   // smallest source cardinality (paper: 10k)
+	MaxCard      int64   // largest source cardinality (paper: 1M)
+	ZipfS        float64 // Zipf size exponent: rank-k source holds MaxCard/k^ZipfS tuples
+	SpecialtyPct float64 // fraction of a specialty source's tuples from the specialty pool
+
+	// MTTF characteristic (days), Normal(MTTFMean, MTTFStd) clipped to ≥ 1.
+	MTTFMean float64
+	MTTFStd  float64
+
+	// KeepTuples retains each source's tuple IDs in the Result so that rows
+	// can be materialized for the mediator query substrate (package
+	// mediator). Only sensible at reduced data scales — memory grows with
+	// the total tuple count.
+	KeepTuples bool
+
+	// AttrSignatures makes every source sketch each attribute's value set
+	// with a MinHash synopsis, enabling data-based attribute similarity
+	// (match.Config.DataWeight). Adds one O(1) sketch update per attribute
+	// per tuple during generation.
+	AttrSignatures bool
+	// MinHashK is the per-attribute sketch width (0 → minhash.DefaultK).
+	MinHashK int
+}
+
+// Defaults returns the paper's §7.1 configuration at full scale.
+func Defaults() Config {
+	return Config{
+		NumSources:   700,
+		Seed:         1,
+		Sig:          pcsa.DefaultConfig,
+		PRemove:      0.15,
+		PReplace:     0.20,
+		MaxAdd:       2,
+		PoolSize:     4_000_000,
+		MinCard:      10_000,
+		MaxCard:      1_000_000,
+		ZipfS:        1.0,
+		SpecialtyPct: 0.10,
+		MTTFMean:     100,
+		MTTFStd:      40,
+	}
+}
+
+// Scaled returns Defaults with the data volume scaled down by factor (e.g.
+// 0.01 for tests): pool size and cardinality bounds shrink proportionally
+// while schema generation is untouched.
+func Scaled(factor float64) Config {
+	c := Defaults()
+	c.PoolSize = uint64(float64(c.PoolSize) * factor)
+	c.MinCard = int64(math.Max(float64(c.MinCard)*factor, 16))
+	c.MaxCard = int64(math.Max(float64(c.MaxCard)*factor, 64))
+	return c
+}
+
+// validate rejects unusable configurations.
+func (c Config) validate() error {
+	if c.NumSources < 1 {
+		return fmt.Errorf("synth: NumSources %d < 1", c.NumSources)
+	}
+	if c.MinCard < 1 || c.MaxCard < c.MinCard {
+		return fmt.Errorf("synth: bad cardinality range [%d, %d]", c.MinCard, c.MaxCard)
+	}
+	if c.PoolSize < 2 {
+		return fmt.Errorf("synth: pool size %d too small", c.PoolSize)
+	}
+	if c.ZipfS <= 0 {
+		return fmt.Errorf("synth: ZipfS %v must be > 0", c.ZipfS)
+	}
+	if c.PRemove < 0 || c.PRemove > 1 || c.PReplace < 0 || c.PReplace > 1 {
+		return fmt.Errorf("synth: perturbation probabilities out of range")
+	}
+	if c.SpecialtyPct < 0 || c.SpecialtyPct > 1 {
+		return fmt.Errorf("synth: SpecialtyPct %v out of [0,1]", c.SpecialtyPct)
+	}
+	return nil
+}
+
+// Result is a generated universe plus the ground-truth metadata the
+// experiments need.
+type Result struct {
+	// Universe is the generated U.
+	Universe *source.Universe
+	// BaseSchema[i] is the index of the BAMM base schema source i derives
+	// from.
+	BaseSchema []int
+	// Conformant lists the sources whose schemas are unperturbed copies of
+	// a base schema — the pool the experiments draw source constraints from
+	// (§7.2: "random sources with schemas that are fully conformant to one
+	// of the original BAMM schemas").
+	Conformant []schema.SourceID
+	// Specialty reports which sources carry specialty tuples.
+	Specialty []bool
+	// Tuples holds each source's tuple IDs when Config.KeepTuples is set
+	// (nil otherwise).
+	Tuples [][]source.TupleID
+	// AttrOrigins[i][a] is the ground-truth concept behind attribute a of
+	// source i, or -1 for genuine noise. A perturbation that *renames* an
+	// attribute to a noise word keeps its origin: the site changed its
+	// label, not its data — which is exactly the situation data-based
+	// similarity exists to recover.
+	AttrOrigins [][]int
+	// Config echoes the generation parameters.
+	Config Config
+}
+
+// Generate builds a synthetic universe.
+func Generate(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	base := bamm.Schemas()
+	baseOrigins := make([][]int, len(base))
+	for i, sch := range base {
+		baseOrigins[i] = make([]int, sch.Len())
+		for a := 0; a < sch.Len(); a++ {
+			baseOrigins[i][a] = -1
+			if ci, ok := bamm.ConceptOf(sch.Name(a)); ok {
+				baseOrigins[i][a] = ci
+			}
+		}
+	}
+	res := &Result{
+		Universe:    source.NewUniverse(cfg.Sig),
+		BaseSchema:  make([]int, cfg.NumSources),
+		Specialty:   make([]bool, cfg.NumSources),
+		AttrOrigins: make([][]int, cfg.NumSources),
+		Config:      cfg,
+	}
+	minhashK := cfg.MinHashK
+	if minhashK == 0 {
+		minhashK = minhash.DefaultK
+	}
+	// Rank-based Zipf over source sizes: the source of rank k holds
+	// MaxCard/k^s tuples (clipped to MinCard), ranks shuffled across the
+	// universe. This matches the paper's "number of tuples ranging from
+	// 10,000 to 1,000,000 that follows a Zipf distribution": a few huge
+	// sources, many small ones.
+	ranks := r.Perm(cfg.NumSources)
+	generalPool := cfg.PoolSize / 2
+	vocabScale := VocabScale(cfg)
+
+	for i := 0; i < cfg.NumSources; i++ {
+		baseIdx := i % len(base)
+		res.BaseSchema[i] = baseIdx
+		conformant := i < len(base)
+		attrs := base[baseIdx].Attrs
+		origins := baseOrigins[baseIdx]
+		if !conformant {
+			attrs, origins = perturb(r, attrs, origins, cfg)
+		}
+		res.AttrOrigins[i] = origins
+
+		card := int64(float64(cfg.MaxCard) / math.Pow(float64(ranks[i]+1), cfg.ZipfS))
+		if card < cfg.MinCard {
+			card = cfg.MinCard
+		}
+		specialty := i%2 == 1 // half the sources carry specialty items
+		res.Specialty[i] = specialty
+
+		sig, err := pcsa.New(cfg.Sig)
+		if err != nil {
+			return nil, err
+		}
+		nSpec := int64(0)
+		if specialty {
+			nSpec = int64(cfg.SpecialtyPct * float64(card))
+		}
+		var kept []source.TupleID
+		if cfg.KeepTuples {
+			kept = make([]source.TupleID, 0, card)
+		}
+		var attrSigs []*minhash.Signature
+		if cfg.AttrSignatures {
+			attrSigs = make([]*minhash.Signature, len(attrs))
+			for a := range attrSigs {
+				s, err := minhash.New(minhashK, 0)
+				if err != nil {
+					return nil, err
+				}
+				attrSigs[a] = s
+			}
+		}
+		for t := int64(0); t < card; t++ {
+			var tuple uint64
+			if t < nSpec {
+				tuple = generalPool + uint64(r.Int63n(int64(cfg.PoolSize-generalPool)))
+			} else {
+				tuple = uint64(r.Int63n(int64(generalPool)))
+			}
+			sig.AddUint64(tuple)
+			if cfg.KeepTuples {
+				kept = append(kept, tuple)
+			}
+			for a := range attrSigs {
+				attrSigs[a].AddUint64(ValueID(tuple, origins[a], attrs[a], vocabScale))
+			}
+		}
+		if cfg.KeepTuples {
+			res.Tuples = append(res.Tuples, kept)
+		}
+
+		mttf := cfg.MTTFMean + r.NormFloat64()*cfg.MTTFStd
+		if mttf < 1 {
+			mttf = 1
+		}
+		s := &source.Source{
+			Name:           fmt.Sprintf("src-%03d-b%02d", i, baseIdx),
+			Schema:         schema.NewSchema(attrs...),
+			Cardinality:    card,
+			Signature:      sig,
+			AttrSignatures: attrSigs,
+			Characteristics: map[string]float64{
+				"mttf": mttf,
+				// Per-source query latency in milliseconds, used by the
+				// mediator's cost simulation and available as a QEF.
+				"latency": 50 + r.Float64()*450,
+			},
+		}
+		id, err := res.Universe.Add(s)
+		if err != nil {
+			return nil, err
+		}
+		if conformant {
+			res.Conformant = append(res.Conformant, id)
+		}
+	}
+	return res, nil
+}
+
+// perturb applies the §7.1 schema perturbation: per attribute, remove with
+// PRemove or replace its *name* with a noise word with PReplace (the data
+// behind it is unchanged, so the origin concept is kept); then append up to
+// MaxAdd genuine noise attributes (origin -1). The result always keeps at
+// least one attribute.
+func perturb(r *rand.Rand, attrs []string, origins []int, cfg Config) ([]string, []int) {
+	outAttrs := make([]string, 0, len(attrs)+cfg.MaxAdd)
+	outOrigins := make([]int, 0, len(attrs)+cfg.MaxAdd)
+	for i, a := range attrs {
+		roll := r.Float64()
+		switch {
+		case roll < cfg.PRemove:
+			// removed
+		case roll < cfg.PRemove+cfg.PReplace:
+			outAttrs = append(outAttrs, noiseWords[r.Intn(len(noiseWords))])
+			outOrigins = append(outOrigins, origins[i]) // renamed, not re-sourced
+		default:
+			outAttrs = append(outAttrs, a)
+			outOrigins = append(outOrigins, origins[i])
+		}
+	}
+	if cfg.MaxAdd > 0 {
+		for n := r.Intn(cfg.MaxAdd + 1); n > 0; n-- {
+			outAttrs = append(outAttrs, noiseWords[r.Intn(len(noiseWords))])
+			outOrigins = append(outOrigins, -1)
+		}
+	}
+	if len(outAttrs) == 0 {
+		pick := r.Intn(len(attrs))
+		outAttrs = append(outAttrs, attrs[pick])
+		outOrigins = append(outOrigins, origins[pick])
+	}
+	return dedup(outAttrs, outOrigins)
+}
+
+// dedup removes duplicate attribute names (keeping first occurrences, with
+// their origins) so that source schemas remain lists of distinct attributes.
+func dedup(attrs []string, origins []int) ([]string, []int) {
+	seen := make(map[string]struct{}, len(attrs))
+	outA := attrs[:0]
+	outO := origins[:0]
+	for i, a := range attrs {
+		if _, dup := seen[a]; dup {
+			continue
+		}
+		seen[a] = struct{}{}
+		outA = append(outA, a)
+		outO = append(outO, origins[i])
+	}
+	return outA, outO
+}
+
+// ConceptSources returns, for each concept, how many of the sources in sel
+// express it (a source counts once per concept). It is the ground-truth view
+// Table 1's "missed" column needs.
+func ConceptSources(u *source.Universe, sel []schema.SourceID) map[int]int {
+	counts := make(map[int]int)
+	for _, id := range sel {
+		s := u.Source(id)
+		seen := make(map[int]bool)
+		for j := 0; j < s.Schema.Len(); j++ {
+			if ci, ok := bamm.ConceptOf(s.Schema.Name(j)); ok && !seen[ci] {
+				seen[ci] = true
+				counts[ci]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,35 @@
+package synth
+
+// noiseWords is the list of "words unrelated to the Books domain" used by
+// schema perturbation (§7.1): replaced or added attributes draw their names
+// from here. None of these normalizes to a BAMM concept variant (asserted by
+// tests), so every noise attribute is off-domain by construction.
+var noiseWords = []string{
+	"altitude", "anchor", "antenna", "aperture", "asphalt", "axle",
+	"ballast", "barometer", "battery", "bearing", "blizzard", "boiler",
+	"bracket", "bumper", "cabin", "caliper", "camshaft", "canyon",
+	"carburetor", "cargo", "chassis", "chimney", "circuit", "clutch",
+	"compass", "compressor", "conveyor", "crankshaft", "current", "cyclone",
+	"dashboard", "delta", "derrick", "dynamo", "elevation", "engine",
+	"estuary", "exhaust", "fairway", "fender", "fjord", "flange",
+	"floodgate", "fuselage", "gasket", "gearbox", "geyser", "girder",
+	"glacier", "gradient", "granite", "gravel", "gyroscope", "harbor",
+	"headwind", "horizon", "hydrant", "ignition", "incline", "ingot",
+	"isthmus", "jetty", "keel", "lagoon", "lathe", "lattice",
+	"lighthouse", "limestone", "locomotive", "magma", "manifold", "marina",
+	"meridian", "mesa", "monsoon", "moraine", "mudflat", "nacelle",
+	"nozzle", "odometer", "outcrop", "overpass", "paddock", "pendulum",
+	"peninsula", "pier", "piston", "plateau", "pontoon", "prairie",
+	"propeller", "pulley", "pylon", "quarry", "quay", "radiator",
+	"rampart", "ravine", "reef", "reservoir", "riverbed", "rudder",
+	"runway", "sandbar", "scaffold", "seawall", "sediment", "silo",
+	"sprocket", "spillway", "stratum", "summit", "tailwind", "tarmac",
+	"terrace", "throttle", "tides", "topsoil", "torque", "trellis",
+	"tributary", "tundra", "turbine", "valve", "viaduct", "volcano",
+	"watershed", "wharf", "windlass", "winch", "zenith", "zephyr",
+}
+
+// NoiseWords returns the perturbation word list (copy).
+func NoiseWords() []string {
+	return append([]string(nil), noiseWords...)
+}

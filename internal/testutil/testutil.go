@@ -1,0 +1,91 @@
+// Package testutil builds small, fully controlled universes for tests across
+// the repository. It is not part of µBE's public surface.
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+
+	"mube/internal/pcsa"
+	"mube/internal/schema"
+	"mube/internal/source"
+)
+
+// SigConfig is the signature shape used by test universes.
+var SigConfig = pcsa.Config{NumMaps: 64}
+
+// Spec describes one test source.
+type Spec struct {
+	Name  string
+	Attrs []string
+	// Lo, Hi delimit the tuple range [Lo, Hi); Hi == 0 makes the source
+	// uncooperative.
+	Lo, Hi uint64
+	// Chars are optional source characteristics.
+	Chars map[string]float64
+}
+
+// Universe materializes the specs into a universe.
+func Universe(t testing.TB, specs []Spec) *source.Universe {
+	t.Helper()
+	u := source.NewUniverse(SigConfig)
+	for _, sp := range specs {
+		var s *source.Source
+		if sp.Hi == 0 {
+			s = source.Uncooperative(sp.Name, schema.NewSchema(sp.Attrs...))
+		} else {
+			tuples := make([]source.TupleID, 0, sp.Hi-sp.Lo)
+			for x := sp.Lo; x < sp.Hi; x++ {
+				tuples = append(tuples, x)
+			}
+			var err error
+			s, err = source.FromTuples(sp.Name, schema.NewSchema(sp.Attrs...),
+				source.NewSliceIterator(tuples), SigConfig)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k, v := range sp.Chars {
+			s.SetCharacteristic(k, v)
+		}
+		if _, err := u.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u
+}
+
+// BooksUniverse builds a 12-source universe in a miniature Books domain with
+// three concepts (title, author, price) expressed through name variants,
+// varied cardinalities and overlaps, and an MTTF characteristic — small
+// enough for the exhaustive oracle yet rich enough to exercise every QEF.
+func BooksUniverse(t testing.TB) *source.Universe {
+	t.Helper()
+	r := rand.New(rand.NewSource(99))
+	titles := []string{"title", "book title", "title of book"}
+	authors := []string{"author", "author name", "writer"}
+	prices := []string{"price", "price range", "list price"}
+	specs := make([]Spec, 0, 12)
+	for i := 0; i < 12; i++ {
+		attrs := []string{
+			titles[i%len(titles)],
+			authors[(i/2)%len(authors)],
+		}
+		if i%3 != 0 {
+			attrs = append(attrs, prices[i%len(prices)])
+		}
+		if i%4 == 3 {
+			attrs = append(attrs, "zzz-noise") // unmatched attribute
+		}
+		lo := uint64(r.Intn(5)) * 5000
+		hi := lo + 5000 + uint64(r.Intn(4))*5000
+		specs = append(specs, Spec{
+			Name:  "books-" + string(rune('a'+i)),
+			Attrs: attrs,
+			Lo:    lo,
+			Hi:    hi,
+			Chars: map[string]float64{"mttf": 50 + float64(r.Intn(150))},
+		})
+	}
+	return Universe(t, specs)
+}

@@ -1,0 +1,195 @@
+package mube_test
+
+import (
+	"testing"
+
+	"mube"
+)
+
+// TestFacadeEndToEnd drives the whole public API the way a downstream user
+// would: build a universe by hand, open a session, solve, give feedback,
+// re-solve.
+func TestFacadeEndToEnd(t *testing.T) {
+	sig := mube.SignatureConfig{NumMaps: 64}
+	u := mube.NewUniverse(sig)
+
+	mk := func(name string, lo, hi uint64, attrs ...string) *mube.Source {
+		tuples := make([]uint64, 0, hi-lo)
+		for x := lo; x < hi; x++ {
+			tuples = append(tuples, x)
+		}
+		s, err := mube.SourceFromTuples(name, mube.NewSchema(attrs...), mube.TupleSlice(tuples), sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetCharacteristic("latency", float64(10+lo%90))
+		return s
+	}
+	for i, s := range []*mube.Source{
+		mk("alpha", 0, 4000, "title", "author", "price"),
+		mk("beta", 2000, 8000, "title", "author name"),
+		mk("gamma", 0, 3000, "book title", "writer", "price range"),
+		mk("delta", 8000, 12000, "title", "author", "price"),
+		mube.UncooperativeSource("epsilon", mube.NewSchema("keyword")),
+	} {
+		if id, err := u.Add(s); err != nil || int(id) != i {
+			t.Fatalf("Add %q: id=%d err=%v", s.Name, id, err)
+		}
+	}
+
+	qefs := append(mube.MainQEFs(),
+		mube.CharacteristicQEF{Char: "latency", Agg: mube.WSum(), Invert: true})
+	sess, err := mube.NewSession(mube.SessionConfig{
+		Universe:      u,
+		QEFs:          qefs,
+		Weights:       mube.UniformWeights(qefs),
+		Match:         mube.MatchConfig{Theta: 0.45},
+		MaxSources:    3,
+		SolverOptions: mube.SolverOptions{Seed: 2, MaxEvals: 400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sol, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Quality <= 0 || len(sol.IDs) == 0 || len(sol.IDs) > 3 {
+		t.Fatalf("solution = %+v", sol)
+	}
+
+	// Feedback round: require a source and bridge two attributes.
+	if err := sess.RequireSource(2); err != nil {
+		t.Fatal(err)
+	}
+	bridge := mube.NewGA(
+		mube.AttrRef{Source: 0, Attr: 1}, // author
+		mube.AttrRef{Source: 2, Attr: 1}, // writer
+	)
+	if err := sess.PinGA(bridge); err != nil {
+		t.Fatal(err)
+	}
+	sol2, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasGamma := false
+	for _, id := range sol2.IDs {
+		if id == 2 {
+			hasGamma = true
+		}
+	}
+	if !hasGamma {
+		t.Errorf("required source missing: %v", sol2.IDs)
+	}
+	if sol2.MatchOK && !sol2.Schema.Subsumes(mube.NewMediated(bridge)) {
+		t.Error("pinned GA not in output schema")
+	}
+	if len(sess.History()) != 2 {
+		t.Errorf("history = %d iterations", len(sess.History()))
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if mube.DefaultSolver().Name() != "tabu" {
+		t.Error("default solver is not tabu")
+	}
+	if _, err := mube.SolverByName("anneal"); err != nil {
+		t.Errorf("SolverByName: %v", err)
+	}
+	if len(mube.AllSolvers()) != 5 {
+		t.Errorf("AllSolvers = %d", len(mube.AllSolvers()))
+	}
+	if mube.SimilarityByName("jaro-winkler") == nil {
+		t.Error("SimilarityByName failed")
+	}
+	if mube.TriGramJaccard.Sim("author", "author") != 1 {
+		t.Error("TriGramJaccard broken")
+	}
+	if _, err := mube.AggregatorByName("wsum"); err != nil {
+		t.Errorf("AggregatorByName: %v", err)
+	}
+	w := mube.PaperWeights()
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("paper weights sum = %v", sum)
+	}
+	if mube.DefaultSignatureConfig.NumMaps != 256 {
+		t.Errorf("default signature = %+v", mube.DefaultSignatureConfig)
+	}
+	c := mube.DefaultSynthConfig()
+	if c.NumSources != 700 || c.MinCard != 10000 || c.MaxCard != 1000000 || c.PoolSize != 4000000 {
+		t.Errorf("paper synth config = %+v", c)
+	}
+}
+
+func TestFacadeSyntheticUniverse(t *testing.T) {
+	cfg := mube.ScaledSynthConfig(0.002)
+	cfg.NumSources = 60
+	cfg.Seed = 5
+	cfg.Sig = mube.SignatureConfig{NumMaps: 64}
+	res, err := mube.GenerateUniverse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Universe.Len() != 60 {
+		t.Fatalf("universe = %d sources", res.Universe.Len())
+	}
+	m, err := mube.NewMatcher(res.Universe, mube.MatchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := m.Match(res.Universe.IDs()[:10], mube.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mr.OK || mr.Schema.Len() == 0 {
+		t.Errorf("matching 10 synthetic sources found nothing: %+v", mr)
+	}
+}
+
+func TestFacadeCompoundAndDiscovery(t *testing.T) {
+	sig := mube.SignatureConfig{NumMaps: 64}
+	u := mube.NewUniverse(sig)
+	u.Add(mube.UncooperativeSource("events", mube.NewSchema("after date", "before date", "keyword")))
+	u.Add(mube.UncooperativeSource("listings", mube.NewSchema("date", "keyword")))
+
+	// Discovery.
+	idx := mube.BuildDiscoveryIndex(u)
+	hits := idx.Search("keyword", 0)
+	if len(hits) != 2 {
+		t.Fatalf("discovery hits = %v", hits)
+	}
+
+	// Compound n:m matching.
+	grouping := mube.AutoGroupCompounds(u)
+	if len(grouping[0]) != 1 {
+		t.Fatalf("auto grouping = %+v", grouping)
+	}
+	view, err := mube.CompoundTransform(u, grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mube.NewMatcher(view.Universe, mube.MatchConfig{Theta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Match(view.Universe.IDs(), mube.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := view.Project(res.Schema)
+	foundNM := false
+	for _, c := range corr {
+		if c.Cardinality() == "2:1" {
+			foundNM = true
+		}
+	}
+	if !foundNM {
+		t.Errorf("no 2:1 correspondence found: %+v", corr)
+	}
+}
