@@ -1,0 +1,30 @@
+# Development entry points. `make check` is the tier-1 gate CI runs on every
+# commit: build, go vet, the full test suite under the race detector, and
+# the repo's own analyzers (cmd/mube-vet).
+
+GO ?= go
+
+.PHONY: check build vet test race mube-vet bench fmt
+
+check: build vet race mube-vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+mube-vet:
+	$(GO) run ./cmd/mube-vet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+fmt:
+	gofmt -w $$(git ls-files '*.go' | grep -v /testdata/)

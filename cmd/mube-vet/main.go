@@ -1,0 +1,86 @@
+// Command mube-vet runs µBE's repo-specific static analyzers (package
+// mube/internal/analysis/rules) over the module and reports file:line:col
+// diagnostics.
+//
+// Usage:
+//
+//	mube-vet [-list] [packages]
+//
+// With no package patterns it checks ./.... Exit status is 0 when the tree
+// is clean, 1 when diagnostics were reported, and 2 when the packages could
+// not be loaded or type-checked (the two failure modes CI must be able to
+// tell apart: a dirty tree is a policy violation, a broken load is a build
+// problem).
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mube/internal/analysis"
+	"mube/internal/analysis/rules"
+)
+
+// Exit codes. CI scripts rely on the distinction.
+const (
+	exitClean       = 0
+	exitDiagnostics = 1
+	exitLoadFailure = 2
+)
+
+func main() {
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	patterns := make([]string, 0, len(args))
+	for i, a := range args {
+		switch a {
+		case "-list", "--list":
+			for _, an := range rules.All {
+				fmt.Fprintf(stdout, "%s: %s\n", an.Name, an.Doc)
+			}
+			return exitClean
+		case "-h", "-help", "--help":
+			usage(stdout)
+			return exitClean
+		default:
+			if len(a) > 0 && a[0] == '-' {
+				fmt.Fprintf(stderr, "mube-vet: unknown flag %s\n", a)
+				usage(stderr)
+				return exitLoadFailure
+			}
+			patterns = append(patterns, args[i])
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mube-vet: %v\n", err)
+		return exitLoadFailure
+	}
+	diags := analysis.Run(pkgs, rules.All)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "mube-vet: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
+		return exitDiagnostics
+	}
+	return exitClean
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: mube-vet [-list] [packages]
+
+Runs µBE's determinism, floatcmp, errdrop, and seedflow analyzers over the
+given package patterns (default ./...).
+
+  -list  print the registered analyzers and exit
+
+Exit status: 0 clean, 1 diagnostics reported, 2 load/type-check failure.
+`)
+}

@@ -18,7 +18,7 @@ func captureStdout(t *testing.T, fn func() error) string {
 	}
 	os.Stdout = w
 	runErr := fn()
-	w.Close()
+	_ = w.Close()
 	os.Stdout = old
 	data, _ := io.ReadAll(r)
 	if runErr != nil {

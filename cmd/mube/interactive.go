@@ -156,7 +156,9 @@ func runREPL(s *session.Session, u *source.Universe, in io.Reader, out io.Writer
 				continue
 			}
 			err = s.SaveSpec(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 			} else {
@@ -173,7 +175,9 @@ func runREPL(s *session.Session, u *source.Universe, in io.Reader, out io.Writer
 				continue
 			}
 			err = s.WriteReport(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 			} else {

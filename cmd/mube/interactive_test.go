@@ -12,6 +12,7 @@ import (
 	"mube/internal/session"
 	"mube/internal/source"
 	"mube/internal/synth"
+	"mube/internal/testutil"
 )
 
 // testUniverse generates a small synthetic universe for CLI tests.
@@ -93,10 +94,10 @@ func TestREPLParameterCommands(t *testing.T) {
 		"quit",
 	)
 	spec := s.Spec()
-	if spec.Theta != 0.7 || spec.Beta != 3 || spec.MaxSources != 4 || spec.Solver != "anneal" {
+	if !testutil.AlmostEqual(spec.Theta, 0.7) || spec.Beta != 3 || spec.MaxSources != 4 || spec.Solver != "anneal" {
 		t.Errorf("spec = %+v", spec)
 	}
-	if spec.Weights["card"] != 0.5 {
+	if !testutil.AlmostEqual(spec.Weights["card"], 0.5) {
 		t.Errorf("card weight = %v", spec.Weights["card"])
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mube/internal/schema"
+	"mube/internal/testutil"
 )
 
 func TestParseWeights(t *testing.T) {
@@ -11,7 +12,7 @@ func TestParseWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w["match"] != 0.5 || w["card"] != 0.3 || w["coverage"] != 0.2 {
+	if !testutil.AlmostEqual(w["match"], 0.5) || !testutil.AlmostEqual(w["card"], 0.3) || !testutil.AlmostEqual(w["coverage"], 0.2) {
 		t.Errorf("weights = %v", w)
 	}
 	for _, bad := range []string{"match", "match=x", "=0.5", "match=0.5,,"} {

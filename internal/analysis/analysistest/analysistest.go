@@ -1,0 +1,92 @@
+// Package analysistest runs one analyzer over a fixture package and checks
+// its diagnostics against // want "regexp" comments in the fixture source —
+// the same golden-comment convention as x/tools' analysistest, rebuilt on
+// the repo's own framework.
+//
+// A fixture is a directory of .go files (conventionally under
+// testdata/src/<name>). Files named *_test.go are parsed as part of the
+// fixture so analyzers' test-file allowlists can be exercised. Every line
+// that should be flagged carries a trailing comment:
+//
+//	rand.Intn(6) // want "global rand"
+//
+// The string is a regexp matched against the diagnostic message. Lines
+// without a want comment must produce no diagnostic, and every want must be
+// matched exactly once.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"testing"
+
+	"mube/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture in dir under importPath, applies the analyzer, and
+// reports any mismatch between diagnostics and want comments as test
+// failures.
+func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+
+	for _, d := range diags {
+		if w := matchWant(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func matchWant(wants []*want, d analysis.Diagnostic) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Position.Filename && w.line == d.Position.Line &&
+			w.pattern.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,93 @@
+package rules
+
+import (
+	"go/ast"
+
+	"mube/internal/analysis"
+)
+
+// Determinism forbids process-global randomness and wall-clock reads in the
+// packages whose outputs the paper's experiments replay: every solver, the
+// quality evaluation stack, matching, signatures, and the session layer.
+// Randomness must flow through an injected *rand.Rand (constructed with
+// rand.New) and time through an injectable clock value; test files and the
+// experiment/bench harnesses that own their own timing are exempt.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid global math/rand functions and time.Now/time.Since in the " +
+		"deterministic core (internal/opt, qef, match, pcsa, session); " +
+		"randomness and time must be injected",
+	Run: runDeterminism,
+}
+
+// determinismScope is the deterministic core. Prefixes cover subpackages.
+var determinismScope = []string{
+	modulePath + "/internal/opt",
+	modulePath + "/internal/qef",
+	modulePath + "/internal/match",
+	modulePath + "/internal/pcsa",
+	modulePath + "/internal/session",
+}
+
+// determinismAllow exempts harnesses inside the scope that legitimately own
+// wall-clock timing or fixture randomness: the experiment tables time real
+// runs, the bench command measures, and opttest builds shared test fixtures.
+var determinismAllow = []string{
+	modulePath + "/internal/opt/opttest",
+	modulePath + "/internal/exp",
+	modulePath + "/cmd/mube-bench",
+}
+
+// globalRandFuncs are the math/rand (and v2) top-level functions that read
+// the package-global source. Constructors (New, NewSource, NewZipf, NewPCG,
+// NewChaCha8) are the approved injection path and stay legal.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"Uint": true, "UintN": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func runDeterminism(pass *analysis.Pass) {
+	if !underAny(pass.Path, determinismScope) || underAny(pass.Path, determinismAllow) {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name := pkgFunc(pass, call)
+			switch pkgPath {
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[name] {
+					pass.Reportf(call.Pos(),
+						"call to global %s.%s; draw from an injected *rand.Rand instead",
+						shortPkg(pkgPath), name)
+				}
+			case "time":
+				if name == "Now" || name == "Since" {
+					pass.Reportf(call.Pos(),
+						"call to time.%s in the deterministic core; inject a clock (e.g. session.Clock)",
+						name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func shortPkg(path string) string {
+	if path == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

@@ -1,0 +1,114 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mube/internal/analysis"
+)
+
+// ErrDrop flags expression statements that call a function returning an
+// error and let the result fall on the floor. Discarding must be explicit
+// (`_ = f()`), handled, or the call must be on the exemption list of
+// can't-realistically-fail writers (fmt printing, in-memory builders).
+var ErrDrop = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flag statement-position calls whose error result is silently " +
+		"discarded; drop errors explicitly with _ = or handle them",
+	Run: runErrDrop,
+}
+
+// errDropExemptFuncs are package-level functions whose error results are
+// conventionally ignored: terminal printing can only fail when the process
+// has bigger problems.
+var errDropExemptFuncs = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+// errDropExemptRecvs are receiver types whose Write*/flush-style methods
+// are documented to always return a nil error.
+var errDropExemptRecvs = map[string]bool{
+	"*strings.Builder": true,
+	"*bytes.Buffer":    true,
+}
+
+func runErrDrop(pass *analysis.Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call, errType) || exemptCall(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s returns an error that is silently discarded; handle it or assign to _",
+				calleeName(pass, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call yields an error as its only or last
+// result.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr, errType types.Type) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		return t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errType)
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// calleeFunc resolves the called *types.Func, or nil for indirect calls.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func exemptCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		return errDropExemptRecvs[recv.Type().String()]
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	return errDropExemptFuncs[fn.Pkg().Path()+"."+fn.Name()]
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Name() != pass.Pkg.Name() {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,68 @@
+package rules
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"mube/internal/analysis"
+)
+
+// FloatCmp flags == and != between floating-point operands. Quality scores
+// are accumulated float64 sums, so exact equality is replay-hostile: two
+// mathematically identical runs can differ in the last ulp. Comparisons
+// must go through testutil.AlmostEqual (tests) or an explicit epsilon.
+//
+// One shape stays legal: comparison against the exact constant zero. The
+// zero value is µBE's pervasive "unset/absent" sentinel (weights, ranges,
+// characteristics), assigned — not computed — so equality is well-defined.
+var FloatCmp = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flag ==/!= between float operands (exact-zero sentinel tests " +
+		"excepted); compare through testutil.AlmostEqual or an epsilon",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, bin.X) || !isFloat(pass, bin.Y) {
+				return true
+			}
+			if isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"float equality (%s) is not replay-safe; use testutil.AlmostEqual or an explicit epsilon",
+				bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if tv.Value.Kind() != constant.Float && tv.Value.Kind() != constant.Int {
+		return false
+	}
+	f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	return f == 0
+}

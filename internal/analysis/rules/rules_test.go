@@ -1,0 +1,63 @@
+package rules_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mube/internal/analysis"
+	"mube/internal/analysis/analysistest"
+	"mube/internal/analysis/rules"
+)
+
+func fixture(elem ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, elem...)...)
+}
+
+func TestDeterminismRestricted(t *testing.T) {
+	analysistest.Run(t, fixture("determinism", "core"), "mube/internal/opt/fixture", rules.Determinism)
+}
+
+func TestDeterminismAllowlisted(t *testing.T) {
+	// Same subtree as the restricted case, but on the explicit allowlist.
+	analysistest.Run(t, fixture("determinism", "allowed"), "mube/internal/opt/opttest", rules.Determinism)
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	// The exp harness owns its timing; the restricted fixture produces no
+	// diagnostics when loaded under an out-of-scope path. Reusing the
+	// "allowed" fixture keeps the want-comment sets consistent.
+	analysistest.Run(t, fixture("determinism", "allowed"), "mube/internal/exp", rules.Determinism)
+}
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, fixture("floatcmp"), "mube/internal/fixture/floatcmp", rules.FloatCmp)
+}
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, fixture("errdrop"), "mube/internal/fixture/errdrop", rules.ErrDrop)
+}
+
+func TestSeedFlow(t *testing.T) {
+	analysistest.Run(t, fixture("seedflow"), "mube/internal/fixture/seedflow", rules.SeedFlow)
+}
+
+func TestSeedFlowAllowlisted(t *testing.T) {
+	analysistest.Run(t, fixture("seedflow", "allowed"), "mube/internal/synth/fixture", rules.SeedFlow)
+}
+
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range rules.All {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incompletely declared", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(rules.All) < 4 {
+		t.Errorf("registry has %d analyzers, want at least 4", len(rules.All))
+	}
+	var _ []*analysis.Analyzer = rules.All
+}

@@ -1,0 +1,54 @@
+package rules
+
+import (
+	"go/ast"
+
+	"mube/internal/analysis"
+)
+
+// SeedFlow forbids rand.NewSource with a compile-time-constant seed outside
+// test scaffolding. A literal seed buried in production code pins behavior
+// to a hidden constant the operator can't vary or record; seeds must arrive
+// through configuration (synth.Config.Seed, opt.Options.Seed, exp scenario
+// seeds) so every run is reproducible *and* reportable.
+var SeedFlow = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: "flag rand.NewSource(<constant>) outside testutil/synth/exp and " +
+		"_test.go files; seeds must come from config or Opts.Seed",
+	Run: runSeedFlow,
+}
+
+// seedFlowAllow marks the packages whose whole purpose is deterministic
+// fixture generation; pinned seeds are their feature, not a leak.
+var seedFlowAllow = []string{
+	modulePath + "/internal/testutil",
+	modulePath + "/internal/synth",
+	modulePath + "/internal/exp",
+}
+
+func runSeedFlow(pass *analysis.Pass) {
+	if underAny(pass.Path, seedFlowAllow) {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name := pkgFunc(pass, call)
+			if pkgPath != "math/rand" || name != "NewSource" || len(call.Args) != 1 {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil {
+				pass.Reportf(call.Pos(),
+					"rand.NewSource with constant seed %s; take the seed from config or Opts.Seed",
+					tv.Value)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,14 @@
+// Fixture loaded under mube/internal/opt/opttest — inside the restricted
+// internal/opt subtree but on the explicit allowlist (test-fixture and
+// bench harnesses own their timing and randomness). Nothing is flagged.
+package allowed
+
+import (
+	"math/rand"
+	"time"
+)
+
+func harness() time.Time {
+	_ = rand.Intn(6) // no want: allowlisted package
+	return time.Now() // no want
+}

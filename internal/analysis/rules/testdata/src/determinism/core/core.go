@@ -1,0 +1,32 @@
+// Fixture for the determinism analyzer, loaded under the restricted import
+// path mube/internal/opt/fixture. Global randomness and wall-clock reads
+// must be flagged; the injected equivalents must not.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globals() {
+	_ = rand.Intn(6)         // want "global rand.Intn"
+	_ = rand.Float64()       // want "global rand.Float64"
+	rand.Shuffle(3, swap)    // want "global rand.Shuffle"
+	_ = time.Now()           // want "time.Now in the deterministic core"
+	start := time.Time{}
+	_ = time.Since(start)    // want "time.Since in the deterministic core"
+}
+
+func injected(r *rand.Rand, now func() time.Time) time.Duration {
+	_ = r.Intn(6)      // injected source: fine
+	_ = r.Float64()    // fine
+	start := now()     // injected clock: fine
+	return now().Sub(start)
+}
+
+// construction of an injectable source is the approved pattern, not a leak.
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func swap(i, j int) {}

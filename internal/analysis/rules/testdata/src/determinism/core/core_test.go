@@ -1,0 +1,13 @@
+// Test files inside the restricted scope are exempt: tests may use global
+// randomness for fixture noise without breaking replayability.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func helperForTests() {
+	_ = rand.Intn(6) // no want: _test.go files are allowlisted
+	_ = time.Now()   // no want
+}

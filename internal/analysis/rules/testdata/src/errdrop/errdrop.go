@@ -1,0 +1,39 @@
+// Fixture for the errdrop analyzer: statement-position calls that drop an
+// error result are flagged; explicit discards, handled errors, and the
+// can't-fail exemptions are not.
+package errdrop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fails() error                { return nil }
+func failsWithValue() (int, error) { return 0, nil }
+func succeeds() int               { return 0 }
+
+func drops(path string) {
+	fails()                    // want "fails returns an error that is silently discarded"
+	failsWithValue()           // want "failsWithValue returns an error"
+	os.Remove(path)            // want "os.Remove returns an error"
+	fmt.Errorf("built: %s", path) // want "fmt.Errorf returns an error"
+}
+
+func handles(path string) error {
+	_ = fails()           // explicit discard: fine
+	_, _ = failsWithValue() // fine
+	succeeds()            // no error result: fine
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return fails()
+}
+
+func exempt(w *os.File) {
+	fmt.Println("terminal printing is exempt") // no want
+	fmt.Fprintf(w, "as is Fprintf %d\n", 1)    // no want
+	var b strings.Builder
+	b.WriteString("in-memory builders never fail") // no want
+	fmt.Println(b.String())
+}

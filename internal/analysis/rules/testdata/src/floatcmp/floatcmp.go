@@ -1,0 +1,42 @@
+// Fixture for the floatcmp analyzer. Float equality is flagged everywhere
+// except against the exact constant zero (the unset-sentinel idiom) or
+// under an explicit ignore directive.
+package floatcmp
+
+import "math"
+
+const half = 0.5
+
+func compare(a, b float64, f, g float32, i, j int) bool {
+	if a == b { // want "float equality"
+		return true
+	}
+	if a != b { // want "float equality"
+		return true
+	}
+	if f == g { // want "float equality"
+		return true
+	}
+	if a == half { // want "float equality"
+		return true
+	}
+	if a == 1.0 { // want "float equality"
+		return true
+	}
+	return i == j // ints: fine
+}
+
+func sentinels(a, weight float64) bool {
+	if weight == 0 { // exact-zero sentinel: fine
+		return false
+	}
+	if 0 == a { // fine either side
+		return false
+	}
+	return math.Abs(a-weight) <= 1e-9 // epsilon comparison: fine
+}
+
+func suppressed(q1, q2 float64) bool {
+	//mube:vet-ignore floatcmp — scores are copied, not recomputed
+	return q1 == q2 // directive above suppresses this line
+}

@@ -1,0 +1,9 @@
+// Fixture loaded under mube/internal/synth — deterministic fixture
+// generation is allowlisted, so its pinned seeds pass.
+package allowed
+
+import "math/rand"
+
+func generator() *rand.Rand {
+	return rand.New(rand.NewSource(99)) // no want: synth is allowlisted
+}

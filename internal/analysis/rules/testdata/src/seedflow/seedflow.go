@@ -1,0 +1,19 @@
+// Fixture for the seedflow analyzer, loaded under a production import path:
+// constant seeds are flagged, config-carried seeds are not.
+package seedflow
+
+import "math/rand"
+
+const pinned int64 = 7
+
+type config struct{ Seed int64 }
+
+func literals() {
+	_ = rand.NewSource(42)     // want "constant seed 42"
+	_ = rand.NewSource(pinned) // want "constant seed 7"
+}
+
+func fromConfig(cfg config, seed int64) {
+	_ = rand.NewSource(cfg.Seed) // seed flows from config: fine
+	_ = rand.NewSource(seed)     // fine
+}

@@ -8,6 +8,7 @@ import (
 	"mube/internal/pcsa"
 	"mube/internal/schema"
 	"mube/internal/source"
+	"mube/internal/testutil"
 )
 
 func ref(s, a int) schema.AttrRef { return schema.AttrRef{Source: schema.SourceID(s), Attr: a} }
@@ -139,7 +140,9 @@ func TestTransformPreservesDataView(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.SetCharacteristic("mttf", 42)
-	u.Add(s)
+	if _, err := u.Add(s); err != nil {
+		t.Fatal(err)
+	}
 
 	tr, err := Transform(u, Grouping{0: {{Attrs: []int{0, 1}}}})
 	if err != nil {
@@ -149,10 +152,10 @@ func TestTransformPreservesDataView(t *testing.T) {
 	if d.Cardinality != 1000 {
 		t.Errorf("cardinality = %d", d.Cardinality)
 	}
-	if d.Signature.Estimate() != s.Signature.Estimate() {
+	if !testutil.AlmostEqual(d.Signature.Estimate(), s.Signature.Estimate()) {
 		t.Error("signature not shared")
 	}
-	if v, _ := d.Characteristic("mttf"); v != 42 {
+	if v, _ := d.Characteristic("mttf"); !testutil.AlmostEqual(v, 42) {
 		t.Errorf("characteristics lost: %v", v)
 	}
 }

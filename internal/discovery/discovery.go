@@ -99,8 +99,11 @@ func (idx *Index) Search(query string, k int) []Hit {
 		hits = append(hits, Hit{Source: sid, Score: score, Matched: toks})
 	}
 	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+		if hits[i].Score > hits[j].Score {
+			return true
+		}
+		if hits[i].Score < hits[j].Score {
+			return false
 		}
 		return hits[i].Source < hits[j].Source
 	})

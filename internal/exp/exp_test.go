@@ -8,6 +8,7 @@ import (
 
 	"mube/internal/bamm"
 	"mube/internal/pcsa"
+	"mube/internal/testutil"
 )
 
 // micro returns a very small scale for unit tests (sub-second per
@@ -30,7 +31,7 @@ func micro() Scale {
 
 func TestScalePresets(t *testing.T) {
 	full := Full()
-	if full.BaseUniverse != 200 || full.ChooseDefault != 20 || full.DataFactor != 1 {
+	if full.BaseUniverse != 200 || full.ChooseDefault != 20 || !testutil.AlmostEqual(full.DataFactor, 1) {
 		t.Errorf("Full() = %+v, want the paper's 200/20/1", full)
 	}
 	if len(full.UniverseSizes) != 7 || full.UniverseSizes[0] != 100 || full.UniverseSizes[6] != 700 {

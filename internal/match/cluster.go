@@ -162,8 +162,11 @@ func (m *Matcher) cluster(clusters []*cluster) []*cluster {
 			}
 		}
 		sort.Slice(h, func(a, b int) bool {
-			if h[a].sim != h[b].sim {
-				return h[a].sim > h[b].sim
+			if h[a].sim > h[b].sim {
+				return true
+			}
+			if h[a].sim < h[b].sim {
+				return false
 			}
 			if h[a].i != h[b].i {
 				return h[a].i < h[b].i

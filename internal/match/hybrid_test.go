@@ -7,6 +7,7 @@ import (
 	"mube/internal/minhash"
 	"mube/internal/schema"
 	"mube/internal/source"
+	"mube/internal/testutil"
 )
 
 // hybridUniverse builds three sources where source 2 *renamed* its author
@@ -110,7 +111,7 @@ func TestHybridPairSim(t *testing.T) {
 	if s := m.PairSim(ref(0, 1), ref(3, 0)); s > 0.1 {
 		t.Errorf("unrelated sim = %v", s)
 	}
-	if m.PairSim(ref(0, 0), ref(0, 0)) != 1 {
+	if !testutil.AlmostEqual(m.PairSim(ref(0, 0), ref(0, 0)), 1) {
 		t.Error("self similarity must be 1")
 	}
 }
@@ -125,13 +126,13 @@ func TestHybridValidation(t *testing.T) {
 	}
 	// Missing sketches degrade gracefully to the name component.
 	bare := source.NewUniverse(sigCfg)
-	bare.Add(source.Uncooperative("x", schema.NewSchema("title")))
-	bare.Add(source.Uncooperative("y", schema.NewSchema("title")))
+	mustAdd(t, bare, source.Uncooperative("x", schema.NewSchema("title")))
+	mustAdd(t, bare, source.Uncooperative("y", schema.NewSchema("title")))
 	m, err := New(bare, Config{DataWeight: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s := m.PairSim(ref(0, 0), ref(1, 0)); s != 0.5 {
+	if s := m.PairSim(ref(0, 0), ref(1, 0)); !testutil.AlmostEqual(s, 0.5) {
 		t.Errorf("sketch-less hybrid sim = %v, want name component only (0.5)", s)
 	}
 }
@@ -143,10 +144,18 @@ func TestHybridWithParamsSharesTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m2.PairSim(ref(0, 0), ref(2, 0)) != m.PairSim(ref(0, 0), ref(2, 0)) {
+	if !testutil.AlmostEqual(m2.PairSim(ref(0, 0), ref(2, 0)), m.PairSim(ref(0, 0), ref(2, 0))) {
 		t.Error("WithParams changed the hybrid table")
 	}
-	if m2.Theta() != 0.7 {
+	if !testutil.AlmostEqual(m2.Theta(), 0.7) {
 		t.Error("theta not applied")
+	}
+}
+
+// mustAdd adds s to u, failing the test on any error.
+func mustAdd(t testing.TB, u *source.Universe, s *source.Source) {
+	t.Helper()
+	if _, err := u.Add(s); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"mube/internal/schema"
 	"mube/internal/source"
 	"mube/internal/strutil"
+	"mube/internal/testutil"
 )
 
 var sigCfg = pcsa.Config{NumMaps: 64}
@@ -50,10 +51,10 @@ func TestConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Config().Theta != DefaultTheta || m.Config().Beta != DefaultBeta {
+	if !testutil.AlmostEqual(m.Config().Theta, DefaultTheta) || m.Config().Beta != DefaultBeta {
 		t.Errorf("defaults not applied: %+v", m.Config())
 	}
-	if m.Theta() != DefaultTheta {
+	if !testutil.AlmostEqual(m.Theta(), DefaultTheta) {
 		t.Errorf("Theta() = %v", m.Theta())
 	}
 }
@@ -67,7 +68,7 @@ func TestPairSim(t *testing.T) {
 		// The matcher stores similarities as float32; allow that rounding.
 		t.Errorf("PairSim = %v, want %v", same, want)
 	}
-	if m.PairSim(ref(0, 0), ref(0, 0)) != 1 {
+	if !testutil.AlmostEqual(m.PairSim(ref(0, 0), ref(0, 0)), 1) {
 		t.Error("self-similarity must be 1")
 	}
 }
@@ -104,7 +105,7 @@ func TestMatchClustersIdenticalNames(t *testing.T) {
 	if titleGA == nil || titleGA.Size() != 2 {
 		t.Errorf("title GA = %v, want 2 attrs", titleGA)
 	}
-	if res.Quality != 1 {
+	if !testutil.AlmostEqual(res.Quality, 1) {
 		t.Errorf("quality = %v, want 1 for identical names", res.Quality)
 	}
 }
@@ -341,7 +342,7 @@ func TestMatchDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if again.Schema.String() != first.Schema.String() || again.Quality != first.Quality {
+		if again.Schema.String() != first.Schema.String() || !testutil.AlmostEqual(again.Quality, first.Quality) {
 			t.Fatal("Match is not deterministic")
 		}
 	}
@@ -377,7 +378,7 @@ func TestAvgLinkage(t *testing.T) {
 func TestGAQualitySingleton(t *testing.T) {
 	u := universe(t, []string{"a"})
 	m := MustNew(u, Config{})
-	if q := m.GAQuality(schema.NewGA(ref(0, 0))); q != 1 {
+	if q := m.GAQuality(schema.NewGA(ref(0, 0))); !testutil.AlmostEqual(q, 1) {
 		t.Errorf("singleton GA quality = %v, want 1", q)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mube/internal/constraint"
+	"mube/internal/testutil"
 )
 
 func TestHungarianKnownMatrix(t *testing.T) {
@@ -24,7 +25,7 @@ func TestHungarianKnownMatrix(t *testing.T) {
 		}
 		seen[j] = true
 	}
-	if total != 5 {
+	if !testutil.AlmostEqual(total, 5) {
 		t.Errorf("assignment cost = %v, want 5 (assign %v)", total, assign)
 	}
 	if hungarian(nil) != nil {

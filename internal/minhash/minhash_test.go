@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"mube/internal/testutil/approx"
 )
 
 // build returns a signature over the integer range [lo, hi).
@@ -66,7 +68,7 @@ func TestJaccardSymmetricAndBounded(t *testing.T) {
 		if err1 != nil || err2 != nil {
 			return false
 		}
-		return ab == ba && ab >= 0 && ab <= 1
+		return approx.AlmostEqual(ab, ba) && ab >= 0 && ab <= 1
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
@@ -101,13 +103,13 @@ func TestMergeIsUnion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if j != 1 {
+	if !approx.AlmostEqual(j, 1) {
 		t.Errorf("merged signature differs from union signature: J = %v", j)
 	}
 	// Clone independence.
 	clone := a.Clone()
 	clone.AddUint64(999999)
-	if ja, _ := a.Jaccard(clone); ja == 1 && !a.Empty() {
+	if ja, _ := a.Jaccard(clone); approx.AlmostEqual(ja, 1) && !a.Empty() {
 		// Possible but astronomically unlikely for one extra min update;
 		// check the underlying slices are separate instead.
 		a.mins[0] = 0
@@ -130,7 +132,7 @@ func TestStringsAndDuplicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if j != 1 {
+	if !approx.AlmostEqual(j, 1) {
 		t.Errorf("duplicates changed the signature: J = %v", j)
 	}
 }
@@ -157,7 +159,7 @@ func TestMarshalRoundTrip(t *testing.T) {
 	if err := back.UnmarshalBinary(data); err != nil {
 		t.Fatal(err)
 	}
-	if j, err := a.Jaccard(&back); err != nil || j != 1 {
+	if j, err := a.Jaccard(&back); err != nil || !approx.AlmostEqual(j, 1) {
 		t.Errorf("round trip: J=%v err=%v", j, err)
 	}
 	if err := back.UnmarshalBinary(data[:10]); err == nil {

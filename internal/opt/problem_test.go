@@ -119,7 +119,7 @@ func TestEvaluatorMemoizes(t *testing.T) {
 		t.Fatalf("evals=%d calls=%d after first eval", e.Evals(), e.Calls())
 	}
 	b := e.Eval(ids(0, 1, 2))
-	if a != b {
+	if !testutil.AlmostEqual(a, b) {
 		t.Errorf("memoized value differs: %v vs %v", a, b)
 	}
 	if e.Evals() != 1 || e.Calls() != 2 {

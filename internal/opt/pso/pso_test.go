@@ -7,6 +7,7 @@ import (
 	"mube/internal/opt"
 	"mube/internal/opt/opttest"
 	"mube/internal/schema"
+	"mube/internal/testutil"
 )
 
 func TestName(t *testing.T) {
@@ -61,13 +62,13 @@ func TestFullyConstrainedProblem(t *testing.T) {
 }
 
 func TestSigmoidAndIndicator(t *testing.T) {
-	if s := sigmoid(0); s != 0.5 {
+	if s := sigmoid(0); !testutil.AlmostEqual(s, 0.5) {
 		t.Errorf("sigmoid(0) = %v", s)
 	}
 	if sigmoid(10) < 0.99 || sigmoid(-10) > 0.01 {
 		t.Error("sigmoid saturation broken")
 	}
-	if indicator(true, false) != 1 || indicator(false, true) != -1 || indicator(true, true) != 0 {
+	if !testutil.AlmostEqual(indicator(true, false), 1) || !testutil.AlmostEqual(indicator(false, true), -1) || indicator(true, true) != 0 {
 		t.Error("indicator broken")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"mube/internal/constraint"
 	"mube/internal/opt"
 	"mube/internal/opt/opttest"
+	"mube/internal/testutil"
 )
 
 func TestName(t *testing.T) {
@@ -27,7 +28,7 @@ func TestSolveFeasibleAndDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Quality != b.Quality {
+	if !testutil.AlmostEqual(a.Quality, b.Quality) {
 		t.Errorf("same seed differs: %v vs %v", a.Quality, b.Quality)
 	}
 }

@@ -164,7 +164,7 @@ func TestSolversDeterministicPerSeed(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
-		if a.Quality != b.Quality || len(a.IDs) != len(b.IDs) {
+		if !testutil.AlmostEqual(a.Quality, b.Quality) || len(a.IDs) != len(b.IDs) {
 			t.Errorf("%s: runs with equal seed differ: %v/%v vs %v/%v",
 				s.Name(), a.IDs, a.Quality, b.IDs, b.Quality)
 		}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"mube/internal/testutil/approx"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -78,7 +80,7 @@ func TestDuplicatesDoNotInflate(t *testing.T) {
 	for j := 0; j < 50; j++ {
 		one.AddUint64(uint64(j))
 	}
-	if s.Estimate() != one.Estimate() {
+	if !approx.AlmostEqual(s.Estimate(), one.Estimate()) {
 		t.Errorf("duplicates changed estimate: %v vs %v", s.Estimate(), one.Estimate())
 	}
 }
@@ -104,7 +106,7 @@ func TestUnionEqualsCombinedSignature(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if u.Estimate() != all.Estimate() {
+	if !approx.AlmostEqual(u.Estimate(), all.Estimate()) {
 		t.Errorf("union estimate %v != combined estimate %v", u.Estimate(), all.Estimate())
 	}
 }
@@ -159,17 +161,17 @@ func TestMergeProperties(t *testing.T) {
 		a, b, c := mk(sa, 500), mk(sb, 700), mk(sc, 300)
 		ab, _ := Union(a, b)
 		ba, _ := Union(b, a)
-		if ab.Estimate() != ba.Estimate() {
+		if !approx.AlmostEqual(ab.Estimate(), ba.Estimate()) {
 			return false
 		}
 		abc1, _ := Union(ab, c)
 		bc, _ := Union(b, c)
 		abc2, _ := Union(a, bc)
-		if abc1.Estimate() != abc2.Estimate() {
+		if !approx.AlmostEqual(abc1.Estimate(), abc2.Estimate()) {
 			return false
 		}
 		aa, _ := Union(a, a)
-		return aa.Estimate() == a.Estimate()
+		return approx.AlmostEqual(aa.Estimate(), a.Estimate())
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
@@ -181,7 +183,7 @@ func TestAddBytesAndString(t *testing.T) {
 	b := MustNew(Config{NumMaps: 64})
 	a.AddBytes([]byte("hello world"))
 	b.AddString("hello world")
-	if a.Estimate() != b.Estimate() {
+	if !approx.AlmostEqual(a.Estimate(), b.Estimate()) {
 		t.Error("AddBytes and AddString of same content should agree")
 	}
 }
@@ -200,7 +202,7 @@ func TestMarshalRoundTrip(t *testing.T) {
 	if err := back.UnmarshalBinary(data); err != nil {
 		t.Fatal(err)
 	}
-	if back.Estimate() != s.Estimate() {
+	if !approx.AlmostEqual(back.Estimate(), s.Estimate()) {
 		t.Errorf("round-trip estimate %v != %v", back.Estimate(), s.Estimate())
 	}
 	if back.Config() != s.Config() {

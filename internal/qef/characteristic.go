@@ -57,7 +57,7 @@ func normValue(ctx *Context, id schema.SourceID, char string) float64 {
 	if !has {
 		return 0
 	}
-	if max == min {
+	if max <= min {
 		return 1
 	}
 	return (v - min) / (max - min)

@@ -10,6 +10,7 @@ import (
 	"mube/internal/pcsa"
 	"mube/internal/schema"
 	"mube/internal/source"
+	"mube/internal/testutil"
 )
 
 var sigCfg = pcsa.Config{NumMaps: 256}
@@ -38,10 +39,10 @@ func tupleRange(t testing.TB, lo, hi uint64, attrs ...string) *source.Source {
 func dataUniverse(t testing.TB) *source.Universe {
 	t.Helper()
 	u := source.NewUniverse(sigCfg)
-	u.Add(tupleRange(t, 0, 50000, "author", "title"))
-	u.Add(tupleRange(t, 25000, 75000, "author name", "price"))
-	u.Add(tupleRange(t, 0, 50000, "writer"))
-	u.Add(source.Uncooperative("shy", schema.NewSchema("keyword")))
+	mustAdd(t, u, tupleRange(t, 0, 50000, "author", "title"))
+	mustAdd(t, u, tupleRange(t, 25000, 75000, "author name", "price"))
+	mustAdd(t, u, tupleRange(t, 0, 50000, "writer"))
+	mustAdd(t, u, source.Uncooperative("shy", schema.NewSchema("keyword")))
 	return u
 }
 
@@ -113,7 +114,7 @@ func TestCoverageMonotone(t *testing.T) {
 func TestRedundancy(t *testing.T) {
 	u := dataUniverse(t)
 	// Single source: best possible.
-	if got := (Redundancy{}).Eval(ctx(t, u, ids(0))); got != 1 {
+	if got := (Redundancy{}).Eval(ctx(t, u, ids(0))); !testutil.AlmostEqual(got, 1) {
 		t.Errorf("Redundancy({s0}) = %v, want 1", got)
 	}
 	// s0 and s2 are identical → worst (≈0).
@@ -129,8 +130,8 @@ func TestRedundancy(t *testing.T) {
 	}
 	// Disjoint synthetic pair → 1.
 	u2 := source.NewUniverse(sigCfg)
-	u2.Add(tupleRange(t, 0, 30000, "a"))
-	u2.Add(tupleRange(t, 30000, 60000, "b"))
+	mustAdd(t, u2, tupleRange(t, 0, 30000, "a"))
+	mustAdd(t, u2, tupleRange(t, 30000, 60000, "b"))
 	disj := Redundancy{}.Eval(ctx(t, u2, ids(0, 1)))
 	if disj < 0.9 {
 		t.Errorf("Redundancy(disjoint) = %v, want ≈1", disj)
@@ -150,7 +151,7 @@ func TestMatchQualityQEF(t *testing.T) {
 		t.Errorf("match quality = %v, want (0,1]", q)
 	}
 	// Memoization: second eval hits the cached result (same value).
-	if q2 := (MatchQuality{}).Eval(c); q2 != q {
+	if q2 := (MatchQuality{}).Eval(c); !testutil.AlmostEqual(q2, q) {
 		t.Errorf("memoized eval differs: %v vs %v", q2, q)
 	}
 	// Without a matcher, F1 is 0.
@@ -188,17 +189,17 @@ func TestWeightsValidate(t *testing.T) {
 func TestWeightsNormalized(t *testing.T) {
 	w := Weights{"a": 2, "b": 2}
 	n := w.Normalized()
-	if n["a"] != 0.5 || n["b"] != 0.5 {
+	if !testutil.AlmostEqual(n["a"], 0.5) || !testutil.AlmostEqual(n["b"], 0.5) {
 		t.Errorf("Normalized = %v", n)
 	}
 	z := Weights{"a": 0, "b": 0}.Normalized()
-	if z["a"] != 0.5 || z["b"] != 0.5 {
+	if !testutil.AlmostEqual(z["a"], 0.5) || !testutil.AlmostEqual(z["b"], 0.5) {
 		t.Errorf("zero weights Normalized = %v", z)
 	}
 	// Clone is independent.
 	c := w.Clone()
 	c["a"] = 9
-	if w["a"] != 2 {
+	if !testutil.AlmostEqual(w["a"], 2) {
 		t.Error("Clone shares storage")
 	}
 	names := w.Names()
@@ -222,7 +223,7 @@ func TestUniform(t *testing.T) {
 	if err := w.Validate(MainQEFs()); err != nil {
 		t.Errorf("uniform weights invalid: %v", err)
 	}
-	if w[NameCardinality] != 0.25 {
+	if !testutil.AlmostEqual(w[NameCardinality], 0.25) {
 		t.Errorf("uniform weight = %v", w[NameCardinality])
 	}
 }
@@ -271,9 +272,9 @@ func charUniverse(t testing.TB) *source.Universe {
 	b := tupleRange(t, 10000, 40000, "y")
 	b.SetCharacteristic("mttf", 200)
 	c := tupleRange(t, 40000, 50000, "z") // no mttf
-	u.Add(a)
-	u.Add(b)
-	u.Add(c)
+	mustAdd(t, u, a)
+	mustAdd(t, u, b)
+	mustAdd(t, u, c)
 	return u
 }
 
@@ -287,7 +288,7 @@ func TestWSum(t *testing.T) {
 	if got := q.Eval(ctx(t, u, ids(0))); got != 0 {
 		t.Errorf("wsum({s0}) = %v, want 0", got)
 	}
-	if got := q.Eval(ctx(t, u, ids(1))); got != 1 {
+	if got := q.Eval(ctx(t, u, ids(1))); !testutil.AlmostEqual(got, 1) {
 		t.Errorf("wsum({s1}) = %v, want 1", got)
 	}
 	// {s0, s1}: (0·10k + 1·30k) / 40k = 0.75.
@@ -306,7 +307,7 @@ func TestWSum(t *testing.T) {
 func TestInvertedCharacteristic(t *testing.T) {
 	u := charUniverse(t)
 	lat := Characteristic{Char: "mttf", Agg: WSum{}, Invert: true}
-	if got := lat.Eval(ctx(t, u, ids(0))); got != 1 {
+	if got := lat.Eval(ctx(t, u, ids(0))); !testutil.AlmostEqual(got, 1) {
 		t.Errorf("inverted low value = %v, want 1", got)
 	}
 	if got := lat.Eval(ctx(t, u, ids(1))); got != 0 {
@@ -323,7 +324,7 @@ func TestMeanMinMaxAggregators(t *testing.T) {
 	if got := (Characteristic{Char: "mttf", Agg: Min{}}).Eval(ctx(t, u, sel)); got != 0 {
 		t.Errorf("min = %v, want 0", got)
 	}
-	if got := (Characteristic{Char: "mttf", Agg: Max{}}).Eval(ctx(t, u, sel)); got != 1 {
+	if got := (Characteristic{Char: "mttf", Agg: Max{}}).Eval(ctx(t, u, sel)); !testutil.AlmostEqual(got, 1) {
 		t.Errorf("max = %v, want 1", got)
 	}
 	// Empty selections.
@@ -340,10 +341,10 @@ func TestDegenerateCharacteristicRange(t *testing.T) {
 	a.SetCharacteristic("fees", 5)
 	b := tupleRange(t, 1000, 2000, "y")
 	b.SetCharacteristic("fees", 5)
-	u.Add(a)
-	u.Add(b)
+	mustAdd(t, u, a)
+	mustAdd(t, u, b)
 	got := (Characteristic{Char: "fees", Agg: WSum{}}).Eval(ctx(t, u, ids(0, 1)))
-	if got != 1 {
+	if !testutil.AlmostEqual(got, 1) {
 		t.Errorf("degenerate range = %v, want 1 (no discrimination)", got)
 	}
 	// Unknown characteristic → 0.
@@ -385,5 +386,13 @@ func TestQEFRangeProperty(t *testing.T) {
 				t.Fatalf("QEF %s out of range on %v: %v", q.Name(), sel, v)
 			}
 		}
+	}
+}
+
+// mustAdd adds s to u, failing the test on any error.
+func mustAdd(t testing.TB, u *source.Universe, s *source.Source) {
+	t.Helper()
+	if _, err := u.Add(s); err != nil {
+		t.Fatal(err)
 	}
 }

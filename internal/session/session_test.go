@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"math"
 	"testing"
+	"time"
 
 	"mube/internal/opt"
 	"mube/internal/qef"
@@ -187,7 +188,7 @@ func TestSettersValidate(t *testing.T) {
 	if err := s.SetTheta(0.8); err != nil {
 		t.Errorf("SetTheta: %v", err)
 	}
-	if s.Spec().Theta != 0.8 {
+	if !testutil.AlmostEqual(s.Spec().Theta, 0.8) {
 		t.Error("theta not applied")
 	}
 	if err := s.SetTheta(2); err == nil {
@@ -304,7 +305,7 @@ func TestSpecCloneIsolation(t *testing.T) {
 	spec := s.Spec()
 	spec.Weights[qef.NameCardinality] = 0.9
 	spec.Constraints.Sources = append(spec.Constraints.Sources, 1)
-	if s.Spec().Weights[qef.NameCardinality] == 0.9 {
+	if testutil.AlmostEqual(s.Spec().Weights[qef.NameCardinality], 0.9) {
 		t.Error("Spec() shares weights")
 	}
 	if len(s.Spec().Constraints.Sources) != 0 {
@@ -365,12 +366,12 @@ func TestSpecSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, want := loaded.Spec(), s.Spec()
-	if got.Theta != want.Theta || got.Beta != want.Beta || got.MaxSources != want.MaxSources ||
+	if !testutil.AlmostEqual(got.Theta, want.Theta) || got.Beta != want.Beta || got.MaxSources != want.MaxSources ||
 		got.Solver != want.Solver || got.Linkage != want.Linkage {
 		t.Errorf("spec mismatch: %+v vs %+v", got, want)
 	}
 	for name, v := range want.Weights {
-		if got.Weights[name] != v {
+		if !testutil.AlmostEqual(got.Weights[name], v) {
 			t.Errorf("weight %s = %v, want %v", name, got.Weights[name], v)
 		}
 	}
@@ -397,5 +398,33 @@ func TestLoadSpecRejectsBad(t *testing.T) {
 	// Constraint referencing a source outside the universe.
 	if _, err := LoadSpec(bytes.NewBufferString(`{"theta":0.5,"beta":2,"max_sources":4,"solver":"tabu","source_constraints":[99]}`), Config{Universe: u}); err == nil {
 		t.Error("stale constraints accepted")
+	}
+}
+
+// TestInjectedClock pins iteration timing to a fake clock: with time
+// injected, Elapsed is exactly the interval the clock hands out, so session
+// timing is testable without sleeping and the deterministic core never
+// touches time.Now (mube-vet's determinism analyzer enforces the latter).
+func TestInjectedClock(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	calls := 0
+	s, err := New(Config{
+		Universe: testutil.BooksUniverse(t),
+		Clock: func() time.Time {
+			calls++
+			return base.Add(time.Duration(calls) * 250 * time.Millisecond)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("clock consulted %d times per Solve, want 2", calls)
+	}
+	if got := s.Last().Elapsed; got != 250*time.Millisecond {
+		t.Errorf("Elapsed = %v, want the injected clock's 250ms", got)
 	}
 }

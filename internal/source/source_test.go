@@ -8,6 +8,7 @@ import (
 
 	"mube/internal/pcsa"
 	"mube/internal/schema"
+	"mube/internal/testutil/approx"
 )
 
 var testCfg = pcsa.Config{NumMaps: 64}
@@ -76,9 +77,9 @@ func TestUniverseRejectsMismatchedSignature(t *testing.T) {
 
 func TestTotalCardinalityAndUnion(t *testing.T) {
 	u := NewUniverse(testCfg)
-	u.Add(makeSource(t, "a", 0, 10000, "x"))
-	u.Add(makeSource(t, "b", 5000, 15000, "y")) // overlaps a by 5000
-	u.Add(Uncooperative("c", schema.NewSchema("z")))
+	mustAdd(t, u, makeSource(t, "a", 0, 10000, "x"))
+	mustAdd(t, u, makeSource(t, "b", 5000, 15000, "y")) // overlaps a by 5000
+	mustAdd(t, u, Uncooperative("c", schema.NewSchema("z")))
 
 	if got := u.TotalCardinality(); got != 20000 {
 		t.Errorf("TotalCardinality = %d, want 20000", got)
@@ -89,7 +90,7 @@ func TestTotalCardinalityAndUnion(t *testing.T) {
 	}
 	// Union of a subset.
 	sub := u.UnionEstimate([]schema.SourceID{0, 1})
-	if sub != est {
+	if !approx.AlmostEqual(sub, est) {
 		t.Errorf("subset union %v should equal all-cooperative union %v", sub, est)
 	}
 	// Union over only uncooperative sources is 0.
@@ -103,9 +104,9 @@ func TestTotalCardinalityAndUnion(t *testing.T) {
 
 func TestAggregatesInvalidatedByAdd(t *testing.T) {
 	u := NewUniverse(testCfg)
-	u.Add(makeSource(t, "a", 0, 1000, "x"))
+	mustAdd(t, u, makeSource(t, "a", 0, 1000, "x"))
 	before := u.TotalCardinality()
-	u.Add(makeSource(t, "b", 1000, 3000, "y"))
+	mustAdd(t, u, makeSource(t, "b", 1000, 3000, "y"))
 	after := u.TotalCardinality()
 	if after != before+2000 {
 		t.Errorf("TotalCardinality not invalidated: before=%d after=%d", before, after)
@@ -119,11 +120,11 @@ func TestCharacteristicRange(t *testing.T) {
 	b := Uncooperative("b", schema.NewSchema("y"))
 	b.SetCharacteristic("mttf", 150)
 	b.SetCharacteristic("fees", 3)
-	u.Add(a)
-	u.Add(b)
+	mustAdd(t, u, a)
+	mustAdd(t, u, b)
 
 	min, max, ok := u.CharacteristicRange("mttf")
-	if !ok || min != 50 || max != 150 {
+	if !ok || !approx.AlmostEqual(min, 50) || !approx.AlmostEqual(max, 150) {
 		t.Errorf("mttf range = (%v,%v,%v), want (50,150,true)", min, max, ok)
 	}
 	if _, _, ok := u.CharacteristicRange("latency"); ok {
@@ -135,14 +136,14 @@ func TestCharacteristicRange(t *testing.T) {
 	}
 	// Memoized second call returns the same.
 	min2, max2, _ := u.CharacteristicRange("mttf")
-	if min2 != min || max2 != max {
+	if !approx.AlmostEqual(min2, min) || !approx.AlmostEqual(max2, max) {
 		t.Error("memoized range differs")
 	}
 }
 
 func TestAttrName(t *testing.T) {
 	u := NewUniverse(testCfg)
-	u.Add(Uncooperative("a", schema.NewSchema("title", "author")))
+	mustAdd(t, u, Uncooperative("a", schema.NewSchema("title", "author")))
 	got := u.AttrName(schema.AttrRef{Source: 0, Attr: 1})
 	if got != "author" {
 		t.Errorf("AttrName = %q", got)
@@ -156,8 +157,8 @@ func TestJSONRoundTrip(t *testing.T) {
 	u := NewUniverse(testCfg)
 	a := makeSource(t, "coop", 0, 2000, "title", "author")
 	a.SetCharacteristic("mttf", 93.5)
-	u.Add(a)
-	u.Add(Uncooperative("shy", schema.NewSchema("keyword")))
+	mustAdd(t, u, a)
+	mustAdd(t, u, Uncooperative("shy", schema.NewSchema("keyword")))
 
 	var buf bytes.Buffer
 	if err := u.WriteJSON(&buf); err != nil {
@@ -174,10 +175,10 @@ func TestJSONRoundTrip(t *testing.T) {
 	if s0.Name != "coop" || s0.Cardinality != 2000 || !s0.Cooperative() {
 		t.Errorf("source 0 mangled: %+v", s0)
 	}
-	if got := s0.Characteristics["mttf"]; got != 93.5 {
+	if got := s0.Characteristics["mttf"]; !approx.AlmostEqual(got, 93.5) {
 		t.Errorf("mttf = %v", got)
 	}
-	if s0.Signature.Estimate() != a.Signature.Estimate() {
+	if !approx.AlmostEqual(s0.Signature.Estimate(), a.Signature.Estimate()) {
 		t.Error("signature estimate changed in round trip")
 	}
 	if s1.Cooperative() {
@@ -219,7 +220,7 @@ func TestUnionEstimateRandomizedMatchesExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		u.Add(s)
+		mustAdd(t, u, s)
 	}
 	all := pcsa.NewExact()
 	for _, e := range exact {
@@ -229,5 +230,14 @@ func TestUnionEstimateRandomizedMatchesExact(t *testing.T) {
 	got, want := est, float64(all.Count())
 	if math.Abs(got-want)/want > 0.25 {
 		t.Errorf("union estimate %v vs exact %v", got, want)
+	}
+}
+
+// mustAdd adds s to u, failing the test on any error so a bad fixture is
+// loud instead of corrupting downstream assertions.
+func mustAdd(t testing.TB, u *Universe, s *Source) {
+	t.Helper()
+	if _, err := u.Add(s); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"mube/internal/testutil"
 )
 
 func TestNormalize(t *testing.T) {
@@ -66,7 +68,7 @@ func TestNGramsDegenerate(t *testing.T) {
 }
 
 func TestJaccardIdentityAndDisjoint(t *testing.T) {
-	if s := TriGramJaccard.Sim("author", "author"); s != 1 {
+	if s := TriGramJaccard.Sim("author", "author"); !testutil.AlmostEqual(s, 1) {
 		t.Errorf("identical names: sim = %v, want 1", s)
 	}
 	if s := TriGramJaccard.Sim("xyz", "qpw"); s != 0 {
@@ -110,7 +112,7 @@ func TestJaroWinklerKnownValues(t *testing.T) {
 	if got < 0.96 || got > 0.9625 {
 		t.Errorf("JaroWinkler(martha, marhta) = %v, want ≈0.9611", got)
 	}
-	if JaroWinkler("abc", "abc") != 1 {
+	if !testutil.AlmostEqual(JaroWinkler("abc", "abc"), 1) {
 		t.Error("identical strings must score 1")
 	}
 }
@@ -135,7 +137,7 @@ func TestSimilarityProperties(t *testing.T) {
 			rr := rand.New(rand.NewSource(seed))
 			a, b := randomName(rr), randomName(rr)
 			ab, ba := m.Sim(a, b), m.Sim(b, a)
-			if ab != ba {
+			if !testutil.AlmostEqual(ab, ba) {
 				t.Logf("%s not symmetric on %q,%q: %v vs %v", m.Name(), a, b, ab, ba)
 				return false
 			}
@@ -172,13 +174,13 @@ func TestByName(t *testing.T) {
 func TestSetCoefficients(t *testing.T) {
 	a := map[string]struct{}{"x": {}, "y": {}}
 	b := map[string]struct{}{"y": {}, "z": {}, "w": {}}
-	if got := JaccardSets(a, b); got != 0.25 {
+	if got := JaccardSets(a, b); !testutil.AlmostEqual(got, 0.25) {
 		t.Errorf("Jaccard = %v, want 0.25", got)
 	}
-	if got := DiceSets(a, b); got != 0.4 {
+	if got := DiceSets(a, b); !testutil.AlmostEqual(got, 0.4) {
 		t.Errorf("Dice = %v, want 0.4", got)
 	}
-	if got := OverlapSets(a, b); got != 0.5 {
+	if got := OverlapSets(a, b); !testutil.AlmostEqual(got, 0.5) {
 		t.Errorf("Overlap = %v, want 0.5", got)
 	}
 	empty := map[string]struct{}{}

@@ -7,6 +7,7 @@ import (
 	"mube/internal/bamm"
 	"mube/internal/pcsa"
 	"mube/internal/schema"
+	"mube/internal/testutil"
 )
 
 // tiny returns a fast test configuration.
@@ -70,10 +71,10 @@ func TestGenerateDeterministic(t *testing.T) {
 		if sa.Cardinality != sb.Cardinality {
 			t.Fatalf("source %d cardinalities differ", i)
 		}
-		if sa.Signature.Estimate() != sb.Signature.Estimate() {
+		if !testutil.AlmostEqual(sa.Signature.Estimate(), sb.Signature.Estimate()) {
 			t.Fatalf("source %d signatures differ", i)
 		}
-		if sa.Characteristics["mttf"] != sb.Characteristics["mttf"] {
+		if !testutil.AlmostEqual(sa.Characteristics["mttf"], sb.Characteristics["mttf"]) {
 			t.Fatalf("source %d mttf differs", i)
 		}
 	}

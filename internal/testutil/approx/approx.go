@@ -1,0 +1,28 @@
+// Package approx provides the repo's one blessed way to compare floats.
+// It is a leaf package (no µBE imports) so that even the packages testutil
+// itself builds on — source, schema, pcsa, minhash — can use it from their
+// in-package tests without an import cycle.
+package approx
+
+import "math"
+
+// Epsilon is the default absolute tolerance. Quality scores Q(S) are
+// weighted sums of a handful of [0,1] terms, so any true difference is
+// orders of magnitude above 1e-9 while accumulation noise sits well below.
+const Epsilon = 1e-9
+
+// AlmostEqual reports whether a and b differ by at most Epsilon.
+func AlmostEqual(a, b float64) bool {
+	return AlmostEqualEps(a, b, Epsilon)
+}
+
+// AlmostEqualEps reports whether a and b differ by at most eps. Equal
+// values — including equal infinities — compare true even where the
+// subtraction would produce NaN.
+func AlmostEqualEps(a, b, eps float64) bool {
+	//mube:vet-ignore floatcmp — the epsilon helper's infinity fast path
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}

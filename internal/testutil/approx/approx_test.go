@@ -1,0 +1,40 @@
+package approx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},           // below Epsilon
+		{1, 1 + 1e-6, false},           // above Epsilon
+		{0.1 + 0.2, 0.3, true},         // the classic accumulation ulp
+		{math.Inf(1), math.Inf(1), true},   // equal infinities
+		{math.Inf(1), math.Inf(-1), false},
+		{math.NaN(), math.NaN(), false}, // NaN never compares equal
+		{-1e-12, 1e-12, true},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqualEps(t *testing.T) {
+	if !AlmostEqualEps(1, 1.05, 0.1) {
+		t.Error("1 vs 1.05 should pass at eps=0.1")
+	}
+	if AlmostEqualEps(1, 1.2, 0.1) {
+		t.Error("1 vs 1.2 should fail at eps=0.1")
+	}
+	if !AlmostEqualEps(math.Inf(-1), math.Inf(-1), 0.1) {
+		t.Error("equal infinities should pass at any eps")
+	}
+}

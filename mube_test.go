@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mube"
+	"mube/internal/testutil"
 )
 
 // TestFacadeEndToEnd drives the whole public API the way a downstream user
@@ -104,7 +105,7 @@ func TestFacadeHelpers(t *testing.T) {
 	if mube.SimilarityByName("jaro-winkler") == nil {
 		t.Error("SimilarityByName failed")
 	}
-	if mube.TriGramJaccard.Sim("author", "author") != 1 {
+	if !testutil.AlmostEqual(mube.TriGramJaccard.Sim("author", "author"), 1) {
 		t.Error("TriGramJaccard broken")
 	}
 	if _, err := mube.AggregatorByName("wsum"); err != nil {
@@ -155,8 +156,8 @@ func TestFacadeSyntheticUniverse(t *testing.T) {
 func TestFacadeCompoundAndDiscovery(t *testing.T) {
 	sig := mube.SignatureConfig{NumMaps: 64}
 	u := mube.NewUniverse(sig)
-	u.Add(mube.UncooperativeSource("events", mube.NewSchema("after date", "before date", "keyword")))
-	u.Add(mube.UncooperativeSource("listings", mube.NewSchema("date", "keyword")))
+	mustAdd(t, u, mube.UncooperativeSource("events", mube.NewSchema("after date", "before date", "keyword")))
+	mustAdd(t, u, mube.UncooperativeSource("listings", mube.NewSchema("date", "keyword")))
 
 	// Discovery.
 	idx := mube.BuildDiscoveryIndex(u)
@@ -191,5 +192,13 @@ func TestFacadeCompoundAndDiscovery(t *testing.T) {
 	}
 	if !foundNM {
 		t.Errorf("no 2:1 correspondence found: %+v", corr)
+	}
+}
+
+// mustAdd adds s to u, failing the test on any error.
+func mustAdd(t testing.TB, u *mube.Universe, s *mube.Source) {
+	t.Helper()
+	if _, err := u.Add(s); err != nil {
+		t.Fatal(err)
 	}
 }
