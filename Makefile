@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race mube-vet bench fmt
+.PHONY: check build vet test race mube-vet bench benchall fmt
 
 check: build vet race mube-vet
 
@@ -23,7 +23,13 @@ race:
 mube-vet:
 	$(GO) run ./cmd/mube-vet ./...
 
+# bench runs the figure-regeneration benchmarks three times each (single-shot
+# timings so the three runs expose variance) and archives them as JSON.
 bench:
+	$(GO) test -bench=Fig -benchmem -benchtime=1x -count=3 -run=^$$ . | $(GO) run ./cmd/mube-benchjson > BENCH_fig.json
+	@echo "wrote BENCH_fig.json"
+
+benchall:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 fmt:

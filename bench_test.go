@@ -58,6 +58,30 @@ func BenchmarkFig67(b *testing.B) {
 	}
 }
 
+// BenchmarkFig67Sequential is Figures 6–7 with the evaluator pinned to one
+// worker: the baseline the parallel speedup is measured against.
+func BenchmarkFig67Sequential(b *testing.B) {
+	sc := benchScale()
+	sc.Parallel = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig67(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig67Parallel is Figures 6–7 with the GOMAXPROCS worker pool
+// (identical results; see the parallel-speedup section of EXPERIMENTS.md).
+func BenchmarkFig67Parallel(b *testing.B) {
+	sc := benchScale()
+	sc.Parallel = 0
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig67(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig8 regenerates Figure 8 (solution cardinality vs Card weight).
 func BenchmarkFig8(b *testing.B) {
 	sc := benchScale()
@@ -235,6 +259,38 @@ func BenchmarkObjectiveEval(b *testing.B) {
 		}
 	}
 }
+
+// benchEvalBatch measures scoring one 64-candidate neighborhood of 20-source
+// subsets through the batch API on a fresh evaluator (no memo hits).
+func benchEvalBatch(b *testing.B, workers int) {
+	sc := benchScale()
+	res := benchUniverse(b)
+	p, err := sc.Problem(res, 20, constraint.Set{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := res.Universe.IDs()
+	cands := make([][]schema.SourceID, 64)
+	for i := range cands {
+		ids := make([]schema.SourceID, 20)
+		copy(ids, all[i:i+20])
+		cands[i] = opt.SortIDs(ids)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := opt.NewEvaluator(p, 0)
+		e.SetWorkers(workers)
+		if qs := e.EvalBatch(cands); qs[0] <= 0 {
+			b.Fatal("zero quality")
+		}
+	}
+}
+
+// BenchmarkEvalBatch64Sequential scores the neighborhood on one worker.
+func BenchmarkEvalBatch64Sequential(b *testing.B) { benchEvalBatch(b, 1) }
+
+// BenchmarkEvalBatch64Parallel scores it on the GOMAXPROCS worker pool.
+func BenchmarkEvalBatch64Parallel(b *testing.B) { benchEvalBatch(b, 0) }
 
 // BenchmarkTabuSolve measures one full tabu run on the standard problem.
 func BenchmarkTabuSolve(b *testing.B) {

@@ -6,6 +6,11 @@
 //
 //	mube-bench -exp all -scale quick
 //	mube-bench -exp fig5 -scale full
+//	mube-bench -exp fig67 -scale quick -parallel 4
+//
+// The -parallel flag sets the evaluator worker-pool size (0 = GOMAXPROCS,
+// 1 = sequential). Results are identical at any setting — only wall-clock
+// changes — and the run header prints the effective worker count.
 //
 // Experiments: fig5, fig67 (time and quality: Figures 6 and 7), fig8,
 // table1, pcsa, sensitivity, solvers, ablation-sim, ablation-linkage,
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"mube/internal/exp"
@@ -136,6 +142,7 @@ func main() {
 	expName := flag.String("exp", "all", "experiment to run (or 'all')")
 	scaleName := flag.String("scale", "quick", "experiment scale: full | quick")
 	seed := flag.Int64("seed", 0, "override the scale's base seed (0 = keep)")
+	parallel := flag.Int("parallel", 0, "evaluator worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	var sc exp.Scale
@@ -151,6 +158,15 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "mube-bench: -parallel must be >= 0, got %d\n", *parallel)
+		os.Exit(2)
+	}
+	sc.Parallel = *parallel
+
+	// Run header: make every printed number attributable to a worker count.
+	fmt.Printf("mube-bench: scale=%s seed=%d eval-workers=%d (GOMAXPROCS=%d)\n\n",
+		sc.Name, sc.Seed, sc.Workers(), runtime.GOMAXPROCS(0))
 
 	ran := 0
 	for _, e := range experiments {

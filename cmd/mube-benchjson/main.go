@@ -1,0 +1,93 @@
+// Command mube-benchjson converts `go test -bench` text output on stdin into
+// machine-readable JSON on stdout, so benchmark numbers can be archived and
+// diffed across commits (see the `make bench` target, which writes
+// BENCH_fig.json).
+//
+// Usage:
+//
+//	go test -bench=Fig -benchmem -count=3 -run='^$' . | mube-benchjson
+//
+// Each benchmark result line becomes one record; repeated runs (-count > 1)
+// stay separate records so consumers can compute their own variance. The
+// goos/goarch/pkg/cpu header lines are captured once at the top level.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark measurement line.
+type result struct {
+	// Name is the full benchmark name including the -P GOMAXPROCS suffix,
+	// e.g. "BenchmarkFig67Parallel-8".
+	Name string `json:"name"`
+	// Iters is the b.N the measurement averaged over.
+	Iters int64 `json:"iters"`
+	// Metrics maps each reported unit ("ns/op", "B/op", "allocs/op", and any
+	// custom b.ReportMetric units) to its value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// report is the full JSON document.
+type report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	rep := report{Benchmarks: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		f := strings.Fields(line)
+		// Result lines: Benchmark<Name>-P  N  value unit [value unit ...]
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: f[0], Iters: iters, Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			r.Metrics[f[i+1]] = v
+		}
+		if len(r.Metrics) == 0 {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "mube-benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "mube-benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+}

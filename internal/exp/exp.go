@@ -18,6 +18,7 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"mube/internal/bamm"
@@ -58,6 +59,10 @@ type Scale struct {
 	Seed int64
 	// Repeats averages stochastic experiments over this many runs.
 	Repeats int
+	// Parallel is the evaluator worker-pool size passed to every solver run
+	// (0 = GOMAXPROCS, 1 = sequential). Results are parallel-invariant;
+	// only timings change.
+	Parallel int
 }
 
 // Full returns the paper-scale configuration (§7.1).
@@ -184,7 +189,16 @@ func (sc Scale) Options(seed int64) opt.Options {
 		MaxEvals: -1, // unlimited: bounded by iterations × neighborhood
 		MaxIters: sc.MaxIters,
 		Patience: sc.Patience,
+		Parallel: sc.Parallel,
 	}
+}
+
+// Workers returns the effective evaluator worker count for this scale.
+func (sc Scale) Workers() int {
+	if sc.Parallel > 0 {
+		return sc.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // ConstraintConfig names one of the five constraint settings of Figs 5–7.

@@ -64,8 +64,13 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 			if len(moves) == 0 {
 				break
 			}
+			// The annealing chain is inherently sequential: each acceptance
+			// mutates the state the next move is drawn from, so candidates
+			// cannot be scored ahead of the RNG. Each accepted-or-rejected
+			// move still flows through the shared batch API (a batch of one
+			// evaluates in-line) so the memo and budget stay unified.
 			mv := moves[search.Rand.Intn(len(moves))]
-			q := search.EvalMove(cur, mv)
+			q := search.EvalMoves(cur, []opt.Move{mv})[0]
 			delta := q - curQ
 			if delta >= 0 || search.Rand.Float64() < math.Exp(delta/math.Max(temp, 1e-9)) {
 				cur.Apply(mv)

@@ -1,7 +1,11 @@
 package opt
 
 import (
+	"encoding/binary"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mube/internal/qef"
 	"mube/internal/schema"
@@ -10,58 +14,232 @@ import (
 // Evaluator computes Q(S) for candidate source sets, memoizing results so
 // that revisits of a subset (common in local search) are free and so that
 // solver budgets can be expressed in *distinct* evaluations.
+//
+// The evaluator is safe for concurrent use: the memo and budget counters are
+// mutex-guarded, and EvalBatch fans independent candidates out to a worker
+// pool. Determinism contract (see DESIGN.md): a batch's memo lookups and
+// budget debits are resolved sequentially in candidate order before any
+// worker runs, and workers compute the pure function Q(S) only — so for a
+// fixed seed a solve returns bit-identical results whatever the worker count,
+// and MaxEvals cuts off at the same subset it would sequentially.
+//
+// That exact accounting holds per calling goroutine (solvers drive the
+// evaluator from one goroutine). Independent concurrent callers racing on the
+// same uncached subset may each debit an evaluation before either memoizes it
+// — duplicate suppression is per batch, not global — so under concurrent use
+// Evals is an upper bound on distinct subsets, never an undercount.
 type Evaluator struct {
-	p     *Problem
+	p       *Problem
+	workers int // worker-pool size for EvalBatch; 1 = in-line
+
+	mu    sync.Mutex
 	memo  map[string]float64
 	evals int // cache misses (distinct subsets evaluated)
 	calls int // total Eval calls
 	limit int // MaxEvals; 0 = unlimited
+
+	// scratch buffers (PCSA union signatures) recycled across evaluations;
+	// each in-flight evaluation checks one out for exclusive use.
+	scratch sync.Pool
 }
 
 // NewEvaluator builds an evaluator for p with an optional evaluation limit.
+// The batch worker pool defaults to GOMAXPROCS; see SetWorkers.
 func NewEvaluator(p *Problem, maxEvals int) *Evaluator {
-	return &Evaluator{p: p, memo: make(map[string]float64), limit: maxEvals}
+	e := &Evaluator{
+		p:       p,
+		workers: runtime.GOMAXPROCS(0),
+		memo:    make(map[string]float64),
+		limit:   maxEvals,
+	}
+	e.scratch.New = func() any { return &qef.Scratch{} }
+	return e
 }
 
-// key canonicalizes a *sorted* id slice into a compact map key.
+// SetWorkers sets the EvalBatch worker-pool size: 1 evaluates candidates
+// in-line on the caller's goroutine, n > 1 uses n workers, and n <= 0 resets
+// to GOMAXPROCS. Results are identical for every setting; only wall-clock
+// time changes.
+func (e *Evaluator) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.workers = n
+}
+
+// Workers returns the effective EvalBatch worker-pool size.
+func (e *Evaluator) Workers() int { return e.workers }
+
+// key canonicalizes a *sorted* id slice into a compact map key using uvarint
+// encoding, so IDs of any magnitude stay collision-free (a fixed two-byte
+// encoding silently collided for IDs ≥ 65536) and small IDs — the common case
+// — still cost one byte.
 func key(ids []schema.SourceID) string {
-	buf := make([]byte, 0, len(ids)*2)
+	buf := make([]byte, 0, len(ids)*binary.MaxVarintLen32)
 	for _, id := range ids {
-		// Universe sizes are in the thousands; two bytes suffice.
-		buf = append(buf, byte(id>>8), byte(id))
+		buf = binary.AppendUvarint(buf, uint64(uint32(id)))
 	}
 	return string(buf)
 }
 
 // Exhausted reports whether the evaluation budget is spent.
-func (e *Evaluator) Exhausted() bool { return e.limit > 0 && e.evals >= e.limit }
+func (e *Evaluator) Exhausted() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.limit > 0 && e.evals >= e.limit
+}
 
 // Evals returns the number of distinct subsets evaluated so far.
-func (e *Evaluator) Evals() int { return e.evals }
+func (e *Evaluator) Evals() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evals
+}
 
 // Calls returns the total number of Eval invocations (including cache hits).
-func (e *Evaluator) Calls() int { return e.calls }
+func (e *Evaluator) Calls() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls
+}
+
+// compute evaluates Q(ids) from scratch: the pure, side-effect-free part of
+// an evaluation, safe to run on any worker goroutine.
+func (e *Evaluator) compute(ids []schema.SourceID, sc *qef.Scratch) float64 {
+	if !e.p.Feasible(ids) {
+		return 0
+	}
+	ctx := qef.NewContextScratch(e.p.Universe, e.p.Matcher, e.p.Constraints, ids, sc)
+	return e.p.Quality.Eval(ctx)
+}
 
 // Eval returns Q(S) for the given source set. ids must be sorted (use
 // SortIDs); infeasible sets score 0. Once the budget is exhausted, unknown
 // subsets also score 0 — solvers should check Exhausted and stop.
 func (e *Evaluator) Eval(ids []schema.SourceID) float64 {
+	e.mu.Lock()
 	e.calls++
 	k := key(ids)
 	if v, ok := e.memo[k]; ok {
+		e.mu.Unlock()
 		return v
 	}
-	if e.Exhausted() {
+	if e.limit > 0 && e.evals >= e.limit {
+		e.mu.Unlock()
 		return 0
 	}
 	e.evals++
-	v := 0.0
-	if e.p.Feasible(ids) {
-		ctx := qef.NewContext(e.p.Universe, e.p.Matcher, e.p.Constraints, ids)
-		v = e.p.Quality.Eval(ctx)
-	}
+	e.mu.Unlock()
+
+	sc := e.scratch.Get().(*qef.Scratch)
+	v := e.compute(ids, sc)
+	e.scratch.Put(sc)
+
+	e.mu.Lock()
 	e.memo[k] = v
+	e.mu.Unlock()
 	return v
+}
+
+// batchJob is one distinct subset a batch must compute: the candidate indexes
+// in out share the subset (duplicates within the batch) and receive its value.
+type batchJob struct {
+	key string
+	ids []schema.SourceID
+	out []int
+	v   float64
+}
+
+// EvalBatch evaluates a slice of independent candidate subsets and returns
+// their qualities in candidate order. Each ids slice must be sorted (SortIDs)
+// and must not be mutated until EvalBatch returns.
+//
+// EvalBatch is observationally identical to calling Eval on each candidate in
+// order — memo hits, duplicate candidates, and the MaxEvals cutoff resolve
+// against the same candidate index — but distinct uncached subsets are scored
+// concurrently on up to Workers goroutines. Solvers therefore keep all
+// randomness on their own goroutine, batch the neighborhood or population
+// they would have scored sequentially, and consume the returned slice in
+// order.
+func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
+	out := make([]float64, len(cands))
+
+	// Planning pass: resolve memo hits and budget debits sequentially in
+	// candidate order. Everything order-dependent happens here, under the
+	// lock; only pure Q(S) computations remain afterwards.
+	e.mu.Lock()
+	var jobs []*batchJob
+	var pending map[string]*batchJob
+	for i, ids := range cands {
+		e.calls++
+		k := key(ids)
+		if v, ok := e.memo[k]; ok {
+			out[i] = v
+			continue
+		}
+		if j, ok := pending[k]; ok {
+			j.out = append(j.out, i)
+			continue
+		}
+		if e.limit > 0 && e.evals >= e.limit {
+			out[i] = 0 // same as sequential Eval past the budget
+			continue
+		}
+		e.evals++
+		j := &batchJob{key: k, ids: ids, out: []int{i}}
+		if pending == nil {
+			pending = make(map[string]*batchJob, len(cands)-i)
+		}
+		pending[k] = j
+		jobs = append(jobs, j)
+	}
+	e.mu.Unlock()
+
+	if len(jobs) > 0 {
+		workers := e.workers
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		if workers <= 1 {
+			sc := e.scratch.Get().(*qef.Scratch)
+			for _, j := range jobs {
+				j.v = e.compute(j.ids, sc)
+			}
+			e.scratch.Put(sc)
+		} else {
+			// Workers pull jobs off a shared cursor. Which worker computes
+			// which job is scheduler-dependent, but each job's value is a
+			// pure function of its subset, so results are unaffected.
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sc := e.scratch.Get().(*qef.Scratch)
+					defer e.scratch.Put(sc)
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(jobs) {
+							return
+						}
+						jobs[i].v = e.compute(jobs[i].ids, sc)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	}
+
+	e.mu.Lock()
+	for _, j := range jobs {
+		e.memo[j.key] = j.v
+		for _, i := range j.out {
+			out[i] = j.v
+		}
+	}
+	e.mu.Unlock()
+	return out
 }
 
 // Solution materializes the full solution report for a chosen subset,
@@ -118,8 +296,10 @@ func NewSearch(p *Problem, opts Options) (*Search, error) {
 			optional = append(optional, id)
 		}
 	}
+	ev := NewEvaluator(p, opts.MaxEvals)
+	ev.SetWorkers(opts.Parallel)
 	return &Search{
-		Eval:       NewEvaluator(p, opts.MaxEvals),
+		Eval:       ev,
 		Required:   req,
 		Optional:   optional,
 		Rand:       rand.New(rand.NewSource(opts.Seed)),
@@ -282,4 +462,18 @@ func (s *Search) EvalMove(ss *Subset, mv Move) float64 {
 	next := ss.Clone()
 	next.Apply(mv)
 	return s.Eval.Eval(next.IDs())
+}
+
+// EvalMoves scores a whole neighborhood at once: it returns Q(S') for each
+// move applied to ss (without mutating it), fanning the candidates out
+// through the evaluator's batch API. Results, memoization, and budget
+// accounting are identical to calling EvalMove on each move in order.
+func (s *Search) EvalMoves(ss *Subset, moves []Move) []float64 {
+	cands := make([][]schema.SourceID, len(moves))
+	for i, mv := range moves {
+		next := ss.Clone()
+		next.Apply(mv)
+		cands[i] = next.IDs()
+	}
+	return s.Eval.EvalBatch(cands)
 }

@@ -1,0 +1,220 @@
+package opt
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/schema"
+)
+
+// TestKeyCollisionFree guards against the original memo-key bug: a fixed
+// two-byte encoding truncated SourceIDs, so 0 and 65536 (and any pair equal
+// mod 2^16) shared a key and silently returned each other's cached quality.
+// The uvarint encoding must keep every id distinct at any magnitude.
+func TestKeyCollisionFree(t *testing.T) {
+	sets := [][]schema.SourceID{
+		{0}, {1}, {127}, {128}, {255}, {256}, {16383}, {16384},
+		{65535}, {65536}, // the pair the two-byte encoding collided
+		{65537}, {1 << 20}, {1<<31 - 1},
+		{0, 65536}, {65536, 65536 + 65536},
+		{1, 2}, {1, 2, 3}, {258},
+		{},
+	}
+	seen := make(map[string][]schema.SourceID, len(sets))
+	for _, ids := range sets {
+		k := key(ids)
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision: %v and %v both encode to %q", prev, ids, k)
+		}
+		seen[k] = ids
+	}
+}
+
+// TestEvalBatchMatchesSequential checks EvalBatch's core contract: for any
+// worker count it is observationally identical to calling Eval on each
+// candidate in order — same values, same memo, same budget accounting, and
+// the MaxEvals cutoff landing on the same candidate index.
+func TestEvalBatchMatchesSequential(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	r := rand.New(rand.NewSource(9))
+	var cands [][]schema.SourceID
+	for i := 0; i < 40; i++ {
+		n := 1 + r.Intn(4)
+		perm := r.Perm(12)
+		set := make([]schema.SourceID, n)
+		for j := 0; j < n; j++ {
+			set[j] = schema.SourceID(perm[j])
+		}
+		cands = append(cands, SortIDs(set))
+	}
+	// Salt in exact duplicates so in-batch dedup is exercised.
+	cands = append(cands, cands[0], cands[3], cands[0])
+
+	for _, limit := range []int{0, 7, 25} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			seq := NewEvaluator(p, limit)
+			want := make([]float64, len(cands))
+			for i, ids := range cands {
+				want[i] = seq.Eval(ids)
+			}
+
+			par := NewEvaluator(p, limit)
+			par.SetWorkers(workers)
+			got := par.EvalBatch(cands)
+			for i := range cands {
+				//mube:vet-ignore floatcmp — the contract is bit-identical, not approximate
+				if got[i] != want[i] {
+					t.Errorf("limit=%d workers=%d: cand %d (%v): batch %v != sequential %v",
+						limit, workers, i, cands[i], got[i], want[i])
+				}
+			}
+			if par.Evals() != seq.Evals() || par.Calls() != seq.Calls() {
+				t.Errorf("limit=%d workers=%d: evals/calls %d/%d != sequential %d/%d",
+					limit, workers, par.Evals(), par.Calls(), seq.Evals(), seq.Calls())
+			}
+			if par.Exhausted() != seq.Exhausted() {
+				t.Errorf("limit=%d workers=%d: Exhausted %v != sequential %v",
+					limit, workers, par.Exhausted(), seq.Exhausted())
+			}
+		}
+	}
+}
+
+// TestEvalBatchBudgetCutoffIndex pins the budget semantics precisely: with
+// MaxEvals = 2 and three distinct candidates in one batch, the third must
+// score 0 and stay uncached — exactly where sequential Eval cuts off.
+func TestEvalBatchBudgetCutoffIndex(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	e := NewEvaluator(p, 2)
+	e.SetWorkers(4)
+	got := e.EvalBatch([][]schema.SourceID{ids(0), ids(1), ids(2)})
+	if got[0] == 0 || got[1] == 0 {
+		t.Errorf("in-budget candidates scored 0: %v", got)
+	}
+	if got[2] != 0 {
+		t.Errorf("post-budget candidate scored %v, want 0", got[2])
+	}
+	if !e.Exhausted() || e.Evals() != 2 {
+		t.Errorf("Exhausted=%v Evals=%d after budget-2 batch", e.Exhausted(), e.Evals())
+	}
+	// The refused subset must not be memoized as 0: cached subsets keep their
+	// real values, unknown ones keep scoring 0.
+	if v := e.Eval(ids(0)); v == 0 {
+		t.Error("cached in-budget value lost after exhaustion")
+	}
+	if v := e.Eval(ids(2)); v != 0 {
+		t.Errorf("refused subset returned %v after exhaustion, want 0", v)
+	}
+}
+
+// TestEvalBatchConcurrentStress hammers one shared evaluator from many
+// goroutines with overlapping candidate sets. Run under -race this is the
+// concurrency-safety regression for the memo, budget counters, scratch pool,
+// and the universe's lazy aggregates. Every returned value must equal the
+// reference value for its subset regardless of interleaving.
+func TestEvalBatchConcurrentStress(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	ref := NewEvaluator(p, 0)
+	pool := make([][]schema.SourceID, 0, 60)
+	want := make(map[string]float64, 60)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		n := 1 + r.Intn(4)
+		perm := r.Perm(12)
+		set := make([]schema.SourceID, n)
+		for j := 0; j < n; j++ {
+			set[j] = schema.SourceID(perm[j])
+		}
+		s := SortIDs(set)
+		pool = append(pool, s)
+		want[key(s)] = ref.Eval(s)
+	}
+
+	e := NewEvaluator(p, 0)
+	e.SetWorkers(4)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + g)))
+			for round := 0; round < 20; round++ {
+				cands := make([][]schema.SourceID, 10)
+				for i := range cands {
+					cands[i] = pool[r.Intn(len(pool))]
+				}
+				for i, v := range e.EvalBatch(cands) {
+					//mube:vet-ignore floatcmp — memoized pure values must match exactly
+					if v != want[key(cands[i])] {
+						select {
+						case errs <- "wrong value for " + key(cands[i]):
+						default:
+						}
+					}
+				}
+				// Interleave scalar Evals and counter reads with batches.
+				e.Eval(pool[r.Intn(len(pool))])
+				e.Evals()
+				e.Exhausted()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	// Concurrent callers may both debit an in-flight subset before either
+	// memoizes it (duplicate suppression is per-batch, not global), so the
+	// distinct-subset count is a floor, not an exact value, here. The exact
+	// accounting contract is per solver goroutine and pinned by
+	// TestEvalBatchMatchesSequential.
+	if e.Evals() < len(want) {
+		t.Errorf("evals = %d, below %d distinct subsets", e.Evals(), len(want))
+	}
+}
+
+// TestEvalMovesMatchesEvalMove checks the Search-level batch helper returns
+// exactly what per-move scoring would.
+func TestEvalMovesMatchesEvalMove(t *testing.T) {
+	p := problem(t, 3, constraint.Set{})
+	sA, err := NewSearch(p, Options{Seed: 6, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := NewSearch(p, Options{Seed: 6, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subA := sA.NewSubset(sA.RandomSubset())
+	subB := sB.NewSubset(subA.IDs())
+	moves := sA.Moves(subA, 20)
+	batch := sA.EvalMoves(subA, moves)
+	for i, mv := range moves {
+		//mube:vet-ignore floatcmp — the contract is bit-identical, not approximate
+		if one := sB.EvalMove(subB, mv); one != batch[i] {
+			t.Errorf("move %d (%+v): batch %v != single %v", i, mv, batch[i], one)
+		}
+	}
+}
+
+// TestSetWorkers pins the worker-count semantics: 0 and negatives mean
+// GOMAXPROCS, positives are taken literally.
+func TestSetWorkers(t *testing.T) {
+	p := problem(t, 3, constraint.Set{})
+	e := NewEvaluator(p, 0)
+	if e.Workers() < 1 {
+		t.Errorf("default workers = %d", e.Workers())
+	}
+	e.SetWorkers(3)
+	if e.Workers() != 3 {
+		t.Errorf("SetWorkers(3) → %d", e.Workers())
+	}
+	e.SetWorkers(0)
+	if e.Workers() < 1 {
+		t.Errorf("SetWorkers(0) → %d, want GOMAXPROCS", e.Workers())
+	}
+}

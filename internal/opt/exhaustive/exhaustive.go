@@ -41,15 +41,30 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 		return nil, fmt.Errorf("exhaustive: %d candidate subsets exceed limit %d", total, s.Limit)
 	}
 
+	// Enumerate in DFS order but score in fixed-size batches: the buffer
+	// preserves enumeration order, so the strict-improvement scan selects
+	// the same optimum (first among ties) as the sequential walk, while the
+	// evaluator fans each flush out to its worker pool.
+	const flush = 64
 	var bestIDs []schema.SourceID
 	bestQ := -1.0
+	cands := make([][]schema.SourceID, 0, flush)
+	score := func() {
+		for i, q := range search.Eval.EvalBatch(cands) {
+			if q > bestQ {
+				bestQ = q
+				bestIDs = cands[i]
+			}
+		}
+		cands = cands[:0]
+	}
 	pick := make([]schema.SourceID, 0, free)
 	var walk func(start, remaining int)
 	walk = func(start, remaining int) {
 		ids := append(append([]schema.SourceID(nil), search.Required...), pick...)
-		if q := search.Eval.Eval(opt.SortIDs(ids)); q > bestQ {
-			bestQ = q
-			bestIDs = ids
+		cands = append(cands, opt.SortIDs(ids))
+		if len(cands) == flush {
+			score()
 		}
 		if remaining == 0 {
 			return
@@ -61,6 +76,7 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 		}
 	}
 	walk(0, free)
+	score()
 	return search.Eval.Solution(bestIDs, s.Name()), nil
 }
 

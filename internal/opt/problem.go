@@ -144,6 +144,11 @@ type Options struct {
 	// the set is feasible. µBE's iterative sessions use this to continue
 	// from the previous iteration's solution.
 	Initial []schema.SourceID
+	// Parallel sets the evaluator's batch worker-pool size: 0 uses
+	// GOMAXPROCS, 1 evaluates sequentially, n > 1 uses n workers. Solver
+	// results are bit-identical for every setting (see Evaluator), so this
+	// trades wall-clock time only and is not part of the problem spec.
+	Parallel int
 }
 
 // Defaults for Options' zero values.

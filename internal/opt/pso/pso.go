@@ -3,7 +3,9 @@
 // particle's position is a bit vector over the optional sources (required
 // sources are always in); velocities evolve toward the particle's own best
 // and the swarm's best, positions are re-sampled through a sigmoid, and a
-// repair step trims positions back to the size cap m.
+// repair step trims positions back to the size cap m. The swarm uses the
+// synchronous gbest update (the global best is frozen for the duration of
+// each iteration), so the whole population is scored as one parallel batch.
 package pso
 
 import (
@@ -95,9 +97,15 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 		}
 	}
 
+	// The swarm updates synchronously: every iteration first moves all
+	// particles (all randomness, on this goroutine), then scores the whole
+	// population as one batch — fanning out to the evaluator's worker pool —
+	// and finally folds personal/global bests in particle order. The global
+	// best used by the velocity update is the one frozen at the start of the
+	// iteration (classic synchronous gbest PSO), which is what makes the
+	// population independent and batchable.
 	swarm := make([]*particle, s.Particles)
-	var globalBest []bool
-	globalQ := -1.0
+	cands := make([][]schema.SourceID, s.Particles)
 	for i := range swarm {
 		pt := &particle{
 			pos: make([]bool, dims),
@@ -112,18 +120,23 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 		}
 		repair(pt.pos, pt.vel)
 		pt.bestPos = append([]bool(nil), pt.pos...)
-		pt.bestQ = search.Eval.Eval(toIDs(pt.pos))
-		if pt.bestQ > globalQ {
-			globalQ = pt.bestQ
+		swarm[i] = pt
+		cands[i] = toIDs(pt.pos)
+	}
+	var globalBest []bool
+	globalQ := -1.0
+	for i, q := range search.Eval.EvalBatch(cands) {
+		pt := swarm[i]
+		pt.bestQ = q
+		if q > globalQ {
+			globalQ = q
 			globalBest = append([]bool(nil), pt.pos...)
 		}
-		swarm[i] = pt
 	}
 
 	noImprove := 0
 	for iter := 0; iter < opts.MaxIters && noImprove < opts.Patience && !search.Eval.Exhausted(); iter++ {
-		improved := false
-		for _, pt := range swarm {
+		for i, pt := range swarm {
 			for d := 0; d < dims; d++ {
 				r1, r2 := search.Rand.Float64(), search.Rand.Float64()
 				pt.vel[d] = s.Inertia*pt.vel[d] +
@@ -138,7 +151,11 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 				pt.pos[d] = search.Rand.Float64() < sigmoid(pt.vel[d])
 			}
 			repair(pt.pos, pt.vel)
-			q := search.Eval.Eval(toIDs(pt.pos))
+			cands[i] = toIDs(pt.pos)
+		}
+		improved := false
+		for i, q := range search.Eval.EvalBatch(cands) {
+			pt := swarm[i]
 			if q > pt.bestQ {
 				pt.bestQ = q
 				pt.bestPos = append(pt.bestPos[:0], pt.pos...)

@@ -28,12 +28,27 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 		// Unlimited evaluation budget: bound by iterations instead.
 		samples = opts.MaxIters
 	}
-	for i := 0; i < samples && !search.Eval.Exhausted(); i++ {
-		ids := search.RandomSubset()
-		if q := search.Eval.Eval(ids); q > bestQ {
-			bestQ = q
-			bestIDs = ids
+	// Draw candidates in fixed-size chunks (all randomness here, in draw
+	// order) and score each chunk as one batch. The chunk size is a
+	// constant — independent of the worker count — so the candidate
+	// sequence and the best-so-far scan never depend on parallelism.
+	const chunk = 32
+	for drawn := 0; drawn < samples && !search.Eval.Exhausted(); {
+		n := samples - drawn
+		if n > chunk {
+			n = chunk
 		}
+		cands := make([][]schema.SourceID, n)
+		for i := range cands {
+			cands[i] = search.RandomSubset()
+		}
+		for i, q := range search.Eval.EvalBatch(cands) {
+			if q > bestQ {
+				bestQ = q
+				bestIDs = cands[i]
+			}
+		}
+		drawn += n
 	}
 	if bestIDs == nil {
 		bestIDs = search.RandomSubset()

@@ -52,10 +52,13 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 			improved := false
 			var stepMove opt.Move
 			stepQ := curQ
-			for _, mv := range search.Moves(cur, s.Neighbors) {
-				if q := search.EvalMove(cur, mv); q > stepQ {
+			// Batch-score the sampled neighborhood; steepest-ascent selection
+			// walks the results in move order, as the sequential loop did.
+			moves := search.Moves(cur, s.Neighbors)
+			for mi, q := range search.EvalMoves(cur, moves) {
+				if q > stepQ {
 					stepQ = q
-					stepMove = mv
+					stepMove = moves[mi]
 					improved = true
 				}
 			}

@@ -177,6 +177,55 @@ func TestSolversDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+// TestSolversParallelMatchesSequential is the end-to-end determinism
+// contract: for every solver (including the exhaustive oracle) and a fixed
+// seed, a solve with the parallel evaluator (4 workers) returns exactly the
+// same solution — IDs, Quality bit-for-bit, and Evals — as the sequential
+// evaluator. All solver randomness stays on the solver goroutine and batch
+// budget accounting resolves in candidate order, so the worker count must be
+// unobservable in the results.
+func TestSolversParallelMatchesSequential(t *testing.T) {
+	cons := constraint.Set{Sources: ids(3)}
+	p := problem(t, 5, cons)
+	for _, s := range append(All(), Exhaustive()) {
+		for _, seed := range []int64{1, 42} {
+			base := opt.Options{Seed: seed, MaxEvals: 300, MaxIters: 40, Patience: 10}
+			seqOpts := base
+			seqOpts.Parallel = 1
+			parOpts := base
+			parOpts.Parallel = 4
+
+			seq, err := s.Solve(p, seqOpts)
+			if err != nil {
+				t.Fatalf("%s seed %d sequential: %v", s.Name(), seed, err)
+			}
+			par, err := s.Solve(p, parOpts)
+			if err != nil {
+				t.Fatalf("%s seed %d parallel: %v", s.Name(), seed, err)
+			}
+			//mube:vet-ignore floatcmp — worker count must be unobservable bit-for-bit
+			if par.Quality != seq.Quality {
+				t.Errorf("%s seed %d: parallel quality %v != sequential %v",
+					s.Name(), seed, par.Quality, seq.Quality)
+			}
+			if par.Evals != seq.Evals {
+				t.Errorf("%s seed %d: parallel evals %d != sequential %d",
+					s.Name(), seed, par.Evals, seq.Evals)
+			}
+			if len(par.IDs) != len(seq.IDs) {
+				t.Errorf("%s seed %d: id sets differ: %v vs %v", s.Name(), seed, par.IDs, seq.IDs)
+				continue
+			}
+			for i := range par.IDs {
+				if par.IDs[i] != seq.IDs[i] {
+					t.Errorf("%s seed %d: id sets differ: %v vs %v", s.Name(), seed, par.IDs, seq.IDs)
+					break
+				}
+			}
+		}
+	}
+}
+
 func TestSolversRespectEvalBudget(t *testing.T) {
 	p := problem(t, 4, constraint.Set{})
 	for _, s := range All() {

@@ -78,10 +78,14 @@ func (s Solver) solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 			tabuUntil = make(map[schema.SourceID]int)
 		}
 		moves := search.Moves(cur, s.Neighbors)
+		// Score the whole sampled neighborhood as one batch: the moves are
+		// independent, so their Q(S') values fan out to the evaluator's
+		// worker pool while selection below stays in deterministic order.
+		qs := search.EvalMoves(cur, moves)
 		bestMove := opt.NoMove
 		bestMoveQ := -1.0
-		for _, mv := range moves {
-			q := search.EvalMove(cur, mv)
+		for mi, mv := range moves {
+			q := qs[mi]
 			tabu := isTabu(tabuUntil, mv, iter)
 			// Aspiration criterion: a tabu move that beats the best-ever
 			// solution is always admissible.

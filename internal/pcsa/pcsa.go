@@ -172,6 +172,26 @@ func (s *Signature) Clone() *Signature {
 	return c
 }
 
+// Reset clears all bitmaps, returning s to the empty state while keeping its
+// configuration and backing storage. It lets hot paths (µBE's objective
+// evaluator computes one union per candidate subset) reuse one scratch
+// signature instead of allocating a fresh one per union.
+func (s *Signature) Reset() {
+	for i := range s.maps {
+		s.maps[i] = 0
+	}
+}
+
+// CopyFrom overwrites s with o's contents, adopting o's configuration. The
+// backing storage is reused when the bitmap counts match.
+func (s *Signature) CopyFrom(o *Signature) {
+	if len(s.maps) != len(o.maps) {
+		s.maps = make([]uint64, len(o.maps))
+	}
+	s.cfg = o.cfg
+	copy(s.maps, o.maps)
+}
+
 // ErrIncompatible is returned when merging signatures with different
 // configurations.
 var ErrIncompatible = errors.New("pcsa: incompatible signature configurations")

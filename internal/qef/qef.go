@@ -22,13 +22,19 @@ import (
 
 	"mube/internal/constraint"
 	"mube/internal/match"
+	"mube/internal/pcsa"
 	"mube/internal/schema"
 	"mube/internal/source"
 )
 
 // Context carries everything a QEF may need to evaluate one candidate source
 // set. The schema-matching result is computed lazily and shared so that F1
-// and the final solution report reuse one Match(S) call.
+// and the final solution report reuse one Match(S) call; likewise the PCSA
+// union over S is merged once and shared by the Coverage and Redundancy QEFs
+// instead of each re-merging all signatures from zero.
+//
+// A Context is used by a single goroutine (one objective evaluation); the
+// parallel evaluator creates one Context per candidate.
 type Context struct {
 	// U is the universe the candidate set is drawn from.
 	U *source.Universe
@@ -43,11 +49,77 @@ type Context struct {
 	matchOnce bool
 	matchRes  match.Result
 	matchErr  error
+
+	scratch *Scratch
+
+	// Union statistics over S, computed once by unionStats.
+	statsOnce bool
+	unionEst  float64 // estimate of |∪ s| over sources of S with a signature
+	coopN     int     // number of cooperative sources in S
+	coopSum   int64   // Σ|s| over cooperative sources of S
+	// coopMixed flags the unusual case of a source that exports a signature
+	// but no cardinality: it contributes to the Coverage union but not to
+	// Redundancy's, so the two unions cannot be shared.
+	coopMixed bool
+}
+
+// Scratch holds reusable evaluation buffers. A long-lived evaluator keeps one
+// Scratch per worker and threads it through successive contexts so the union
+// signature (2 KiB at the default PCSA configuration) is allocated once
+// instead of once per candidate subset. A nil *Scratch is valid everywhere
+// one is accepted and simply allocates per use.
+type Scratch struct {
+	union *pcsa.Signature
 }
 
 // NewContext builds an evaluation context for the source set ids.
 func NewContext(u *source.Universe, m *match.Matcher, cons constraint.Set, ids []schema.SourceID) *Context {
 	return &Context{U: u, IDs: ids, Matcher: m, Constraints: cons}
+}
+
+// NewContextScratch is NewContext with reusable buffers; see Scratch.
+func NewContextScratch(u *source.Universe, m *match.Matcher, cons constraint.Set, ids []schema.SourceID, sc *Scratch) *Context {
+	return &Context{U: u, IDs: ids, Matcher: m, Constraints: cons, scratch: sc}
+}
+
+// unionStats merges the signatures of S once — into the scratch buffer when
+// one is attached — and caches the union estimate plus the cooperative-source
+// tallies, so Coverage and Redundancy do not each redo the merge.
+func (c *Context) unionStats() {
+	if c.statsOnce {
+		return
+	}
+	c.statsOnce = true
+	var acc *pcsa.Signature
+	for _, id := range c.IDs {
+		s := c.U.Source(id)
+		if sig := s.Signature; sig != nil {
+			if acc == nil {
+				if c.scratch != nil {
+					if c.scratch.union == nil {
+						c.scratch.union = sig.Clone()
+					} else {
+						c.scratch.union.CopyFrom(sig)
+					}
+					acc = c.scratch.union
+				} else {
+					acc = sig.Clone()
+				}
+			} else if err := acc.MergeFrom(sig); err != nil {
+				// Unreachable: Universe.Add enforces a uniform config.
+				panic(fmt.Sprintf("qef: union of signatures: %v", err))
+			}
+		}
+		if s.Cooperative() {
+			c.coopN++
+			c.coopSum += s.Cardinality
+		} else if s.Signature != nil {
+			c.coopMixed = true
+		}
+	}
+	if acc != nil {
+		c.unionEst = acc.Estimate()
+	}
 }
 
 // MatchResult returns the (memoized) result of Match(S) for this context.
@@ -129,8 +201,8 @@ func (Coverage) Eval(ctx *Context) float64 {
 	if denom == 0 {
 		return 0
 	}
-	v := ctx.U.UnionEstimate(ctx.IDs) / denom
-	return clamp01(v)
+	ctx.unionStats()
+	return clamp01(ctx.unionEst / denom)
 }
 
 // Redundancy is F4: a measure of the overlap among the sources of S,
@@ -150,27 +222,30 @@ func (Redundancy) Name() string { return NameRedundancy }
 
 // Eval returns Redundancy(S).
 func (Redundancy) Eval(ctx *Context) float64 {
-	var coop []schema.SourceID
-	var sum int64
-	for _, id := range ctx.IDs {
-		s := ctx.U.Source(id)
-		if s.Cooperative() {
-			coop = append(coop, id)
-			sum += s.Cardinality
-		}
-	}
-	if len(coop) == 0 {
+	ctx.unionStats()
+	if ctx.coopN == 0 {
 		return 0
 	}
-	if len(coop) == 1 {
+	if ctx.coopN == 1 {
 		return 1
 	}
-	union := ctx.U.UnionEstimate(coop)
-	if union <= 0 || sum == 0 {
+	union := ctx.unionEst
+	if ctx.coopMixed {
+		// A source exported a signature without a cardinality: restrict the
+		// union to the cooperative sources, as the formula requires.
+		var coop []schema.SourceID
+		for _, id := range ctx.IDs {
+			if ctx.U.Source(id).Cooperative() {
+				coop = append(coop, id)
+			}
+		}
+		union = ctx.U.UnionEstimate(coop)
+	}
+	if union <= 0 || ctx.coopSum == 0 {
 		return 0
 	}
-	ratio := float64(sum) / union // ∈ [1, |S|] up to estimation noise
-	v := (float64(len(coop)) - ratio) / float64(len(coop)-1)
+	ratio := float64(ctx.coopSum) / union // ∈ [1, |S|] up to estimation noise
+	v := (float64(ctx.coopN) - ratio) / float64(ctx.coopN-1)
 	return clamp01(v)
 }
 

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"mube/internal/minhash"
 	"mube/internal/pcsa"
@@ -144,11 +145,19 @@ func Uncooperative(name string, sch schema.Schema) *Source {
 // Universe is the set U = {s_1 … s_N} of all candidate sources. Sources are
 // added once, then the universe is effectively immutable; the aggregate
 // synopses used as QEF denominators are computed lazily and cached.
+//
+// Concurrency: Add (and any other mutation) must happen-before concurrent
+// use. After that, all read methods — including the lazily cached aggregates,
+// whose memoization is guarded by an internal mutex — are safe to call from
+// multiple goroutines, which is what the parallel objective evaluator
+// (internal/opt) relies on.
 type Universe struct {
 	sources []*Source
 	sigCfg  pcsa.Config
 
-	// lazily computed aggregates
+	// lazily computed aggregates, guarded by mu so concurrent QEF
+	// evaluations cannot race on the first computation.
+	mu           sync.Mutex
 	totalCard    int64
 	totalValid   bool
 	unionAll     *pcsa.Signature
@@ -184,9 +193,11 @@ func (u *Universe) Add(s *Source) (schema.SourceID, error) {
 
 // invalidate clears cached aggregates after a mutation.
 func (u *Universe) invalidate() {
+	u.mu.Lock()
 	u.totalValid = false
 	u.unionValid = false
 	u.charRangeMem = make(map[string][2]float64)
+	u.mu.Unlock()
 }
 
 // Len returns the number of sources N.
@@ -216,6 +227,8 @@ func (u *Universe) NumAttrs() int {
 // TotalCardinality returns Σ_{t∈U} |t| over cooperative sources — the
 // denominator of the Card QEF.
 func (u *Universe) TotalCardinality() int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	if !u.totalValid {
 		var sum int64
 		for _, s := range u.sources {
@@ -233,6 +246,8 @@ func (u *Universe) TotalCardinality() int64 {
 // sources — the denominator of the Coverage QEF. It returns 0 when no source
 // cooperates.
 func (u *Universe) UnionAllEstimate() float64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	if !u.unionValid {
 		var sigs []*pcsa.Signature
 		for _, s := range u.sources {
@@ -296,6 +311,8 @@ func (u *Universe) SumCardinality(ids []schema.SourceID) int64 {
 // all sources that define it, used for normalization by aggregators (§5).
 // ok is false when no source defines the characteristic.
 func (u *Universe) CharacteristicRange(name string) (min, max float64, ok bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	if r, hit := u.charRangeMem[name]; hit {
 		return r[0], r[1], true
 	}
