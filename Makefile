@@ -1,12 +1,13 @@
 # Development entry points. `make check` is the tier-1 gate CI runs on every
-# commit: build, go vet, the full test suite under the race detector, and
-# the repo's own analyzers (cmd/mube-vet).
+# commit: build, go vet, the full test suite under the race detector
+# (including the fault-injection suite, see `faults`), and the repo's own
+# analyzers (cmd/mube-vet).
 
 GO ?= go
 
-.PHONY: check build vet test race mube-vet bench benchall fmt
+.PHONY: check build vet test race faults mube-vet bench benchall fmt
 
-check: build vet race mube-vet
+check: build vet race faults mube-vet
 
 build:
 	$(GO) build ./...
@@ -19,6 +20,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# faults runs the fault-tolerance suite under the race detector: the injector
+# and prober packages, plus the cancellation paths in the solver layer and
+# the session round-trip over a degraded universe. These already run inside
+# `race`; the named target re-runs them with -count=1 so the cancellation
+# races are actually re-executed (not served from the test cache) on every
+# `make check`.
+faults:
+	$(GO) test -race -count=1 ./internal/fault/ ./internal/probe/
+	$(GO) test -race -count=1 ./internal/exp/ -run Faults
+	$(GO) test -race -count=1 ./internal/opt/ ./internal/opt/solvers/ ./internal/session/ \
+		-run 'Cancel|Deadline|Status|Remaining|Degraded'
 
 mube-vet:
 	$(GO) run ./cmd/mube-vet ./...

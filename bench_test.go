@@ -7,10 +7,14 @@
 package mube_test
 
 import (
+	"context"
+	"fmt"
+	"os"
 	"testing"
 
 	"mube/internal/constraint"
 	"mube/internal/exp"
+	"mube/internal/fault"
 	"mube/internal/match"
 	"mube/internal/minhash"
 	"mube/internal/opt"
@@ -20,9 +24,11 @@ import (
 )
 
 // benchScale is a small but non-trivial configuration: 1% data, universes to
-// 200 sources.
+// 200 sources. Set MUBE_FAULTS (e.g. "rate=0.3,seed=7") to benchmark against
+// fault-degraded universes; the plan is echoed by TestMain's mube-config
+// line and archived into BENCH_fig.json.
 func benchScale() exp.Scale {
-	return exp.Scale{
+	sc := exp.Scale{
 		Name:          "bench",
 		DataFactor:    0.01,
 		UniverseSizes: []int{100, 200},
@@ -35,6 +41,23 @@ func benchScale() exp.Scale {
 		Seed:          1,
 		Repeats:       1,
 	}
+	if plan, err := fault.ParsePlan(os.Getenv("MUBE_FAULTS")); err == nil && plan.Enabled() {
+		sc.Faults = &plan
+	}
+	return sc
+}
+
+// TestMain prints the run configuration as a mube-config line for
+// mube-benchjson to archive, so a benchmark run against a fault-degraded
+// universe is never silently compared with a clean one.
+func TestMain(m *testing.M) {
+	sc := benchScale()
+	plan := "none"
+	if sc.Faults != nil {
+		plan = sc.Faults.String()
+	}
+	fmt.Printf("mube-config: faults=%s eval-workers=%d timeout=none\n", plan, sc.Workers())
+	os.Exit(m.Run())
 }
 
 // BenchmarkFig5 regenerates Figure 5 (execution time vs universe size).
@@ -303,7 +326,7 @@ func BenchmarkTabuSolve(b *testing.B) {
 	solver := sc.Solver(200)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := solver.Solve(p, sc.Options(int64(i))); err != nil {
+		if _, err := solver.Solve(context.Background(), p, sc.Options(int64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}

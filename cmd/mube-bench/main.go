@@ -14,7 +14,12 @@
 //
 // Experiments: fig5, fig67 (time and quality: Figures 6 and 7), fig8,
 // table1, pcsa, sensitivity, solvers, ablation-sim, ablation-linkage,
-// ablation-tenure, ablation-pcsa, all.
+// ablation-tenure, ablation-pcsa, faults, all.
+//
+// The -faults flag applies a deterministic fault plan (internal/fault) to
+// universe acquisition for every experiment; the run header then prints the
+// acquisition health report so degraded runs are never mistaken for clean
+// ones.
 //
 // Scales: "full" reproduces the paper's settings (700 sources, 4M-tuple
 // pool; minutes of runtime), "quick" is a 1%-data configuration with the
@@ -27,9 +32,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"mube/internal/exp"
+	"mube/internal/fault"
 )
 
 // experiments maps experiment names to runners in display order.
@@ -136,6 +143,13 @@ var experiments = []struct {
 		}
 		return exp.RenderPCSAMaps(w, rows)
 	}},
+	{"faults", "Graceful degradation: Q(S) vs probe failure rate (§4 fallback)", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.Faults(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderFaults(w, rows)
+	}},
 }
 
 func main() {
@@ -143,6 +157,7 @@ func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: full | quick")
 	seed := flag.Int64("seed", 0, "override the scale's base seed (0 = keep)")
 	parallel := flag.Int("parallel", 0, "evaluator worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	faults := flag.String("faults", "", "fault plan applied to universe acquisition, e.g. rate=0.3,seed=7 (\"\" or \"none\" = clean)")
 	flag.Parse()
 
 	var sc exp.Scale
@@ -163,10 +178,34 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Parallel = *parallel
+	plan, err := fault.ParsePlan(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mube-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if plan.Enabled() {
+		sc.Faults = &plan
+	}
 
-	// Run header: make every printed number attributable to a worker count.
-	fmt.Printf("mube-bench: scale=%s seed=%d eval-workers=%d (GOMAXPROCS=%d)\n\n",
-		sc.Name, sc.Seed, sc.Workers(), runtime.GOMAXPROCS(0))
+	// Run header: make every printed number attributable to a worker count
+	// and a fault plan — degraded runs must never read as clean ones.
+	fmt.Printf("mube-bench: scale=%s seed=%d eval-workers=%d faults=%s (GOMAXPROCS=%d)\n",
+		sc.Name, sc.Seed, sc.Workers(), plan.String(), runtime.GOMAXPROCS(0))
+	if plan.Enabled() {
+		health, err := sc.Health(sc.BaseUniverse)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mube-bench: acquire base universe: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("base universe (N=%d) acquisition: %s\n", sc.BaseUniverse, health)
+		if names := health.DegradedNames(); len(names) > 0 {
+			fmt.Printf("  degraded: %s\n", strings.Join(names, " "))
+		}
+		if names := health.DroppedNames(); len(names) > 0 {
+			fmt.Printf("  dropped: %s\n", strings.Join(names, " "))
+		}
+	}
+	fmt.Println()
 
 	ran := 0
 	for _, e := range experiments {

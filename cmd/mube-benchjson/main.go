@@ -35,11 +35,16 @@ type result struct {
 
 // report is the full JSON document.
 type report struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	Pkg        string   `json:"pkg,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []result `json:"benchmarks"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Config captures the run configuration the bench harness prints as
+	// `mube-config: key=value ...` lines — fault plan, evaluator worker
+	// count, timeout — so a degraded or otherwise non-default run is never
+	// silently diffed against a clean one.
+	Config     map[string]string `json:"config,omitempty"`
+	Benchmarks []result          `json:"benchmarks"`
 }
 
 func main() {
@@ -57,6 +62,15 @@ func main() {
 			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
 		case strings.HasPrefix(line, "cpu: "):
 			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "mube-config: "):
+			if rep.Config == nil {
+				rep.Config = make(map[string]string)
+			}
+			for _, kv := range strings.Fields(strings.TrimPrefix(line, "mube-config: ")) {
+				if k, v, ok := strings.Cut(kv, "="); ok {
+					rep.Config[k] = v
+				}
+			}
 		}
 		f := strings.Fields(line)
 		// Result lines: Benchmark<Name>-P  N  value unit [value unit ...]

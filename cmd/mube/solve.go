@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -114,6 +115,7 @@ func cmdSolve(args []string) error {
 	fs := flag.NewFlagSet("solve", flag.ExitOnError)
 	sf := registerSessionFlags(fs)
 	report := fs.String("report", "", "also write a JSON report to this file")
+	timeout := fs.Duration("timeout", 0, "wall-clock solve deadline (0 = none); on expiry the best-so-far solution is printed with status \"deadline\"")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,7 +123,13 @@ func cmdSolve(args []string) error {
 	if err != nil {
 		return err
 	}
-	sol, err := s.Solve()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	sol, err := s.SolveContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -143,8 +151,12 @@ func cmdSolve(args []string) error {
 // printSolution renders one iteration's solution for the terminal.
 func printSolution(w io.Writer, u *source.Universe, it *session.Iteration) {
 	sol := it.Solution
-	fmt.Fprintf(w, "iteration %d [%s, %.0f ms, %d evals]\n",
-		it.Index, sol.Solver, float64(it.Elapsed.Microseconds())/1000, sol.Evals)
+	status := ""
+	if sol.Status != "" && sol.Status != opt.StatusCompleted {
+		status = ", " + string(sol.Status)
+	}
+	fmt.Fprintf(w, "iteration %d [%s, %.0f ms, %d evals%s]\n",
+		it.Index, sol.Solver, float64(it.Elapsed.Microseconds())/1000, sol.Evals, status)
 	fmt.Fprintf(w, "overall quality Q(S) = %.4f\n", sol.Quality)
 	for _, name := range sortedKeys(sol.Breakdown) {
 		fmt.Fprintf(w, "  %-12s %.4f\n", name+":", sol.Breakdown[name])

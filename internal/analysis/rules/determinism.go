@@ -14,9 +14,10 @@ import (
 // experiment/bench harnesses that own their own timing are exempt.
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
-	Doc: "forbid global math/rand functions and time.Now/time.Since in the " +
-		"deterministic core (internal/opt, qef, match, pcsa, session); " +
-		"randomness and time must be injected",
+	Doc: "forbid global math/rand functions and time.Now/time.Since/" +
+		"time.Sleep/time.After in the deterministic core (internal/opt, qef, " +
+		"match, pcsa, session, fault, probe); randomness and time must be " +
+		"injected",
 	Run: runDeterminism,
 }
 
@@ -27,6 +28,8 @@ var determinismScope = []string{
 	modulePath + "/internal/match",
 	modulePath + "/internal/pcsa",
 	modulePath + "/internal/session",
+	modulePath + "/internal/fault",
+	modulePath + "/internal/probe",
 }
 
 // determinismAllow exempts harnesses inside the scope that legitimately own
@@ -74,9 +77,17 @@ func runDeterminism(pass *analysis.Pass) {
 						shortPkg(pkgPath), name)
 				}
 			case "time":
-				if name == "Now" || name == "Since" {
+				switch name {
+				case "Now", "Since":
 					pass.Reportf(call.Pos(),
 						"call to time.%s in the deterministic core; inject a clock (e.g. session.Clock)",
+						name)
+				case "Sleep", "After", "Tick", "NewTimer", "NewTicker":
+					// Backoff and deadline logic must flow through the
+					// injected fault.Clock so retry schedules are virtual and
+					// reproducible, and tests complete instantly.
+					pass.Reportf(call.Pos(),
+						"call to time.%s in the deterministic core; sleep through an injected fault.Clock",
 						name)
 				}
 			}

@@ -15,6 +15,19 @@ func globals() {
 	_ = time.Now()           // want "time.Now in the deterministic core"
 	start := time.Time{}
 	_ = time.Since(start)    // want "time.Since in the deterministic core"
+	time.Sleep(time.Millisecond) // want "time.Sleep in the deterministic core"
+	<-time.After(time.Millisecond) // want "time.After in the deterministic core"
+	_ = time.Tick(time.Second) // want "time.Tick in the deterministic core"
+}
+
+// clock mimics the injected-clock pattern (fault.Clock): sleeping through an
+// injected value is the approved path, not a leak.
+type clock interface {
+	Sleep(d time.Duration)
+}
+
+func injectedSleep(c clock) {
+	c.Sleep(time.Millisecond) // injected clock: fine
 }
 
 func injected(r *rand.Rand, now func() time.Time) time.Duration {

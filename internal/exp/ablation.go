@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -140,7 +141,7 @@ func AblationTenure(sc Scale) ([]TenureRow, error) {
 		var q, ms float64
 		for rep := 0; rep < sc.Repeats; rep++ {
 			start := time.Now()
-			sol, err := s.Solve(p, sc.Options(sc.Seed+int64(rep)))
+			sol, err := s.Solve(context.Background(), p, sc.Options(sc.Seed+int64(rep)))
 			if err != nil {
 				return nil, err
 			}

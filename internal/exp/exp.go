@@ -23,12 +23,15 @@ import (
 
 	"mube/internal/bamm"
 	"mube/internal/constraint"
+	"mube/internal/fault"
 	"mube/internal/match"
 	"mube/internal/opt"
 	"mube/internal/opt/tabu"
 	"mube/internal/pcsa"
+	"mube/internal/probe"
 	"mube/internal/qef"
 	"mube/internal/schema"
+	"mube/internal/source"
 	"mube/internal/synth"
 )
 
@@ -63,6 +66,13 @@ type Scale struct {
 	// (0 = GOMAXPROCS, 1 = sequential). Results are parallel-invariant;
 	// only timings change.
 	Parallel int
+	// Faults, when non-nil and enabled, simulates acquisition of every
+	// generated universe under the fault plan: each cooperative source runs
+	// through the prober's retry/breaker state machine on a virtual clock,
+	// failed sources degrade to uncooperative, breaker-tripped sources drop.
+	// The plan is part of the universe-cache key, so degraded and clean
+	// universes never alias.
+	Faults *fault.Plan
 }
 
 // Full returns the paper-scale configuration (§7.1).
@@ -100,16 +110,56 @@ func Quick() Scale {
 	}
 }
 
-// universeCache memoizes generated universes per (size, scale) so sweeps and
-// benchmarks do not regenerate data.
-var universeCache sync.Map // key string → *synth.Result
+// universeCache memoizes generated universes per (size, scale, fault plan) so
+// sweeps and benchmarks do not regenerate data.
+var universeCache sync.Map // key string → *acquired
+
+// acquired pairs a (possibly degraded) universe with its acquisition health.
+type acquired struct {
+	res    *synth.Result
+	health *probe.HealthReport // nil when no fault plan was in effect
+}
+
+// plan returns the effective fault plan (the zero plan when none is set).
+func (sc Scale) plan() fault.Plan {
+	if sc.Faults == nil {
+		return fault.Plan{}
+	}
+	return *sc.Faults
+}
 
 // Universe returns (and caches) the synthetic universe of the given size at
-// this scale.
+// this scale, degraded under the scale's fault plan if one is set.
 func (sc Scale) Universe(n int) (*synth.Result, error) {
-	key := fmt.Sprintf("%s/%d/%d/%g/%d", sc.Name, n, sc.Seed, sc.DataFactor, sc.Sig.NumMaps)
+	a, err := sc.Acquire(n)
+	if err != nil {
+		return nil, err
+	}
+	return a.res, nil
+}
+
+// Health returns the acquisition health report for the size-n universe (nil
+// when the scale has no fault plan).
+func (sc Scale) Health(n int) (*probe.HealthReport, error) {
+	a, err := sc.Acquire(n)
+	if err != nil {
+		return nil, err
+	}
+	return a.health, nil
+}
+
+// Acquire generates (or returns cached) the size-n universe and, when a fault
+// plan is set, simulates its acquisition through the prober: sources that
+// cannot complete their synopsis scan degrade to uncooperative, sources whose
+// circuit breaker trips are dropped, and every ID-indexed piece of ground
+// truth is remapped to the surviving IDs. Acquisition is deterministic in
+// (scale seed, plan), so repeated calls — at any evaluator worker count —
+// return bit-identical universes and reports.
+func (sc Scale) Acquire(n int) (*acquired, error) {
+	plan := sc.plan()
+	key := fmt.Sprintf("%s/%d/%d/%g/%d/%s", sc.Name, n, sc.Seed, sc.DataFactor, sc.Sig.NumMaps, plan.String())
 	if v, ok := universeCache.Load(key); ok {
-		return v.(*synth.Result), nil
+		return v.(*acquired), nil
 	}
 	cfg := synth.Scaled(sc.DataFactor)
 	cfg.NumSources = n
@@ -119,8 +169,42 @@ func (sc Scale) Universe(n int) (*synth.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	universeCache.Store(key, res)
-	return res, nil
+	a := &acquired{res: res}
+	if plan.Enabled() {
+		prober := probe.New(probe.Policy{}, nil, fault.NewInjector(plan), sc.Seed)
+		nu, health, kept, err := prober.ReprobeUniverse(res.Universe)
+		if err != nil {
+			return nil, err
+		}
+		a = &acquired{res: remapResult(res, nu, kept), health: health}
+	}
+	universeCache.Store(key, a)
+	return a, nil
+}
+
+// remapResult rebuilds a synth.Result's ID-parallel ground truth for a
+// reprobed universe: kept[newID] is the original ID of the new universe's
+// source newID. Dropped sources vanish from every slice; degraded sources
+// keep their ground truth (their schema and characteristics are unchanged —
+// only their synopsis is gone).
+func remapResult(res *synth.Result, nu *source.Universe, kept []schema.SourceID) *synth.Result {
+	out := &synth.Result{Universe: nu, Config: res.Config}
+	oldToNew := make(map[schema.SourceID]schema.SourceID, len(kept))
+	for newID, oldID := range kept {
+		oldToNew[oldID] = schema.SourceID(newID)
+		out.BaseSchema = append(out.BaseSchema, res.BaseSchema[oldID])
+		out.Specialty = append(out.Specialty, res.Specialty[oldID])
+		out.AttrOrigins = append(out.AttrOrigins, res.AttrOrigins[oldID])
+		if res.Tuples != nil {
+			out.Tuples = append(out.Tuples, res.Tuples[oldID])
+		}
+	}
+	for _, sid := range res.Conformant {
+		if nid, ok := oldToNew[sid]; ok {
+			out.Conformant = append(out.Conformant, nid)
+		}
+	}
+	return out
 }
 
 // matcherCache memoizes matchers (similarity tables) per universe.

@@ -483,3 +483,55 @@ func TestAblationHybrid(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFaultsExperiment checks the graceful-degradation sweep: the clean row
+// is genuinely clean, every row's universe survived acquisition (dropped
+// sources are the only losses), every solve stays feasible, and a second run
+// reproduces the first bit-for-bit — fault injection must not smuggle
+// nondeterminism into the harness.
+func TestFaultsExperiment(t *testing.T) {
+	sc := micro()
+	rows, err := Faults(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FaultRates) {
+		t.Fatalf("rows = %d, want one per rate %v", len(rows), FaultRates)
+	}
+	clean := rows[0]
+	if clean.Rate != 0 || clean.Plan != "none" || clean.Degraded != 0 || clean.Dropped != 0 {
+		t.Errorf("clean row not clean: %+v", clean)
+	}
+	if clean.Universe != sc.BaseUniverse {
+		t.Errorf("clean universe = %d, want %d", clean.Universe, sc.BaseUniverse)
+	}
+	for _, r := range rows {
+		if !r.Feasible {
+			t.Errorf("rate %.0f%%: infeasible solution", r.Rate*100)
+		}
+		if r.Universe != sc.BaseUniverse-r.Dropped {
+			t.Errorf("rate %.0f%%: universe %d != base %d - dropped %d",
+				r.Rate*100, r.Universe, sc.BaseUniverse, r.Dropped)
+		}
+		if r.Quality <= 0 || r.Quality > 1 {
+			t.Errorf("rate %.0f%%: quality %v out of range", r.Rate*100, r.Quality)
+		}
+	}
+	again, err := Faults(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		//mube:vet-ignore floatcmp — the determinism contract is bit-identical
+		if rows[i] != again[i] {
+			t.Errorf("rate %.0f%%: rerun differs: %+v vs %+v", rows[i].Rate*100, rows[i], again[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderFaults(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fail_rate") {
+		t.Error("render missing header")
+	}
+}

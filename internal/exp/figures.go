@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -43,7 +44,7 @@ func Fig5(sc Scale) ([]Fig5Row, error) {
 			var evals int
 			for rep := 0; rep < sc.Repeats; rep++ {
 				start := time.Now()
-				sol, err := solver.Solve(p, sc.Options(sc.Seed+int64(rep)))
+				sol, err := solver.Solve(context.Background(), p, sc.Options(sc.Seed+int64(rep)))
 				if err != nil {
 					return nil, err
 				}
@@ -98,7 +99,7 @@ func Fig67(sc Scale) ([]Fig67Row, error) {
 			var evals int
 			for rep := 0; rep < sc.Repeats; rep++ {
 				start := time.Now()
-				sol, err := solver.Solve(p, sc.Options(sc.Seed+int64(rep)))
+				sol, err := solver.Solve(context.Background(), p, sc.Options(sc.Seed+int64(rep)))
 				if err != nil {
 					return nil, err
 				}
@@ -174,7 +175,7 @@ func Fig8(sc Scale) ([]Fig8Row, error) {
 		for rep := 0; rep < sc.Repeats; rep++ {
 			opts := sc.Options(sc.Seed + int64(rep))
 			opts.Initial = warm[rep]
-			sol, err := sc.Solver(sc.BaseUniverse).Solve(p, opts)
+			sol, err := sc.Solver(sc.BaseUniverse).Solve(context.Background(), p, opts)
 			if err != nil {
 				return nil, err
 			}

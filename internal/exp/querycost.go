@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -56,7 +57,7 @@ func QueryCost(sc Scale) ([]QueryCostRow, error) {
 			Quality:    quality,
 			MaxSources: m,
 		}
-		sol, err := sc.Solver(sc.BaseUniverse).Solve(p, sc.Options(sc.Seed))
+		sol, err := sc.Solver(sc.BaseUniverse).Solve(context.Background(), p, sc.Options(sc.Seed))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -38,7 +39,7 @@ func Table1(sc Scale) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		sol, err := sc.Solver(sc.BaseUniverse).Solve(p, sc.Options(sc.Seed))
+		sol, err := sc.Solver(sc.BaseUniverse).Solve(context.Background(), p, sc.Options(sc.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -166,7 +167,7 @@ func Sensitivity(sc Scale) (*SensitivityResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	tabuSol, err := sc.Solver(sc.BaseUniverse).Solve(baseP, sc.Options(sc.Seed))
+	tabuSol, err := sc.Solver(sc.BaseUniverse).Solve(context.Background(), baseP, sc.Options(sc.Seed))
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +279,7 @@ func symDiffInts(a, b map[int]struct{}) int {
 // polish runs deterministic steepest-ascent hill climbing from start until
 // no sampled move improves the objective.
 func polish(p *opt.Problem, start []schema.SourceID, seed int64) ([]schema.SourceID, error) {
-	search, err := opt.NewSearch(p, opt.Options{Seed: seed, MaxEvals: -1, MaxIters: 1 << 20, Patience: 1 << 20})
+	search, err := opt.NewSearch(context.Background(), p, opt.Options{Seed: seed, MaxEvals: -1, MaxIters: 1 << 20, Patience: 1 << 20})
 	if err != nil {
 		return nil, err
 	}
@@ -374,7 +375,7 @@ func Solvers(sc Scale) ([]SolverRow, error) {
 		return nil, err
 	}
 	// Equal budgets: cap evaluations at what tabu uses at this scale.
-	probe, err := sc.Solver(sc.BaseUniverse).Solve(p, sc.Options(sc.Seed))
+	probe, err := sc.Solver(sc.BaseUniverse).Solve(context.Background(), p, sc.Options(sc.Seed))
 	if err != nil {
 		return nil, err
 	}
@@ -391,7 +392,7 @@ func Solvers(sc Scale) ([]SolverRow, error) {
 			b := budget
 			b.Seed = sc.Seed + int64(rep)
 			start := time.Now()
-			sol, err := s.Solve(p, b)
+			sol, err := s.Solve(context.Background(), p, b)
 			if err != nil {
 				return nil, err
 			}

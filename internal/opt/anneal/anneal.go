@@ -6,6 +6,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 
 	"mube/internal/opt"
@@ -34,8 +35,9 @@ const (
 // Name returns "anneal".
 func (Solver) Name() string { return "anneal" }
 
-// Solve runs the annealing schedule within the options' budget.
-func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+// Solve runs the annealing schedule within the options' budget; a done ctx
+// stops the chain and returns best-so-far.
+func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 	if s.T0 == 0 {
 		s.T0 = DefaultT0
 	}
@@ -46,7 +48,7 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 		s.MovesPerTemp = DefaultMovesPerTemp
 	}
 	opts = opts.WithDefaults()
-	search, err := opt.NewSearch(p, opts)
+	search, err := opt.NewSearch(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -58,8 +60,8 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 
 	temp := s.T0
 	noImprove := 0
-	for iter := 0; iter < opts.MaxIters && noImprove < opts.Patience && !search.Eval.Exhausted(); iter++ {
-		for k := 0; k < s.MovesPerTemp; k++ {
+	for iter := 0; iter < opts.MaxIters && noImprove < opts.Patience && !search.Eval.Exhausted() && !search.Stopped(); iter++ {
+		for k := 0; k < s.MovesPerTemp && !search.Stopped(); k++ {
 			moves := search.Moves(cur, 4)
 			if len(moves) == 0 {
 				break

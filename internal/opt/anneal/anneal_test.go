@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"testing"
 
 	"mube/internal/constraint"
@@ -18,7 +19,7 @@ func TestName(t *testing.T) {
 func TestSolveFindsFeasibleSolution(t *testing.T) {
 	cons := constraint.Set{Sources: []schema.SourceID{5}}
 	p := opttest.Problem(t, 4, cons)
-	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 2, MaxEvals: 500})
+	sol, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 2, MaxEvals: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestParameterVariants(t *testing.T) {
 		{T0: 0.01, Cooling: 0.99, MovesPerTemp: 20},
 		{}, // defaults
 	} {
-		sol, err := s.Solve(p, opt.Options{Seed: 3, MaxEvals: 300})
+		sol, err := s.Solve(context.Background(), p, opt.Options{Seed: 3, MaxEvals: 300})
 		if err != nil {
 			t.Fatalf("%+v: %v", s, err)
 		}
@@ -51,11 +52,11 @@ func TestBestEverIsReturned(t *testing.T) {
 	// Annealing wanders; the returned solution must be the best recorded,
 	// not the final state. Verify monotonicity under a longer budget.
 	p := opttest.Problem(t, 4, constraint.Set{})
-	short, err := (Solver{}).Solve(p, opt.Options{Seed: 8, MaxEvals: 60, MaxIters: 5})
+	short, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 8, MaxEvals: 60, MaxIters: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	long, err := (Solver{}).Solve(p, opt.Options{Seed: 8, MaxEvals: 2000, MaxIters: 300})
+	long, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 8, MaxEvals: 2000, MaxIters: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestBestEverIsReturned(t *testing.T) {
 
 func TestFullyConstrainedProblem(t *testing.T) {
 	p, cons := opttest.FullyConstrained(t)
-	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 1, MaxEvals: 50, MaxIters: 10})
+	sol, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 1, MaxEvals: 50, MaxIters: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

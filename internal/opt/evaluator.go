@@ -1,7 +1,9 @@
 package opt
 
 import (
+	"context"
 	"encoding/binary"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -31,6 +33,7 @@ import (
 type Evaluator struct {
 	p       *Problem
 	workers int // worker-pool size for EvalBatch; 1 = in-line
+	ctx     context.Context
 
 	mu    sync.Mutex
 	memo  map[string]float64
@@ -49,12 +52,34 @@ func NewEvaluator(p *Problem, maxEvals int) *Evaluator {
 	e := &Evaluator{
 		p:       p,
 		workers: runtime.GOMAXPROCS(0),
+		ctx:     context.Background(),
 		memo:    make(map[string]float64),
 		limit:   maxEvals,
 	}
 	e.scratch.New = func() any { return &qef.Scratch{} }
 	return e
 }
+
+// BindContext attaches the solve's context: EvalBatch checks it between its
+// planning pass and the worker fan-out, so a cancellation or deadline stops
+// the search within one batch. A nil ctx resets to context.Background().
+func (e *Evaluator) BindContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+}
+
+// Unscored is the sentinel quality for candidates the evaluator refused to
+// score — requested past the MaxEvals budget, or abandoned on cancellation.
+// It is -Inf: it can never win a best-so-far comparison (so consuming a
+// partially scored batch is harmless), and it is unmistakable for a genuine
+// Q(S) = 0, which infeasible-but-scored subsets legitimately produce.
+// Sentinels are never memoized.
+func Unscored(q float64) bool { return math.IsInf(q, -1) }
+
+// unscored is the sentinel value Unscored detects.
+var unscored = math.Inf(-1)
 
 // SetWorkers sets the EvalBatch worker-pool size: 1 evaluates candidates
 // in-line on the caller's goroutine, n > 1 uses n workers, and n <= 0 resets
@@ -89,6 +114,22 @@ func (e *Evaluator) Exhausted() bool {
 	return e.limit > 0 && e.evals >= e.limit
 }
 
+// Remaining returns how many evaluations are left in the MaxEvals budget, or
+// -1 when the budget is unlimited. Solvers that draw fixed-size candidate
+// chunks clamp them to this so no candidate is requested only to come back
+// unscored.
+func (e *Evaluator) Remaining() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.limit <= 0 {
+		return -1
+	}
+	if r := e.limit - e.evals; r > 0 {
+		return r
+	}
+	return 0
+}
+
 // Evals returns the number of distinct subsets evaluated so far.
 func (e *Evaluator) Evals() int {
 	e.mu.Lock()
@@ -115,7 +156,8 @@ func (e *Evaluator) compute(ids []schema.SourceID, sc *qef.Scratch) float64 {
 
 // Eval returns Q(S) for the given source set. ids must be sorted (use
 // SortIDs); infeasible sets score 0. Once the budget is exhausted, unknown
-// subsets also score 0 — solvers should check Exhausted and stop.
+// subsets return the Unscored sentinel (-Inf, never memoized) — solvers
+// should check Exhausted and stop.
 func (e *Evaluator) Eval(ids []schema.SourceID) float64 {
 	e.mu.Lock()
 	e.calls++
@@ -126,7 +168,7 @@ func (e *Evaluator) Eval(ids []schema.SourceID) float64 {
 	}
 	if e.limit > 0 && e.evals >= e.limit {
 		e.mu.Unlock()
-		return 0
+		return unscored
 	}
 	e.evals++
 	e.mu.Unlock()
@@ -182,7 +224,7 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 			continue
 		}
 		if e.limit > 0 && e.evals >= e.limit {
-			out[i] = 0 // same as sequential Eval past the budget
+			out[i] = unscored // same as sequential Eval past the budget
 			continue
 		}
 		e.evals++
@@ -194,6 +236,24 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 		jobs = append(jobs, j)
 	}
 	e.mu.Unlock()
+
+	// Cancellation check, between the planning pass and the worker fan-out:
+	// a canceled or expired context abandons the batch before any Q(S) is
+	// computed. The planned budget debits are reverted — no evaluation
+	// happened, so Evals stays truthful — and the abandoned candidates come
+	// back as Unscored sentinels, which no solver comparison can mistake for
+	// a real quality.
+	if err := e.ctx.Err(); err != nil && len(jobs) > 0 {
+		e.mu.Lock()
+		e.evals -= len(jobs)
+		e.mu.Unlock()
+		for _, j := range jobs {
+			for _, i := range j.out {
+				out[i] = unscored
+			}
+		}
+		return out
+	}
 
 	if len(jobs) > 0 {
 		workers := e.workers
@@ -242,17 +302,57 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 	return out
 }
 
+// Status derives how the solve ended from the bound context and the budget:
+// a dead context wins (deadline over cancel per its Err), then budget
+// exhaustion, else completed.
+func (e *Evaluator) Status() Status {
+	if err := e.ctx.Err(); err != nil {
+		if err == context.DeadlineExceeded {
+			return StatusDeadline
+		}
+		return StatusCanceled
+	}
+	if e.Exhausted() {
+		return StatusExhausted
+	}
+	return StatusCompleted
+}
+
+// qualityOf returns the true Q(ids) via memo-or-compute WITHOUT debiting the
+// evaluation budget, so the final solution report is truthful even when the
+// solve stopped on budget exhaustion or cancellation (Eval would return the
+// Unscored sentinel then).
+func (e *Evaluator) qualityOf(ids []schema.SourceID) float64 {
+	k := key(ids)
+	e.mu.Lock()
+	if v, ok := e.memo[k]; ok {
+		e.mu.Unlock()
+		return v
+	}
+	e.mu.Unlock()
+	sc := e.scratch.Get().(*qef.Scratch)
+	v := e.compute(ids, sc)
+	e.scratch.Put(sc)
+	e.mu.Lock()
+	e.memo[k] = v
+	e.mu.Unlock()
+	return v
+}
+
 // Solution materializes the full solution report for a chosen subset,
-// re-deriving the mediated schema and per-QEF breakdown.
+// re-deriving the mediated schema and per-QEF breakdown. The reported quality
+// is always the true Q(S) (computed outside the MaxEvals budget if needed),
+// and Status records how the solve ended.
 func (e *Evaluator) Solution(ids []schema.SourceID, solver string) *Solution {
 	sorted := SortIDs(append([]schema.SourceID(nil), ids...))
 	ctx := qef.NewContext(e.p.Universe, e.p.Matcher, e.p.Constraints, sorted)
 	sol := &Solution{
 		IDs:       sorted,
-		Quality:   e.Eval(sorted),
+		Quality:   e.qualityOf(sorted),
 		Breakdown: e.p.Quality.Breakdown(ctx),
-		Evals:     e.evals,
+		Evals:     e.Evals(),
 		Solver:    solver,
+		Status:    e.Status(),
 	}
 	if e.p.Matcher != nil {
 		if res, err := ctx.MatchResult(); err == nil && res.OK {
@@ -277,10 +377,20 @@ type Search struct {
 	Rand *rand.Rand
 	// MaxSources is m.
 	MaxSources int
+
+	ctx context.Context
 }
 
-// NewSearch prepares shared search state. It validates the problem.
-func NewSearch(p *Problem, opts Options) (*Search, error) {
+// Stopped reports whether the solve's context is canceled or past its
+// deadline. Solvers check it at iteration boundaries and return best-so-far.
+func (s *Search) Stopped() bool { return s.ctx.Err() != nil }
+
+// NewSearch prepares shared search state bound to ctx (nil means no
+// cancellation). It validates the problem.
+func NewSearch(ctx context.Context, p *Problem, opts Options) (*Search, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -298,12 +408,14 @@ func NewSearch(p *Problem, opts Options) (*Search, error) {
 	}
 	ev := NewEvaluator(p, opts.MaxEvals)
 	ev.SetWorkers(opts.Parallel)
+	ev.BindContext(ctx)
 	return &Search{
 		Eval:       ev,
 		Required:   req,
 		Optional:   optional,
 		Rand:       rand.New(rand.NewSource(opts.Seed)),
 		MaxSources: p.MaxSources,
+		ctx:        ctx,
 	}, nil
 }
 

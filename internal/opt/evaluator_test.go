@@ -1,9 +1,11 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"mube/internal/constraint"
 	"mube/internal/schema"
@@ -84,28 +86,30 @@ func TestEvalBatchMatchesSequential(t *testing.T) {
 
 // TestEvalBatchBudgetCutoffIndex pins the budget semantics precisely: with
 // MaxEvals = 2 and three distinct candidates in one batch, the third must
-// score 0 and stay uncached — exactly where sequential Eval cuts off.
+// come back as the Unscored sentinel and stay uncached — exactly where
+// sequential Eval cuts off. A refused candidate must be distinguishable from
+// a real Q(S) = 0 (the regression this pins: it used to score a plain 0).
 func TestEvalBatchBudgetCutoffIndex(t *testing.T) {
 	p := problem(t, 4, constraint.Set{})
 	e := NewEvaluator(p, 2)
 	e.SetWorkers(4)
 	got := e.EvalBatch([][]schema.SourceID{ids(0), ids(1), ids(2)})
-	if got[0] == 0 || got[1] == 0 {
-		t.Errorf("in-budget candidates scored 0: %v", got)
+	if Unscored(got[0]) || Unscored(got[1]) || got[0] == 0 || got[1] == 0 {
+		t.Errorf("in-budget candidates not scored: %v", got)
 	}
-	if got[2] != 0 {
-		t.Errorf("post-budget candidate scored %v, want 0", got[2])
+	if !Unscored(got[2]) {
+		t.Errorf("post-budget candidate scored %v, want Unscored sentinel", got[2])
 	}
 	if !e.Exhausted() || e.Evals() != 2 {
 		t.Errorf("Exhausted=%v Evals=%d after budget-2 batch", e.Exhausted(), e.Evals())
 	}
-	// The refused subset must not be memoized as 0: cached subsets keep their
-	// real values, unknown ones keep scoring 0.
-	if v := e.Eval(ids(0)); v == 0 {
+	// The refused subset must not be memoized: cached subsets keep their real
+	// values, unknown ones keep returning the sentinel.
+	if v := e.Eval(ids(0)); Unscored(v) || v == 0 {
 		t.Error("cached in-budget value lost after exhaustion")
 	}
-	if v := e.Eval(ids(2)); v != 0 {
-		t.Errorf("refused subset returned %v after exhaustion, want 0", v)
+	if v := e.Eval(ids(2)); !Unscored(v) {
+		t.Errorf("refused subset returned %v after exhaustion, want Unscored sentinel", v)
 	}
 }
 
@@ -181,11 +185,11 @@ func TestEvalBatchConcurrentStress(t *testing.T) {
 // exactly what per-move scoring would.
 func TestEvalMovesMatchesEvalMove(t *testing.T) {
 	p := problem(t, 3, constraint.Set{})
-	sA, err := NewSearch(p, Options{Seed: 6, Parallel: 4})
+	sA, err := NewSearch(context.Background(), p, Options{Seed: 6, Parallel: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sB, err := NewSearch(p, Options{Seed: 6, Parallel: 1})
+	sB, err := NewSearch(context.Background(), p, Options{Seed: 6, Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,6 +202,103 @@ func TestEvalMovesMatchesEvalMove(t *testing.T) {
 		if one := sB.EvalMove(subB, mv); one != batch[i] {
 			t.Errorf("move %d (%+v): batch %v != single %v", i, mv, batch[i], one)
 		}
+	}
+}
+
+// TestRemaining pins the budget-remaining arithmetic: -1 for unlimited,
+// counting down to 0 and never below.
+func TestRemaining(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	if e := NewEvaluator(p, 0); e.Remaining() != -1 {
+		t.Errorf("unlimited Remaining() = %d, want -1", e.Remaining())
+	}
+	e := NewEvaluator(p, 2)
+	if e.Remaining() != 2 {
+		t.Errorf("fresh Remaining() = %d, want 2", e.Remaining())
+	}
+	e.Eval(ids(0))
+	if e.Remaining() != 1 {
+		t.Errorf("after 1 eval Remaining() = %d, want 1", e.Remaining())
+	}
+	e.Eval(ids(0)) // memo hit: no debit
+	if e.Remaining() != 1 {
+		t.Errorf("after memo hit Remaining() = %d, want 1", e.Remaining())
+	}
+	e.Eval(ids(1))
+	e.Eval(ids(2)) // refused: budget already spent
+	if e.Remaining() != 0 {
+		t.Errorf("exhausted Remaining() = %d, want 0", e.Remaining())
+	}
+}
+
+// TestEvalBatchCancellation pins the cancellation contract: a batch planned
+// after the context dies computes nothing, returns the Unscored sentinel for
+// every uncached candidate, reverts its planned budget debits (Evals stays
+// truthful), and still serves memo hits. Status must report canceled.
+func TestEvalBatchCancellation(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	e := NewEvaluator(p, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	e.BindContext(ctx)
+
+	warm := e.EvalBatch([][]schema.SourceID{ids(0)})
+	if Unscored(warm[0]) {
+		t.Fatal("pre-cancel batch refused to score")
+	}
+	evalsBefore := e.Evals()
+
+	cancel()
+	got := e.EvalBatch([][]schema.SourceID{ids(0), ids(1), ids(2)})
+	//mube:vet-ignore floatcmp — memoized pure values must match exactly
+	if got[0] != warm[0] {
+		t.Errorf("memo hit after cancel = %v, want cached %v", got[0], warm[0])
+	}
+	if !Unscored(got[1]) || !Unscored(got[2]) {
+		t.Errorf("canceled batch scored uncached candidates: %v", got)
+	}
+	if e.Evals() != evalsBefore {
+		t.Errorf("canceled batch left Evals at %d, want reverted to %d", e.Evals(), evalsBefore)
+	}
+	if e.Status() != StatusCanceled {
+		t.Errorf("Status() = %s after cancel, want %s", e.Status(), StatusCanceled)
+	}
+	// The abandoned subsets must not be memoized as sentinels: a fresh
+	// context scores them for real.
+	e.BindContext(context.Background())
+	if v := e.Eval(ids(1)); Unscored(v) {
+		t.Error("abandoned subset stayed unscored after rebinding a live context")
+	}
+}
+
+// TestStatusTaxonomy checks Status() derives the right verdict from context
+// state and budget: deadline beats cancel beats exhaustion beats completed.
+func TestStatusTaxonomy(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+
+	e := NewEvaluator(p, 0)
+	if e.Status() != StatusCompleted {
+		t.Errorf("fresh Status() = %s", e.Status())
+	}
+
+	e = NewEvaluator(p, 1)
+	e.Eval(ids(0))
+	if e.Status() != StatusExhausted {
+		t.Errorf("exhausted Status() = %s", e.Status())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.BindContext(ctx)
+	if e.Status() != StatusCanceled {
+		t.Errorf("canceled Status() = %s (a dead context must win over exhaustion)", e.Status())
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Time{}.AddDate(2000, 0, 0))
+	defer dcancel()
+	<-dctx.Done()
+	e.BindContext(dctx)
+	if e.Status() != StatusDeadline {
+		t.Errorf("deadline Status() = %s", e.Status())
 	}
 }
 

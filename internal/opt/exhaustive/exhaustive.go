@@ -4,6 +4,7 @@
 package exhaustive
 
 import (
+	"context"
 	"fmt"
 
 	"mube/internal/opt"
@@ -23,15 +24,18 @@ const DefaultLimit = 2_000_000
 // Name returns "exhaustive".
 func (Solver) Name() string { return "exhaustive" }
 
-// Solve enumerates all subsets S with C ⊆ S and |S| ≤ m and returns the best.
-func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+// Solve enumerates all subsets S with C ⊆ S and |S| ≤ m and returns the
+// best. A done ctx abandons the walk and returns the best subset scored so
+// far (Status records the interruption — the result is then not a certified
+// optimum).
+func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 	if s.Limit == 0 {
 		s.Limit = DefaultLimit
 	}
 	// Exhaustive search needs no evaluation cap: budget by subset count.
 	opts = opts.WithDefaults()
 	opts.MaxEvals = s.Limit + 1
-	search, err := opt.NewSearch(p, opts)
+	search, err := opt.NewSearch(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -61,6 +65,9 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 	pick := make([]schema.SourceID, 0, free)
 	var walk func(start, remaining int)
 	walk = func(start, remaining int) {
+		if search.Stopped() {
+			return
+		}
 		ids := append(append([]schema.SourceID(nil), search.Required...), pick...)
 		cands = append(cands, opt.SortIDs(ids))
 		if len(cands) == flush {
@@ -69,7 +76,7 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 		if remaining == 0 {
 			return
 		}
-		for i := start; i < len(search.Optional); i++ {
+		for i := start; i < len(search.Optional) && !search.Stopped(); i++ {
 			pick = append(pick, search.Optional[i])
 			walk(i+1, remaining-1)
 			pick = pick[:len(pick)-1]
@@ -77,6 +84,11 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 	}
 	walk(0, free)
 	score()
+	if bestIDs == nil {
+		// Canceled before any subset scored: fall back to the first
+		// enumerated candidate (required sources only), which is feasible.
+		bestIDs = opt.SortIDs(append([]schema.SourceID(nil), search.Required...))
+	}
 	return search.Eval.Solution(bestIDs, s.Name()), nil
 }
 

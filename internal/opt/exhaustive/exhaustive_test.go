@@ -1,6 +1,7 @@
 package exhaustive
 
 import (
+	"context"
 	"testing"
 
 	"mube/internal/constraint"
@@ -17,7 +18,7 @@ func TestName(t *testing.T) {
 
 func TestFindsTrueOptimum(t *testing.T) {
 	p := opttest.Problem(t, 2, constraint.Set{})
-	sol, err := (Solver{}).Solve(p, opt.Options{})
+	sol, err := (Solver{}).Solve(context.Background(), p, opt.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestFindsTrueOptimum(t *testing.T) {
 
 func TestLimitRefusal(t *testing.T) {
 	p := opttest.Problem(t, 6, constraint.Set{})
-	if _, err := (Solver{Limit: 10}).Solve(p, opt.Options{}); err == nil {
+	if _, err := (Solver{Limit: 10}).Solve(context.Background(), p, opt.Options{}); err == nil {
 		t.Error("tiny limit accepted a large space")
 	}
 }
@@ -71,7 +72,7 @@ func TestCountSubsets(t *testing.T) {
 func TestConstraintsReduceSpace(t *testing.T) {
 	cons := constraint.Set{Sources: []schema.SourceID{0, 1}}
 	p := opttest.Problem(t, 3, cons)
-	sol, err := (Solver{}).Solve(p, opt.Options{})
+	sol, err := (Solver{}).Solve(context.Background(), p, opt.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -91,6 +92,24 @@ func (p *Problem) Feasible(ids []schema.SourceID) bool {
 	return p.Constraints.SatisfiedBy(ids)
 }
 
+// Status reports how a solve ended. Solvers never die silently: a canceled
+// or timed-out run still returns its best-so-far solution, labeled with the
+// reason it stopped.
+type Status string
+
+const (
+	// StatusCompleted: the solver ran its full schedule (iterations and
+	// patience) within budget.
+	StatusCompleted Status = "completed"
+	// StatusDeadline: the context's deadline expired; the solution is the
+	// best found before the cutoff.
+	StatusDeadline Status = "deadline"
+	// StatusCanceled: the context was canceled; best-so-far returned.
+	StatusCanceled Status = "canceled"
+	// StatusExhausted: the MaxEvals budget ran out before the schedule did.
+	StatusExhausted Status = "budget-exhausted"
+)
+
 // Solution is the output of a solver: the chosen source set, its overall
 // quality and per-QEF breakdown, and the mediated schema Match(S) generated
 // for it.
@@ -113,6 +132,9 @@ type Solution struct {
 	Evals int
 	// Solver names the algorithm that produced this solution.
 	Solver string
+	// Status records how the solve ended (completed, deadline, canceled,
+	// budget-exhausted).
+	Status Status
 }
 
 // SourceNames resolves the solution's source IDs to names.
@@ -177,8 +199,11 @@ func (o Options) WithDefaults() Options {
 type Solver interface {
 	// Name identifies the algorithm.
 	Name() string
-	// Solve returns the best solution found within the options' budget.
-	Solve(p *Problem, opts Options) (*Solution, error)
+	// Solve returns the best solution found within the options' budget. A
+	// canceled or deadline-exceeded ctx stops the search within one
+	// evaluation batch and returns best-so-far with the matching
+	// Solution.Status — never an error.
+	Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error)
 }
 
 // SortIDs sorts a source-ID slice in place and returns it.

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -140,11 +141,11 @@ func TestEvaluatorBudget(t *testing.T) {
 	if !e.Exhausted() {
 		t.Fatal("budget of 2 not exhausted after 2 distinct evals")
 	}
-	if got := e.Eval(ids(2)); got != 0 {
-		t.Errorf("post-budget eval = %v, want 0", got)
+	if got := e.Eval(ids(2)); !Unscored(got) {
+		t.Errorf("post-budget eval = %v, want Unscored sentinel", got)
 	}
 	// Cached subsets still return real values.
-	if got := e.Eval(ids(0)); got == 0 {
+	if got := e.Eval(ids(0)); Unscored(got) || got == 0 {
 		t.Error("cached value lost after budget exhaustion")
 	}
 }
@@ -188,7 +189,7 @@ func TestEvaluatorSolution(t *testing.T) {
 func TestSearchRandomSubsetAlwaysFeasible(t *testing.T) {
 	cons := constraint.Set{Sources: ids(7)}
 	p := problem(t, 5, cons)
-	s, err := NewSearch(p, Options{Seed: 1})
+	s, err := NewSearch(context.Background(), p, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestSearchRandomSubsetAlwaysFeasible(t *testing.T) {
 func TestMovesPreserveFeasibility(t *testing.T) {
 	cons := constraint.Set{Sources: ids(4)}
 	p := problem(t, 4, cons)
-	s, err := NewSearch(p, Options{Seed: 2})
+	s, err := NewSearch(context.Background(), p, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestMovesPreserveFeasibility(t *testing.T) {
 func TestMovesNeverDropRequired(t *testing.T) {
 	cons := constraint.Set{Sources: ids(0, 1)}
 	p := problem(t, 3, cons)
-	s, err := NewSearch(p, Options{Seed: 4})
+	s, err := NewSearch(context.Background(), p, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestMovesNeverDropRequired(t *testing.T) {
 
 func TestSubsetBasics(t *testing.T) {
 	p := problem(t, 4, constraint.Set{})
-	s, err := NewSearch(p, Options{})
+	s, err := NewSearch(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestOptionsDefaults(t *testing.T) {
 
 func TestStartSubsetWarmStart(t *testing.T) {
 	p := problem(t, 4, constraint.Set{Sources: ids(2)})
-	s, err := NewSearch(p, Options{Seed: 1})
+	s, err := NewSearch(context.Background(), p, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package pso
 
 import (
+	"context"
 	"math"
 
 	"mube/internal/opt"
@@ -46,8 +47,9 @@ type particle struct {
 	bestQ   float64
 }
 
-// Solve runs the swarm within the options' budget.
-func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+// Solve runs the swarm within the options' budget; a done ctx stops the
+// iteration loop and returns the best position found so far.
+func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 	if s.Particles == 0 {
 		s.Particles = DefaultParticles
 	}
@@ -61,7 +63,7 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 		s.Social = DefaultSocial
 	}
 	opts = opts.WithDefaults()
-	search, err := opt.NewSearch(p, opts)
+	search, err := opt.NewSearch(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -123,19 +125,22 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 		swarm[i] = pt
 		cands[i] = toIDs(pt.pos)
 	}
-	var globalBest []bool
+	// Seed the global best with the first particle's position before any
+	// scoring, so a solve canceled during the very first batch still returns
+	// a feasible (if unremarkable) source set rather than nothing.
+	globalBest := append([]bool(nil), swarm[0].pos...)
 	globalQ := -1.0
 	for i, q := range search.Eval.EvalBatch(cands) {
 		pt := swarm[i]
 		pt.bestQ = q
 		if q > globalQ {
 			globalQ = q
-			globalBest = append([]bool(nil), pt.pos...)
+			globalBest = append(globalBest[:0], pt.pos...)
 		}
 	}
 
 	noImprove := 0
-	for iter := 0; iter < opts.MaxIters && noImprove < opts.Patience && !search.Eval.Exhausted(); iter++ {
+	for iter := 0; iter < opts.MaxIters && noImprove < opts.Patience && !search.Eval.Exhausted() && !search.Stopped(); iter++ {
 		for i, pt := range swarm {
 			for d := 0; d < dims; d++ {
 				r1, r2 := search.Rand.Float64(), search.Rand.Float64()

@@ -1,6 +1,7 @@
 package pso
 
 import (
+	"context"
 	"testing"
 
 	"mube/internal/constraint"
@@ -19,7 +20,7 @@ func TestName(t *testing.T) {
 func TestSolveFindsFeasibleSolution(t *testing.T) {
 	cons := constraint.Set{Sources: []schema.SourceID{1}}
 	p := opttest.Problem(t, 4, cons)
-	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 2, MaxEvals: 600})
+	sol, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 2, MaxEvals: 600})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestSolveFindsFeasibleSolution(t *testing.T) {
 func TestSwarmSizeVariants(t *testing.T) {
 	p := opttest.Problem(t, 3, constraint.Set{})
 	for _, n := range []int{2, 8, 32} {
-		sol, err := (Solver{Particles: n}).Solve(p, opt.Options{Seed: 3, MaxEvals: 400})
+		sol, err := (Solver{Particles: n}).Solve(context.Background(), p, opt.Options{Seed: 3, MaxEvals: 400})
 		if err != nil {
 			t.Fatalf("particles=%d: %v", n, err)
 		}
@@ -51,7 +52,7 @@ func TestFullyConstrainedProblem(t *testing.T) {
 	// Zero free slots: every particle's position repairs to the empty
 	// optional set; the swarm must return exactly the required sources.
 	p, cons := opttest.FullyConstrained(t)
-	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 1, MaxEvals: 100, MaxIters: 5})
+	sol, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 1, MaxEvals: 100, MaxIters: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

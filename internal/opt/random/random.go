@@ -4,6 +4,8 @@
 package random
 
 import (
+	"context"
+
 	"mube/internal/opt"
 	"mube/internal/schema"
 )
@@ -14,10 +16,11 @@ type Solver struct{}
 // Name returns "random".
 func (Solver) Name() string { return "random" }
 
-// Solve samples random feasible subsets until the budget is exhausted.
-func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+// Solve samples random feasible subsets until the budget is exhausted or ctx
+// is done.
+func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 	opts = opts.WithDefaults()
-	search, err := opt.NewSearch(p, opts)
+	search, err := opt.NewSearch(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -33,10 +36,20 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 	// constant — independent of the worker count — so the candidate
 	// sequence and the best-so-far scan never depend on parallelism.
 	const chunk = 32
-	for drawn := 0; drawn < samples && !search.Eval.Exhausted(); {
+	for drawn := 0; drawn < samples && !search.Eval.Exhausted() && !search.Stopped(); {
 		n := samples - drawn
 		if n > chunk {
 			n = chunk
+		}
+		// Clamp the chunk to the remaining evaluation budget so no candidate
+		// is drawn only to come back unscored. Memo hits within the chunk may
+		// still leave budget unspent after the batch; the outer loop's
+		// Exhausted check settles that.
+		if rem := search.Eval.Remaining(); rem >= 0 && n > rem {
+			n = rem
+		}
+		if n == 0 {
+			break
 		}
 		cands := make([][]schema.SourceID, n)
 		for i := range cands {

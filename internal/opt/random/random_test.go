@@ -1,6 +1,7 @@
 package random
 
 import (
+	"context"
 	"testing"
 
 	"mube/internal/constraint"
@@ -17,14 +18,14 @@ func TestName(t *testing.T) {
 
 func TestSolveFeasibleAndDeterministic(t *testing.T) {
 	p := opttest.Problem(t, 4, constraint.Set{})
-	a, err := (Solver{}).Solve(p, opt.Options{Seed: 5, MaxEvals: 200})
+	a, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 5, MaxEvals: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !p.Feasible(a.IDs) || a.Quality <= 0 {
 		t.Errorf("solution %v q=%v", a.IDs, a.Quality)
 	}
-	b, err := (Solver{}).Solve(p, opt.Options{Seed: 5, MaxEvals: 200})
+	b, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 5, MaxEvals: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,11 +36,11 @@ func TestSolveFeasibleAndDeterministic(t *testing.T) {
 
 func TestMoreSamplesNeverWorse(t *testing.T) {
 	p := opttest.Problem(t, 3, constraint.Set{})
-	few, err := (Solver{}).Solve(p, opt.Options{Seed: 9, MaxEvals: 10})
+	few, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 9, MaxEvals: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, err := (Solver{}).Solve(p, opt.Options{Seed: 9, MaxEvals: 500})
+	many, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 9, MaxEvals: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestUnlimitedEvalBudgetFallsBackToIters(t *testing.T) {
 	// MaxEvals < 0 means "unlimited" for iteration-bounded solvers; random
 	// search must fall back to MaxIters samples instead of zero.
 	p := opttest.Problem(t, 3, constraint.Set{})
-	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 2, MaxEvals: -1, MaxIters: 50})
+	sol, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 2, MaxEvals: -1, MaxIters: 50})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,8 @@
 package sls
 
 import (
+	"context"
+
 	"mube/internal/opt"
 	"mube/internal/schema"
 )
@@ -22,13 +24,14 @@ const DefaultNeighbors = 30
 func (Solver) Name() string { return "sls" }
 
 // Solve climbs from random starting subsets, restarting at every local
-// optimum, until the budget is exhausted.
-func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+// optimum, until the budget is exhausted or ctx is done (best-so-far is
+// returned either way).
+func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 	if s.Neighbors == 0 {
 		s.Neighbors = DefaultNeighbors
 	}
 	opts = opts.WithDefaults()
-	search, err := opt.NewSearch(p, opts)
+	search, err := opt.NewSearch(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -37,7 +40,7 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 	bestQ := -1.0
 	iters := 0
 	first := true
-	for iters < opts.MaxIters && !search.Eval.Exhausted() {
+	for iters < opts.MaxIters && !search.Eval.Exhausted() && !search.Stopped() {
 		start := search.RandomSubset()
 		if first {
 			// The first climb honors a warm start; restarts are random.
@@ -47,7 +50,7 @@ func (s Solver) Solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 		cur := search.NewSubset(start)
 		curQ := search.Eval.Eval(cur.IDs())
 		// Climb to a local optimum.
-		for iters < opts.MaxIters && !search.Eval.Exhausted() {
+		for iters < opts.MaxIters && !search.Eval.Exhausted() && !search.Stopped() {
 			iters++
 			improved := false
 			var stepMove opt.Move

@@ -1,6 +1,7 @@
 package sls
 
 import (
+	"context"
 	"testing"
 
 	"mube/internal/constraint"
@@ -16,7 +17,7 @@ func TestName(t *testing.T) {
 
 func TestSolveFindsFeasibleSolution(t *testing.T) {
 	p := opttest.Problem(t, 4, constraint.Set{})
-	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 2, MaxEvals: 400})
+	sol, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 2, MaxEvals: 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,11 +32,11 @@ func TestSolveFindsFeasibleSolution(t *testing.T) {
 func TestRestartsImproveOverSingleClimb(t *testing.T) {
 	p := opttest.Problem(t, 3, constraint.Set{})
 	// A tiny-iteration run (one climb at most) vs a long multi-restart run.
-	short, err := (Solver{}).Solve(p, opt.Options{Seed: 4, MaxEvals: 60, MaxIters: 2})
+	short, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 4, MaxEvals: 60, MaxIters: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	long, err := (Solver{}).Solve(p, opt.Options{Seed: 4, MaxEvals: 3000, MaxIters: 200})
+	long, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 4, MaxEvals: 3000, MaxIters: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestRestartsImproveOverSingleClimb(t *testing.T) {
 
 func TestFullyConstrainedProblem(t *testing.T) {
 	p, cons := opttest.FullyConstrained(t)
-	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 1, MaxEvals: 50, MaxIters: 10})
+	sol, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 1, MaxEvals: 50, MaxIters: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +61,11 @@ func TestLocalOptimumIsStable(t *testing.T) {
 	// solution should improve it dramatically (sanity on the climb logic;
 	// sampled neighborhoods make this probabilistic, so allow slack).
 	p := opttest.Problem(t, 3, constraint.Set{})
-	sol, err := (Solver{Neighbors: 40}).Solve(p, opt.Options{Seed: 6, MaxEvals: 4000, MaxIters: 300})
+	sol, err := (Solver{Neighbors: 40}).Solve(context.Background(), p, opt.Options{Seed: 6, MaxEvals: 4000, MaxIters: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
-	search, err := opt.NewSearch(p, opt.Options{Seed: 99, MaxEvals: -1})
+	search, err := opt.NewSearch(context.Background(), p, opt.Options{Seed: 99, MaxEvals: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 package solvers
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"mube/internal/constraint"
 	"mube/internal/match"
@@ -77,7 +79,7 @@ func TestAllSolversProduceFeasibleSolutions(t *testing.T) {
 	}
 	p := problem(t, 5, cons)
 	for _, s := range append(All(), Exhaustive()) {
-		sol, err := s.Solve(p, opt.Options{Seed: 11, MaxEvals: 500, MaxIters: 60, Patience: 15})
+		sol, err := s.Solve(context.Background(), p, opt.Options{Seed: 11, MaxEvals: 500, MaxIters: 60, Patience: 15})
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -105,7 +107,7 @@ func TestAllSolversProduceFeasibleSolutions(t *testing.T) {
 // strictest check.
 func TestSolversNearOptimal(t *testing.T) {
 	p := problem(t, 2, constraint.Set{})
-	oracle, err := Exhaustive().Solve(p, opt.Options{})
+	oracle, err := Exhaustive().Solve(context.Background(), p, opt.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +115,7 @@ func TestSolversNearOptimal(t *testing.T) {
 		t.Fatalf("oracle quality %v", oracle.Quality)
 	}
 	for _, s := range All() {
-		sol, err := s.Solve(p, opt.Options{Seed: 7, MaxEvals: 2000})
+		sol, err := s.Solve(context.Background(), p, opt.Options{Seed: 7, MaxEvals: 2000})
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -130,11 +132,11 @@ func TestSolversNearOptimal(t *testing.T) {
 func TestTabuBeatsOrMatchesRandom(t *testing.T) {
 	p := problem(t, 4, constraint.Set{})
 	budget := opt.Options{Seed: 3, MaxEvals: 300}
-	tabuSol, err := Default().Solve(p, budget)
+	tabuSol, err := Default().Solve(context.Background(), p, budget)
 	if err != nil {
 		t.Fatal(err)
 	}
-	randSol, err := ByNameMust(t, "random").Solve(p, budget)
+	randSol, err := ByNameMust(t, "random").Solve(context.Background(), p, budget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +158,11 @@ func ByNameMust(t testing.TB, name string) opt.Solver {
 func TestSolversDeterministicPerSeed(t *testing.T) {
 	p := problem(t, 3, constraint.Set{})
 	for _, s := range All() {
-		a, err := s.Solve(p, opt.Options{Seed: 42, MaxEvals: 400})
+		a, err := s.Solve(context.Background(), p, opt.Options{Seed: 42, MaxEvals: 400})
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
-		b, err := s.Solve(p, opt.Options{Seed: 42, MaxEvals: 400})
+		b, err := s.Solve(context.Background(), p, opt.Options{Seed: 42, MaxEvals: 400})
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -195,11 +197,11 @@ func TestSolversParallelMatchesSequential(t *testing.T) {
 			parOpts := base
 			parOpts.Parallel = 4
 
-			seq, err := s.Solve(p, seqOpts)
+			seq, err := s.Solve(context.Background(), p, seqOpts)
 			if err != nil {
 				t.Fatalf("%s seed %d sequential: %v", s.Name(), seed, err)
 			}
-			par, err := s.Solve(p, parOpts)
+			par, err := s.Solve(context.Background(), p, parOpts)
 			if err != nil {
 				t.Fatalf("%s seed %d parallel: %v", s.Name(), seed, err)
 			}
@@ -229,7 +231,7 @@ func TestSolversParallelMatchesSequential(t *testing.T) {
 func TestSolversRespectEvalBudget(t *testing.T) {
 	p := problem(t, 4, constraint.Set{})
 	for _, s := range All() {
-		sol, err := s.Solve(p, opt.Options{Seed: 1, MaxEvals: 50})
+		sol, err := s.Solve(context.Background(), p, opt.Options{Seed: 1, MaxEvals: 50})
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -241,11 +243,108 @@ func TestSolversRespectEvalBudget(t *testing.T) {
 	}
 }
 
+// TestSolversCanceledContext: an already-dead context must stop every solver
+// within its first evaluation batch, and the solver must still return a
+// feasible best-so-far solution labeled StatusCanceled — never an error,
+// never an infeasible or empty set when sources are required.
+func TestSolversCanceledContext(t *testing.T) {
+	cons := constraint.Set{Sources: ids(3)}
+	p := problem(t, 5, cons)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range append(All(), Exhaustive()) {
+		sol, err := s.Solve(ctx, p, opt.Options{Seed: 11, MaxEvals: 500, MaxIters: 60, Patience: 15})
+		if err != nil {
+			t.Fatalf("%s: canceled solve errored: %v", s.Name(), err)
+		}
+		if sol.Status != opt.StatusCanceled {
+			t.Errorf("%s: status = %q, want %q", s.Name(), sol.Status, opt.StatusCanceled)
+		}
+		if !p.Feasible(sol.IDs) || !cons.SatisfiedBy(sol.IDs) {
+			t.Errorf("%s: canceled solve returned infeasible %v", s.Name(), sol.IDs)
+		}
+		// Nothing was evaluated within budget, yet the reported quality must
+		// be the subset's true Q(S), not the Unscored sentinel.
+		if opt.Unscored(sol.Quality) || sol.Quality < 0 {
+			t.Errorf("%s: canceled solve quality = %v", s.Name(), sol.Quality)
+		}
+	}
+}
+
+// TestSolversDeadlineStatus: an expired deadline is reported as
+// StatusDeadline, distinct from a plain cancellation.
+func TestSolversDeadlineStatus(t *testing.T) {
+	p := problem(t, 3, constraint.Set{})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Time{}.AddDate(2000, 0, 0))
+	defer cancel()
+	<-ctx.Done()
+	for _, s := range append(All(), Exhaustive()) {
+		sol, err := s.Solve(ctx, p, opt.Options{Seed: 11, MaxEvals: 200})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if sol.Status != opt.StatusDeadline {
+			t.Errorf("%s: status = %q, want %q", s.Name(), sol.Status, opt.StatusDeadline)
+		}
+	}
+}
+
+// TestSolversCancelMidSolve cancels from another goroutine while each solver
+// is mid-search. Under -race this is the cancellation-path concurrency
+// regression: the context check in EvalBatch and the Stopped() reads must not
+// race with the worker pool, and whatever the interleaving, the result must
+// be a feasible solution with an honest status.
+func TestSolversCancelMidSolve(t *testing.T) {
+	cons := constraint.Set{Sources: ids(3)}
+	p := problem(t, 5, cons)
+	for _, s := range append(All(), Exhaustive()) {
+		for trial := 0; trial < 3; trial++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() {
+				// Unsynchronized with the solve on purpose: the cancel lands
+				// at an arbitrary point in the search.
+				cancel()
+				close(done)
+			}()
+			sol, err := s.Solve(ctx, p, opt.Options{Seed: int64(trial), MaxEvals: 2000, MaxIters: 200, Parallel: 4})
+			<-done
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", s.Name(), trial, err)
+			}
+			if !p.Feasible(sol.IDs) || !cons.SatisfiedBy(sol.IDs) {
+				t.Errorf("%s trial %d: infeasible %v after mid-solve cancel", s.Name(), trial, sol.IDs)
+			}
+			if sol.Status != opt.StatusCanceled && sol.Status != opt.StatusCompleted && sol.Status != opt.StatusExhausted {
+				t.Errorf("%s trial %d: unexpected status %q", s.Name(), trial, sol.Status)
+			}
+			if opt.Unscored(sol.Quality) {
+				t.Errorf("%s trial %d: unscored quality in final solution", s.Name(), trial)
+			}
+		}
+	}
+}
+
+// TestSolversCompletedStatus: an unconstrained, uncanceled solve ends
+// completed (or budget-exhausted when the budget bites) — never canceled.
+func TestSolversCompletedStatus(t *testing.T) {
+	p := problem(t, 3, constraint.Set{})
+	for _, s := range All() {
+		sol, err := s.Solve(context.Background(), p, opt.Options{Seed: 2, MaxEvals: 5000, MaxIters: 30, Patience: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if sol.Status != opt.StatusCompleted && sol.Status != opt.StatusExhausted {
+			t.Errorf("%s: status = %q on a clean solve", s.Name(), sol.Status)
+		}
+	}
+}
+
 func TestExhaustiveRejectsHugeSpaces(t *testing.T) {
 	p := problem(t, 9, constraint.Set{})
 	// With a tiny enumeration limit, exhaustive must refuse instead of
 	// silently truncating the search.
-	if sol, err := (exhaustive.Solver{Limit: 1}).Solve(p, opt.Options{}); err == nil {
+	if sol, err := (exhaustive.Solver{Limit: 1}).Solve(context.Background(), p, opt.Options{}); err == nil {
 		t.Errorf("exhaustive with limit 1 should refuse, got %v", sol.IDs)
 	}
 }
@@ -253,7 +352,7 @@ func TestExhaustiveRejectsHugeSpaces(t *testing.T) {
 func TestExhaustiveHonorsConstraints(t *testing.T) {
 	cons := constraint.Set{Sources: ids(5)}
 	p := problem(t, 2, cons)
-	sol, err := Exhaustive().Solve(p, opt.Options{})
+	sol, err := Exhaustive().Solve(context.Background(), p, opt.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,8 @@
 package tabu
 
 import (
+	"context"
+
 	"mube/internal/opt"
 	"mube/internal/schema"
 )
@@ -36,15 +38,16 @@ const (
 func (Solver) Name() string { return "tabu" }
 
 // Solve runs tabu search within the options' budget and returns the best
-// solution found.
-func (s Solver) Solve(p *opt.Problem, opts Options) (*opt.Solution, error) {
-	return s.solve(p, opts)
+// solution found. A canceled or expired ctx stops the search within one
+// evaluation batch and returns best-so-far.
+func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts Options) (*opt.Solution, error) {
+	return s.solve(ctx, p, opts)
 }
 
 // Options aliases opt.Options so callers can use either name.
 type Options = opt.Options
 
-func (s Solver) solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+func (s Solver) solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 	if s.Tenure == 0 {
 		s.Tenure = DefaultTenure
 	}
@@ -52,7 +55,7 @@ func (s Solver) solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 		s.Neighbors = DefaultNeighbors
 	}
 	opts = opts.WithDefaults()
-	search, err := opt.NewSearch(p, opts)
+	search, err := opt.NewSearch(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +70,7 @@ func (s Solver) solve(p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
 	tabuUntil := make(map[schema.SourceID]int)
 	noImprove := 0
 
-	for iter := 0; iter < opts.MaxIters && noImprove < opts.Patience && !search.Eval.Exhausted(); iter++ {
+	for iter := 0; iter < opts.MaxIters && noImprove < opts.Patience && !search.Eval.Exhausted() && !search.Stopped(); iter++ {
 		// Intensification: after half the patience without improvement,
 		// jump back to the best solution found and clear the tabu list, so
 		// the remaining budget explores the elite neighborhood instead of

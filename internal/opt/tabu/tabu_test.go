@@ -1,6 +1,7 @@
 package tabu
 
 import (
+	"context"
 	"testing"
 
 	"mube/internal/constraint"
@@ -19,11 +20,11 @@ func TestName(t *testing.T) {
 func TestSolveImprovesOverRandomStart(t *testing.T) {
 	p := opttest.Problem(t, 4, constraint.Set{})
 	// A random baseline with a tiny budget approximates the starting point.
-	base, err := (random.Solver{}).Solve(p, opt.Options{Seed: 1, MaxEvals: 5})
+	base, err := (random.Solver{}).Solve(context.Background(), p, opt.Options{Seed: 1, MaxEvals: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 1, MaxEvals: 800})
+	sol, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 1, MaxEvals: 800})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestTenureVariantsStayFeasible(t *testing.T) {
 	p := opttest.Problem(t, 4, cons)
 	for _, tenure := range []int{1, 4, 16, 64} {
 		s := Solver{Tenure: tenure}
-		sol, err := s.Solve(p, opt.Options{Seed: 3, MaxEvals: 300})
+		sol, err := s.Solve(context.Background(), p, opt.Options{Seed: 3, MaxEvals: 300})
 		if err != nil {
 			t.Fatalf("tenure %d: %v", tenure, err)
 		}
@@ -52,7 +53,7 @@ func TestFullyConstrainedProblem(t *testing.T) {
 	// set itself; tabu must return it without crashing on the empty
 	// neighborhood.
 	p, cons := opttest.FullyConstrained(t)
-	sol, err := (Solver{}).Solve(p, opt.Options{Seed: 1, MaxEvals: 100, MaxIters: 20, Patience: 5})
+	sol, err := (Solver{}).Solve(context.Background(), p, opt.Options{Seed: 1, MaxEvals: 100, MaxIters: 20, Patience: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestFullyConstrainedProblem(t *testing.T) {
 
 func TestSmallNeighborhoodStillSearches(t *testing.T) {
 	p := opttest.Problem(t, 3, constraint.Set{})
-	sol, err := (Solver{Neighbors: 2}).Solve(p, opt.Options{Seed: 5, MaxEvals: 200})
+	sol, err := (Solver{Neighbors: 2}).Solve(context.Background(), p, opt.Options{Seed: 5, MaxEvals: 200})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"mube/internal/constraint"
 	"mube/internal/match"
 	"mube/internal/opt"
+	"mube/internal/probe"
 	"mube/internal/schema"
 )
 
@@ -26,6 +27,10 @@ type specJSON struct {
 	MaxEvals   int                `json:"max_evals,omitempty"`
 	MaxIters   int                `json:"max_iters,omitempty"`
 	Patience   int                `json:"patience,omitempty"`
+	// Health preserves the acquisition health report across save/load, so a
+	// resumed exploration still knows which sources were degraded when its
+	// constraints were chosen.
+	Health *probe.HealthReport `json:"health,omitempty"`
 }
 
 // SaveSpec serializes the session's current problem specification so an
@@ -45,6 +50,7 @@ func (s *Session) SaveSpec(w io.Writer) error {
 		MaxEvals:   spec.SolverOptions.MaxEvals,
 		MaxIters:   spec.SolverOptions.MaxIters,
 		Patience:   spec.SolverOptions.Patience,
+		Health:     spec.Health,
 	}
 	for _, id := range spec.Constraints.Sources {
 		out.Sources = append(out.Sources, int(id))
@@ -96,6 +102,7 @@ func LoadSpec(r io.Reader, cfg Config) (*Session, error) {
 		MaxIters: in.MaxIters,
 		Patience: in.Patience,
 	}
+	cfg.Health = in.Health
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err

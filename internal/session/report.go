@@ -32,6 +32,7 @@ type IterationReport struct {
 	Schema      []GAReport         `json:"schema"`
 	MatchOK     bool               `json:"match_ok"`
 	Evals       int                `json:"evals"`
+	Status      string             `json:"status,omitempty"`
 	ElapsedMS   float64            `json:"elapsed_ms"`
 }
 
@@ -62,6 +63,7 @@ func (s *Session) BuildReport() Report {
 			Breakdown:  it.Solution.Breakdown,
 			MatchOK:    it.Solution.MatchOK,
 			Evals:      it.Solution.Evals,
+			Status:     string(it.Solution.Status),
 			ElapsedMS:  float64(it.Elapsed.Microseconds()) / 1000,
 		}
 		for _, id := range it.Spec.Constraints.Sources {

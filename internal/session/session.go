@@ -11,6 +11,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"mube/internal/match"
 	"mube/internal/opt"
 	"mube/internal/opt/solvers"
+	"mube/internal/probe"
 	"mube/internal/qef"
 	"mube/internal/schema"
 	"mube/internal/source"
@@ -40,6 +42,13 @@ type Spec struct {
 	Solver string
 	// SolverOptions bound the solver run.
 	SolverOptions opt.Options
+	// Health records how the universe was acquired, when it was built by a
+	// fault-tolerant prober (probe.BuildUniverse): which sources degraded to
+	// uncooperative, which were dropped, and how many retries each took. Nil
+	// when the universe was loaded directly. It rides along in the spec so a
+	// resumed exploration (SaveSpec/LoadSpec) still knows which sources were
+	// misbehaving when the decisions baked into its constraints were made.
+	Health *probe.HealthReport
 }
 
 // Clone deep-copies the spec.
@@ -47,6 +56,7 @@ func (s Spec) Clone() Spec {
 	c := s
 	c.Weights = s.Weights.Clone()
 	c.Constraints = s.Constraints.Clone()
+	c.Health = s.Health.Clone()
 	return c
 }
 
@@ -94,6 +104,9 @@ type Config struct {
 	Solver string
 	// SolverOptions bound each Solve call.
 	SolverOptions opt.Options
+	// Health optionally carries the acquisition health report for Universe
+	// (see Spec.Health).
+	Health *probe.HealthReport
 	// Clock supplies iteration timestamps; defaults to time.Now.
 	Clock Clock
 }
@@ -149,6 +162,7 @@ func New(cfg Config) (*Session, error) {
 			MaxSources:    maxSources,
 			Solver:        solver,
 			SolverOptions: cfg.SolverOptions,
+			Health:        cfg.Health.Clone(),
 		},
 	}
 	if err := s.validate(); err != nil {
@@ -358,6 +372,13 @@ func (s *Session) Problem() (*opt.Problem, error) {
 // Solve runs one µBE iteration: solve the current spec, append the result to
 // the history, and return it.
 func (s *Session) Solve() (*opt.Solution, error) {
+	return s.SolveContext(context.Background())
+}
+
+// SolveContext is Solve with a cancellation context: a canceled or expired
+// ctx stops the solver within one evaluation batch, and the iteration is
+// still recorded with the best-so-far solution and its Status.
+func (s *Session) SolveContext(ctx context.Context) (*opt.Solution, error) {
 	p, err := s.Problem()
 	if err != nil {
 		return nil, err
@@ -381,7 +402,7 @@ func (s *Session) Solve() (*opt.Solution, error) {
 		}
 	}
 	start := s.clock()
-	sol, err := solver.Solve(p, opts)
+	sol, err := solver.Solve(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -2,12 +2,15 @@ package session
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"testing"
 	"time"
 
+	"mube/internal/fault"
 	"mube/internal/opt"
+	"mube/internal/probe"
 	"mube/internal/qef"
 	"mube/internal/schema"
 	"mube/internal/testutil"
@@ -398,6 +401,87 @@ func TestLoadSpecRejectsBad(t *testing.T) {
 	// Constraint referencing a source outside the universe.
 	if _, err := LoadSpec(bytes.NewBufferString(`{"theta":0.5,"beta":2,"max_sources":4,"solver":"tabu","source_constraints":[99]}`), Config{Universe: u}); err == nil {
 		t.Error("stale constraints accepted")
+	}
+}
+
+// TestSpecRoundTripWithDegradedUniverse runs the full robustness loop: the
+// fixture universe is re-acquired under a total-failure fault plan (every
+// cooperative source degrades to uncooperative), the session is created over
+// the degraded universe with its health report, and the spec must survive a
+// save/load round-trip with the health intact — so a resumed exploration
+// still knows which sources were misbehaving when the spec was written.
+func TestSpecRoundTripWithDegradedUniverse(t *testing.T) {
+	u := testutil.BooksUniverse(t)
+	inj := fault.NewInjector(fault.Plan{Seed: 6, Rate: 1, HandshakeFrac: 1e-12})
+	du, health, _, err := probe.New(probe.Policy{}, nil, inj, 1).ReprobeUniverse(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Degraded == 0 || du.Len() != u.Len() {
+		t.Fatalf("fixture not degraded as expected: %s", health)
+	}
+
+	s, err := New(Config{
+		Universe:      du,
+		MaxSources:    4,
+		Health:        health,
+		SolverOptions: opt.Options{Seed: 1, MaxEvals: 300, MaxIters: 60, Patience: 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Spec().Health; got == nil || got.Degraded != health.Degraded {
+		t.Fatalf("spec health = %+v, want the acquisition report", got)
+	}
+
+	// A fully degraded universe still solves: data QEFs score zero, schema
+	// QEFs keep working (§4's fallback).
+	sol, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != opt.StatusCompleted && sol.Status != opt.StatusExhausted {
+		t.Errorf("degraded solve status = %q", sol.Status)
+	}
+
+	var buf bytes.Buffer
+	if err := s.SaveSpec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpec(&buf, Config{Universe: du})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Spec().Health
+	if got == nil {
+		t.Fatal("health report lost in save/load round-trip")
+	}
+	if got.Plan != health.Plan || got.Degraded != health.Degraded || len(got.Sources) != len(health.Sources) {
+		t.Errorf("health round-trip mismatch: %s vs %s", got, health)
+	}
+	// Mutating the loaded report must not reach back into the session spec.
+	got.Sources[0].Name = "mutated"
+	if loaded.Spec().Health.Sources[0].Name == "mutated" {
+		t.Error("Spec() leaked its health report by reference")
+	}
+}
+
+// TestSolveContextCancellation: a session solve under a dead context still
+// records an iteration, and the report carries the canceled status.
+func TestSolveContextCancellation(t *testing.T) {
+	s := newSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := s.SolveContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != opt.StatusCanceled {
+		t.Errorf("status = %q, want %q", sol.Status, opt.StatusCanceled)
+	}
+	rep := s.BuildReport()
+	if len(rep.Iterations) != 1 || rep.Iterations[0].Status != string(opt.StatusCanceled) {
+		t.Errorf("report iteration status = %+v", rep.Iterations)
 	}
 }
 

@@ -40,12 +40,14 @@ import (
 	"mube/internal/compound"
 	"mube/internal/constraint"
 	"mube/internal/discovery"
+	"mube/internal/fault"
 	"mube/internal/match"
 	"mube/internal/mediator"
 	"mube/internal/minhash"
 	"mube/internal/opt"
 	"mube/internal/opt/solvers"
 	"mube/internal/pcsa"
+	"mube/internal/probe"
 	"mube/internal/qef"
 	"mube/internal/schema"
 	"mube/internal/session"
@@ -99,6 +101,9 @@ type (
 	Problem = opt.Problem
 	// Solution is a solver's output.
 	Solution = opt.Solution
+	// SolveStatus records how a solve ended (completed, deadline, canceled,
+	// budget-exhausted).
+	SolveStatus = opt.Status
 	// Solver maximizes a problem's objective.
 	Solver = opt.Solver
 	// SolverOptions bound a solver run (seed, budgets).
@@ -150,6 +155,19 @@ type (
 	// ValueSketch is a MinHash synopsis of one attribute's value set,
 	// enabling data-based attribute similarity (MatchConfig.DataWeight).
 	ValueSketch = minhash.Signature
+	// FaultPlan is a reproducible, seed-driven fault schedule for simulated
+	// source acquisition (error rates, latency, flap/outage windows).
+	FaultPlan = fault.Plan
+	// Prober acquires sources from possibly-failing tuple streams with
+	// retry/backoff and a circuit breaker, degrading instead of failing.
+	Prober = probe.Prober
+	// ProbePolicy bounds the prober's persistence (attempts, backoff,
+	// deadline, breaker limit).
+	ProbePolicy = probe.Policy
+	// ProbeCandidate is one source awaiting acquisition.
+	ProbeCandidate = probe.Candidate
+	// HealthReport records per-source acquisition outcomes for a universe.
+	HealthReport = probe.HealthReport
 )
 
 // Predicate operators for Query.Where.
@@ -259,6 +277,25 @@ var TriGramJaccard = strutil.TriGramJaccard
 // SimilarityByName resolves a built-in similarity measure (e.g.
 // "3gram-jaccard", "jaro-winkler", "levenshtein").
 func SimilarityByName(name string) Similarity { return strutil.ByName(name) }
+
+// Solve statuses (see SolveStatus).
+const (
+	SolveCompleted = opt.StatusCompleted
+	SolveDeadline  = opt.StatusDeadline
+	SolveCanceled  = opt.StatusCanceled
+	SolveExhausted = opt.StatusExhausted
+)
+
+// ParseFaultPlan parses a canonical fault-plan string such as
+// "rate=0.3,seed=7,latency=20ms,flap=2s:0.25" ("" and "none" disable).
+func ParseFaultPlan(s string) (FaultPlan, error) { return fault.ParsePlan(s) }
+
+// NewProber returns a fault-tolerant source prober. clock may be nil (virtual
+// clock from the zero time), inj may be nil (fault-free acquisition); seed
+// drives backoff jitter.
+func NewProber(policy ProbePolicy, plan FaultPlan, seed int64) *Prober {
+	return probe.New(policy, nil, fault.NewInjector(plan), seed)
+}
 
 // DefaultSolver returns tabu search, µBE's default solver.
 func DefaultSolver() Solver { return solvers.Default() }
