@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race faults mube-vet bench benchall fmt
+.PHONY: check build vet test race faults telemetry mube-vet bench benchall fmt
 
-check: build vet race faults mube-vet
+check: build vet race faults telemetry mube-vet
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,14 @@ faults:
 	$(GO) test -race -count=1 ./internal/exp/ -run Faults
 	$(GO) test -race -count=1 ./internal/opt/ ./internal/opt/solvers/ ./internal/session/ \
 		-run 'Cancel|Deadline|Status|Remaining|Degraded'
+
+# telemetry re-runs the trace-determinism contract uncached on every
+# `make check`: bit-identical solves with telemetry on/off at 1 vs 4 workers,
+# byte-identical JSONL traces at any worker count, and the golden trace.
+telemetry:
+	$(GO) test -race -count=1 ./internal/opt/solvers/ -run 'Telemetry|TraceBytes'
+	$(GO) test -race -count=1 ./internal/opt/tabu/ -run GoldenTrace
+	$(GO) test -race -count=1 ./internal/telemetry/
 
 mube-vet:
 	$(GO) run ./cmd/mube-vet ./...

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"sync"
+	"sync/atomic"
+
+	"mube/internal/pcsa"
+	"mube/internal/telemetry"
+)
+
+// debugRec is the recorder the /debug/vars snapshot reads. It is swapped per
+// startDebugServer call (tests start several servers) while the expvar names
+// are published exactly once — expvar panics on duplicates.
+var (
+	debugOnce sync.Once
+	debugRec  atomic.Pointer[telemetry.Recorder]
+)
+
+// startDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof/) on
+// addr and returns the listener (Close stops the server; the goroutine exits
+// when Serve returns). This lives entirely outside the deterministic core:
+// mube-vet's telemetry analyzer bans the expvar and net/http/pprof imports
+// from internal/, and nothing served here feeds back into a solve.
+func startDebugServer(addr string, rec *telemetry.Recorder) (net.Listener, error) {
+	debugRec.Store(rec)
+	debugOnce.Do(func() {
+		expvar.Publish("mube.metrics", expvar.Func(func() any {
+			return debugRec.Load().Snapshot() // nil-safe: empty snapshot
+		}))
+		expvar.Publish("mube.pcsa.merge_ops", expvar.Func(func() any {
+			return pcsa.MergeOps()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// The default mux carries both the expvar and pprof handlers.
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln, nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mube/internal/telemetry"
+)
+
+// TestDebugServerSmoke starts the debug endpoint on an ephemeral port and
+// checks that /debug/vars serves the published µBE vars and /debug/pprof/
+// serves the profile index.
+func TestDebugServerSmoke(t *testing.T) {
+	rec := telemetry.New(nil)
+	rec.Add("eval.calls", 3)
+	ln, err := startDebugServer("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	vars := get("/debug/vars")
+	for _, want := range []string{`"mube.metrics"`, `"mube.pcsa.merge_ops"`, `"eval.calls"`} {
+		if !strings.Contains(vars, want) {
+			t.Errorf("/debug/vars missing %s:\n%.500s", want, vars)
+		}
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("/debug/pprof/ index:\n%.300s", idx)
+	}
+
+	// A second server (fresh recorder) must not re-publish — expvar panics on
+	// duplicate names — and the snapshot must follow the newest recorder.
+	rec2 := telemetry.New(nil)
+	rec2.Add("eval.memo_hits", 7)
+	ln2, err := startDebugServer("127.0.0.1:0", rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	if vars := get("/debug/vars"); !strings.Contains(vars, `"eval.memo_hits"`) {
+		t.Errorf("snapshot did not follow the newest recorder:\n%.500s", vars)
+	}
+}

@@ -13,8 +13,14 @@
 // changes — and the run header prints the effective worker count.
 //
 // Experiments: fig5, fig67 (time and quality: Figures 6 and 7), fig8,
-// table1, pcsa, sensitivity, solvers, ablation-sim, ablation-linkage,
-// ablation-tenure, ablation-pcsa, faults, all.
+// table1, pcsa, sensitivity, solvers, convergence, ablation-sim,
+// ablation-linkage, ablation-tenure, ablation-pcsa, faults, all.
+//
+// The -debug-addr flag (off by default) serves expvar (/debug/vars) and
+// pprof (/debug/pprof/) on the given address for live profiling. The debug
+// endpoint lives entirely outside the deterministic core — mube-vet's
+// telemetry analyzer bans both imports from internal/ — and never feeds back
+// into a solve.
 //
 // The -faults flag applies a deterministic fault plan (internal/fault) to
 // universe acquisition for every experiment; the run header then prints the
@@ -32,11 +38,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"mube/internal/exp"
 	"mube/internal/fault"
+	"mube/internal/telemetry"
 )
 
 // experiments maps experiment names to runners in display order.
@@ -93,6 +101,13 @@ var experiments = []struct {
 			return err
 		}
 		return exp.RenderSolvers(w, rows)
+	}},
+	{"convergence", "Convergence: Q(S) trajectory per solver, from telemetry traces", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.Convergence(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderConvergence(w, rows)
 	}},
 	{"querycost", "Query cost vs solution size (§1 motivation, via the mediator)", func(sc exp.Scale, w io.Writer) error {
 		rows, err := exp.QueryCost(sc)
@@ -158,6 +173,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the scale's base seed (0 = keep)")
 	parallel := flag.Int("parallel", 0, "evaluator worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	faults := flag.String("faults", "", "fault plan applied to universe acquisition, e.g. rate=0.3,seed=7 (\"\" or \"none\" = clean)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address, e.g. localhost:6060 (\"\" = off)")
 	flag.Parse()
 
 	var sc exp.Scale
@@ -187,10 +203,29 @@ func main() {
 		sc.Faults = &plan
 	}
 
+	if *debugAddr != "" {
+		// The recorder feeds the expvar snapshot; attaching it cannot change
+		// results (see internal/telemetry's determinism contract).
+		rec := telemetry.New(nil)
+		sc.Rec = rec
+		ln, err := startDebugServer(*debugAddr, rec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mube-bench: debug server: %v\n", err)
+			os.Exit(2)
+		}
+		defer ln.Close()
+		fmt.Printf("debug: expvar and pprof on http://%s/debug/\n", ln.Addr())
+	}
+
 	// Run header: make every printed number attributable to a worker count
 	// and a fault plan — degraded runs must never read as clean ones.
-	fmt.Printf("mube-bench: scale=%s seed=%d eval-workers=%d faults=%s (GOMAXPROCS=%d)\n",
-		sc.Name, sc.Seed, sc.Workers(), plan.String(), runtime.GOMAXPROCS(0))
+	fmt.Println(telemetry.Header("mube-bench",
+		telemetry.KVStr("scale", sc.Name),
+		telemetry.KVStr("seed", strconv.FormatInt(sc.Seed, 10)),
+		telemetry.KVInt("eval-workers", sc.Workers()),
+		telemetry.KVStr("faults", plan.String()),
+		telemetry.KVInt("GOMAXPROCS", runtime.GOMAXPROCS(0)),
+	))
 	if plan.Enabled() {
 		health, err := sc.Health(sc.BaseUniverse)
 		if err != nil {

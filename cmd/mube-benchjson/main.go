@@ -19,6 +19,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"mube/internal/telemetry"
 )
 
 // result is one benchmark measurement line.
@@ -43,8 +45,13 @@ type report struct {
 	// `mube-config: key=value ...` lines — fault plan, evaluator worker
 	// count, timeout — so a degraded or otherwise non-default run is never
 	// silently diffed against a clean one.
-	Config     map[string]string `json:"config,omitempty"`
-	Benchmarks []result          `json:"benchmarks"`
+	Config map[string]string `json:"config,omitempty"`
+	// Metrics is the telemetry snapshot the bench harness prints as a
+	// `mube-metrics: {...}` line after the benchmarks: memo hit rate,
+	// evals/sec, batch occupancy, final Q(S). Later lines win, matching the
+	// "one snapshot per run" contract.
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Benchmarks []result           `json:"benchmarks"`
 }
 
 func main() {
@@ -62,15 +69,17 @@ func main() {
 			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
 		case strings.HasPrefix(line, "cpu: "):
 			rep.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "mube-config: "):
+		}
+		if cfg, ok := telemetry.ParseConfigLine(line); ok {
 			if rep.Config == nil {
 				rep.Config = make(map[string]string)
 			}
-			for _, kv := range strings.Fields(strings.TrimPrefix(line, "mube-config: ")) {
-				if k, v, ok := strings.Cut(kv, "="); ok {
-					rep.Config[k] = v
-				}
+			for k, v := range cfg {
+				rep.Config[k] = v
 			}
+		}
+		if vals, ok := telemetry.ParseMetricsLine(line); ok {
+			rep.Metrics = vals
 		}
 		f := strings.Fields(line)
 		// Result lines: Benchmark<Name>-P  N  value unit [value unit ...]

@@ -76,8 +76,8 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage: mube-vet [-list] [packages]
 
-Runs µBE's determinism, floatcmp, errdrop, and seedflow analyzers over the
-given package patterns (default ./...).
+Runs µBE's determinism, floatcmp, errdrop, seedflow, and telemetry analyzers
+over the given package patterns (default ./...).
 
   -list  print the registered analyzers and exit
 

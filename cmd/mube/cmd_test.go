@@ -116,6 +116,40 @@ func TestCmdSolve(t *testing.T) {
 	}
 }
 
+func TestCmdSolveTraceAndMetrics(t *testing.T) {
+	path := genUniverseFile(t)
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	out := captureStdout(t, func() error {
+		return cmdSolve([]string{"-u", path, "-m", "5", "-evals", "200", "-trace", trace, "-metrics"})
+	})
+	if !strings.Contains(out, "mube solve: solver=tabu") {
+		t.Errorf("run header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "counter") || !strings.Contains(out, "eval.calls") {
+		t.Errorf("metrics summary missing:\n%s", out)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	first := strings.SplitN(string(data), "\n", 2)[0]
+	if !strings.Contains(first, `"ev":"session.solve.start"`) {
+		t.Errorf("first trace line = %s", first)
+	}
+	if !strings.Contains(string(data), `"ev":"solver.done"`) {
+		t.Errorf("trace has no solver.done event:\n%.300s", data)
+	}
+
+	// -metrics alone: no trace file, summary still printed, output otherwise
+	// the normal solve rendering.
+	out = captureStdout(t, func() error {
+		return cmdSolve([]string{"-u", path, "-m", "5", "-evals", "200", "-metrics"})
+	})
+	if !strings.Contains(out, "trace=off") || !strings.Contains(out, "eval.memo_hits") {
+		t.Errorf("-metrics without -trace:\n%s", out)
+	}
+}
+
 func TestCmdSolveWithCustomWeightsAndSolver(t *testing.T) {
 	path := genUniverseFile(t)
 	out := captureStdout(t, func() error {

@@ -17,6 +17,7 @@ import (
 	"mube/internal/session"
 	"mube/internal/source"
 	"mube/internal/strutil"
+	"mube/internal/telemetry"
 )
 
 // sessionFlags are the flags shared by solve and interactive.
@@ -116,6 +117,8 @@ func cmdSolve(args []string) error {
 	sf := registerSessionFlags(fs)
 	report := fs.String("report", "", "also write a JSON report to this file")
 	timeout := fs.Duration("timeout", 0, "wall-clock solve deadline (0 = none); on expiry the best-so-far solution is printed with status \"deadline\"")
+	trace := fs.String("trace", "", "write a JSONL solver trace to this file (overrides a loaded spec's recorded path)")
+	metrics := fs.Bool("metrics", false, "print a telemetry metrics summary after the solution")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,29 +126,116 @@ func cmdSolve(args []string) error {
 	if err != nil {
 		return err
 	}
+	tel, err := attachTelemetry(s, *trace, *metrics)
+	if err != nil {
+		return err
+	}
+	if tel.rec != nil {
+		printSolveHeader(os.Stdout, s, tel.path)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	sol, err := s.SolveContext(ctx)
-	if err != nil {
+	if _, err := s.SolveContext(ctx); err != nil {
+		_ = tel.close()
 		return err
 	}
 	printSolution(os.Stdout, u, s.Last())
 	if *report != "" {
 		f, err := os.Create(*report)
 		if err != nil {
+			_ = tel.close()
 			return err
 		}
 		defer f.Close()
 		if err := s.WriteReport(f); err != nil {
+			_ = tel.close()
 			return err
 		}
 	}
-	_ = sol
-	return nil
+	if *metrics {
+		fmt.Println()
+		if err := telemetry.WriteSummary(os.Stdout, tel.rec.Snapshot()); err != nil {
+			_ = tel.close()
+			return err
+		}
+	}
+	return tel.close()
+}
+
+// solveTelemetry bundles the optional recorder wiring for cmdSolve: the
+// recorder injected into the session, and — when tracing — the sink and file
+// it streams to.
+type solveTelemetry struct {
+	rec  *telemetry.Recorder
+	sink *telemetry.JSONLSink
+	file *os.File
+	path string
+}
+
+// attachTelemetry wires a recorder into the session when tracing or metrics
+// were requested (both off → no-op wiring, zero overhead in the core).
+// flagPath overrides a trace path loaded from a saved spec; a spec-inherited
+// path is opened in append mode so a resumed exploration keeps extending one
+// trace file, while an explicit -trace flag truncates.
+func attachTelemetry(s *session.Session, flagPath string, metrics bool) (*solveTelemetry, error) {
+	path, appendMode := flagPath, false
+	if path == "" {
+		path = s.Spec().TracePath
+		appendMode = path != ""
+	}
+	if path == "" && !metrics {
+		return &solveTelemetry{}, nil
+	}
+	tel := &solveTelemetry{path: path}
+	if path != "" {
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if appendMode {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(path, mode, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		tel.file = f
+		tel.sink = telemetry.NewJSONLSink(f)
+		tel.rec = telemetry.New(tel.sink)
+	} else {
+		tel.rec = telemetry.New(nil)
+	}
+	s.Instrument(tel.rec, path)
+	return tel, nil
+}
+
+// close flushes the trace file and surfaces any deferred sink write error.
+func (tel *solveTelemetry) close() error {
+	if tel.file == nil {
+		return nil
+	}
+	if err := tel.sink.Err(); err != nil {
+		_ = tel.file.Close()
+		return fmt.Errorf("trace %s: %w", tel.path, err)
+	}
+	return tel.file.Close()
+}
+
+// printSolveHeader prints the shared run header (only when telemetry is on,
+// so default solve output is unchanged).
+func printSolveHeader(w io.Writer, s *session.Session, tracePath string) {
+	spec := s.Spec()
+	tr := tracePath
+	if tr == "" {
+		tr = "off"
+	}
+	fmt.Fprintln(w, telemetry.Header("mube solve",
+		telemetry.KVStr("solver", spec.Solver),
+		telemetry.KVStr("seed", strconv.FormatInt(spec.SolverOptions.Seed, 10)),
+		telemetry.KVInt("evals", spec.SolverOptions.MaxEvals),
+		telemetry.KVStr("trace", tr),
+	))
 }
 
 // printSolution renders one iteration's solution for the terminal.

@@ -10,6 +10,9 @@
 //     statement is a silent failure path.
 //   - seedflow: literal seeds outside test scaffolding pin experiments to
 //     hidden constants; seeds must come from config or Opts.Seed.
+//   - telemetry: internal packages must report through the telemetry facade,
+//     never fmt.Print*/log.*, and the expvar/pprof debug surface must stay
+//     in cmd/.
 package rules
 
 import (
@@ -26,6 +29,7 @@ var All = []*analysis.Analyzer{
 	ErrDrop,
 	FloatCmp,
 	SeedFlow,
+	Telemetry,
 }
 
 // modulePath is the import-path root policy scoping keys off.

@@ -45,6 +45,20 @@ func TestSeedFlowAllowlisted(t *testing.T) {
 	analysistest.Run(t, fixture("seedflow", "allowed"), "mube/internal/synth/fixture", rules.SeedFlow)
 }
 
+func TestTelemetryRestricted(t *testing.T) {
+	analysistest.Run(t, fixture("telemetry", "core"), "mube/internal/qef/fixture", rules.Telemetry)
+}
+
+func TestTelemetryAllowlisted(t *testing.T) {
+	analysistest.Run(t, fixture("telemetry", "allowed"), "mube/internal/testutil", rules.Telemetry)
+}
+
+func TestTelemetryOutOfScope(t *testing.T) {
+	// cmd/ binaries own stdout; the allowed fixture produces no diagnostics
+	// when loaded under a cmd path.
+	analysistest.Run(t, fixture("telemetry", "allowed"), "mube/cmd/mube", rules.Telemetry)
+}
+
 func TestRegistryNamesUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range rules.All {
@@ -56,8 +70,8 @@ func TestRegistryNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(rules.All) < 4 {
-		t.Errorf("registry has %d analyzers, want at least 4", len(rules.All))
+	if len(rules.All) < 5 {
+		t.Errorf("registry has %d analyzers, want at least 5", len(rules.All))
 	}
 	var _ []*analysis.Analyzer = rules.All
 }

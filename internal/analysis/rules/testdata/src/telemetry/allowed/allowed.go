@@ -1,0 +1,10 @@
+// Fixture loaded under mube/internal/testutil — inside internal/ but on the
+// explicit allowlist (test scaffolding owns its output). Nothing is flagged.
+package allowed
+
+import "fmt"
+
+func dump(q float64) {
+	fmt.Printf("q=%v\n", q) // no want: allowlisted package
+	fmt.Println("done")     // no want
+}

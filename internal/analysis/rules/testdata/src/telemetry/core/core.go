@@ -1,0 +1,30 @@
+// Fixture for the telemetry analyzer, loaded under a restricted import path
+// (mube/internal/qef/fixture). Ad-hoc stdout printing, log calls, and the
+// debug-surface imports must be flagged; writer-directed and pure fmt
+// helpers must not.
+package core
+
+import (
+	"expvar" // want "import of expvar in an internal package"
+	"fmt"
+	"io"
+	"log"
+	_ "net/http/pprof" // want "import of net/http/pprof in an internal package"
+	"os"
+)
+
+func prints(w io.Writer) {
+	fmt.Print("raw")           // want "call to fmt.Print in an internal package"
+	fmt.Printf("q=%v\n", 0.5)  // want "call to fmt.Printf in an internal package"
+	fmt.Println("done")        // want "call to fmt.Println in an internal package"
+	log.Printf("q=%v\n", 0.5)  // want "call to log.Printf in an internal package"
+	log.Println("done")        // want "call to log.Println in an internal package"
+	_ = log.New(os.Stderr, "", 0) // want "call to log.New in an internal package"
+
+	// Writer-directed and allocation-free fmt calls are the approved paths.
+	fmt.Fprintf(w, "q=%v\n", 0.5)   // explicit writer: fine
+	fmt.Fprintln(w, "done")         // fine
+	_ = fmt.Sprintf("q=%v", 0.5)    // no I/O: fine
+	_ = fmt.Errorf("bad q %v", 0.5) // fine
+	_ = expvar.Get
+}

@@ -1,0 +1,13 @@
+// Test files inside the restricted scope are exempt: tests may print
+// whatever diagnostics they like.
+package core
+
+import (
+	"fmt"
+	"log"
+)
+
+func testHelper() {
+	fmt.Println("debug output") // no want: test file
+	log.Printf("state: %v", 1)  // no want
+}

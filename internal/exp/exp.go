@@ -33,6 +33,7 @@ import (
 	"mube/internal/schema"
 	"mube/internal/source"
 	"mube/internal/synth"
+	"mube/internal/telemetry"
 )
 
 // Scale sets the size of every experiment. Full() reproduces the paper's
@@ -73,6 +74,10 @@ type Scale struct {
 	// The plan is part of the universe-cache key, so degraded and clean
 	// universes never alias.
 	Faults *fault.Plan
+	// Rec receives solver traces and evaluator/probe metrics for every run
+	// launched through Options/Acquire (nil = telemetry off). Results are
+	// bit-identical with or without it.
+	Rec *telemetry.Recorder
 }
 
 // Full returns the paper-scale configuration (§7.1).
@@ -171,7 +176,7 @@ func (sc Scale) Acquire(n int) (*acquired, error) {
 	}
 	a := &acquired{res: res}
 	if plan.Enabled() {
-		prober := probe.New(probe.Policy{}, nil, fault.NewInjector(plan), sc.Seed)
+		prober := probe.New(probe.Policy{}, nil, fault.NewInjector(plan), sc.Seed).Instrument(sc.Rec)
 		nu, health, kept, err := prober.ReprobeUniverse(res.Universe)
 		if err != nil {
 			return nil, err
@@ -274,6 +279,7 @@ func (sc Scale) Options(seed int64) opt.Options {
 		MaxIters: sc.MaxIters,
 		Patience: sc.Patience,
 		Parallel: sc.Parallel,
+		Recorder: sc.Rec,
 	}
 }
 

@@ -327,6 +327,60 @@ func TestSolversExperiment(t *testing.T) {
 	}
 }
 
+func TestConvergenceExperiment(t *testing.T) {
+	rows, err := Convergence(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no convergence rows")
+	}
+	seen := map[string]bool{}
+	lastBest := map[string]float64{}
+	for _, r := range rows {
+		seen[r.Solver] = true
+		if r.BestQ < 0 || r.BestQ > 1 {
+			t.Errorf("%s iter %d: best_q %v out of [0,1]", r.Solver, r.Iter, r.BestQ)
+		}
+		// best_q is a running maximum: it can never decrease along a curve.
+		if prev, ok := lastBest[r.Solver]; ok && r.BestQ+1e-12 < prev {
+			t.Errorf("%s: best_q decreased %v -> %v", r.Solver, prev, r.BestQ)
+		}
+		lastBest[r.Solver] = r.BestQ
+	}
+	for _, want := range []string{"tabu", "sls", "anneal", "pso", "random"} {
+		if !seen[want] {
+			t.Errorf("no convergence curve for %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderConvergence(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best_q") {
+		t.Errorf("render missing header:\n%s", buf.String())
+	}
+}
+
+func TestCheckpoints(t *testing.T) {
+	if got := checkpoints(0); got != nil {
+		t.Errorf("checkpoints(0) = %v", got)
+	}
+	if got := checkpoints(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("checkpoints(1) = %v", got)
+	}
+	got := checkpoints(10)
+	want := []int{0, 1, 3, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("checkpoints(10) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("checkpoints(10) = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestAblations(t *testing.T) {
 	sc := micro()
 	sim, err := AblationSimilarity(sc)

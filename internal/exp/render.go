@@ -87,6 +87,16 @@ func RenderSolvers(w io.Writer, rows []SolverRow) error {
 	return tw.Flush()
 }
 
+// RenderConvergence prints the convergence-curve experiment.
+func RenderConvergence(w io.Writer, rows []ConvergenceRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "solver\titer\tevals\tcur_q\tbest_q")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%.4f\n", r.Solver, r.Iter, r.Evals, r.CurQ, r.BestQ)
+	}
+	return tw.Flush()
+}
+
 // RenderSimilarity prints the similarity-measure ablation.
 func RenderSimilarity(w io.Writer, rows []SimilarityRow) error {
 	tw := newTab(w)

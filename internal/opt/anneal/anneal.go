@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"mube/internal/opt"
+	"mube/internal/telemetry"
 )
 
 // Solver is a configured simulated annealing run.
@@ -86,6 +87,7 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 		} else {
 			noImprove++
 		}
+		search.TraceIter(s.Name(), iter, curQ, bestQ, telemetry.Float("temp", temp))
 		temp *= s.Cooling
 	}
 	return search.Eval.Solution(bestIDs, s.Name()), nil

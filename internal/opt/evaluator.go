@@ -11,6 +11,7 @@ import (
 
 	"mube/internal/qef"
 	"mube/internal/schema"
+	"mube/internal/telemetry"
 )
 
 // Evaluator computes Q(S) for candidate source sets, memoizing results so
@@ -34,6 +35,7 @@ type Evaluator struct {
 	p       *Problem
 	workers int // worker-pool size for EvalBatch; 1 = in-line
 	ctx     context.Context
+	rec     *telemetry.Recorder // nil = telemetry off
 
 	mu    sync.Mutex
 	memo  map[string]float64
@@ -59,6 +61,12 @@ func NewEvaluator(p *Problem, maxEvals int) *Evaluator {
 	e.scratch.New = func() any { return &qef.Scratch{} }
 	return e
 }
+
+// Instrument attaches a telemetry recorder. A nil recorder (the default)
+// disables all instrumentation. Telemetry never feeds back into evaluation:
+// with the same seed, Q(S) values, memo contents, and budget accounting are
+// bit-identical with a recorder attached or not.
+func (e *Evaluator) Instrument(rec *telemetry.Recorder) { e.rec = rec }
 
 // BindContext attaches the solve's context: EvalBatch checks it between its
 // planning pass and the worker fan-out, so a cancellation or deadline stops
@@ -151,7 +159,12 @@ func (e *Evaluator) compute(ids []schema.SourceID, sc *qef.Scratch) float64 {
 		return 0
 	}
 	ctx := qef.NewContextScratch(e.p.Universe, e.p.Matcher, e.p.Constraints, ids, sc)
-	return e.p.Quality.Eval(ctx)
+	v := e.p.Quality.Eval(ctx)
+	// Counter adds are commutative, so this is safe from worker goroutines.
+	if m := ctx.Merges(); m > 0 {
+		e.rec.Add("pcsa.merges", int64(m))
+	}
+	return v
 }
 
 // Eval returns Q(S) for the given source set. ids must be sorted (use
@@ -159,15 +172,18 @@ func (e *Evaluator) compute(ids []schema.SourceID, sc *qef.Scratch) float64 {
 // subsets return the Unscored sentinel (-Inf, never memoized) — solvers
 // should check Exhausted and stop.
 func (e *Evaluator) Eval(ids []schema.SourceID) float64 {
+	e.rec.Add("eval.calls", 1)
 	e.mu.Lock()
 	e.calls++
 	k := key(ids)
 	if v, ok := e.memo[k]; ok {
 		e.mu.Unlock()
+		e.rec.Add("eval.memo_hits", 1)
 		return v
 	}
 	if e.limit > 0 && e.evals >= e.limit {
 		e.mu.Unlock()
+		e.rec.Add("eval.unscored", 1)
 		return unscored
 	}
 	e.evals++
@@ -176,6 +192,7 @@ func (e *Evaluator) Eval(ids []schema.SourceID) float64 {
 	sc := e.scratch.Get().(*qef.Scratch)
 	v := e.compute(ids, sc)
 	e.scratch.Put(sc)
+	e.rec.Add("eval.computed", 1)
 
 	e.mu.Lock()
 	e.memo[k] = v
@@ -209,6 +226,7 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 	// Planning pass: resolve memo hits and budget debits sequentially in
 	// candidate order. Everything order-dependent happens here, under the
 	// lock; only pure Q(S) computations remain afterwards.
+	var hits, dups, refused int
 	e.mu.Lock()
 	var jobs []*batchJob
 	var pending map[string]*batchJob
@@ -217,14 +235,17 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 		k := key(ids)
 		if v, ok := e.memo[k]; ok {
 			out[i] = v
+			hits++
 			continue
 		}
 		if j, ok := pending[k]; ok {
 			j.out = append(j.out, i)
+			dups++
 			continue
 		}
 		if e.limit > 0 && e.evals >= e.limit {
 			out[i] = unscored // same as sequential Eval past the budget
+			refused++
 			continue
 		}
 		e.evals++
@@ -236,6 +257,14 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 		jobs = append(jobs, j)
 	}
 	e.mu.Unlock()
+
+	// The planning-vs-fan-out split: of len(cands) candidates, hits+dups+
+	// refused were resolved during planning and len(jobs) fan out to workers.
+	e.rec.Add("eval.calls", int64(len(cands)))
+	e.rec.Add("eval.batches", 1)
+	e.rec.Add("eval.memo_hits", int64(hits))
+	e.rec.Add("eval.batch_dups", int64(dups))
+	e.rec.Add("eval.unscored", int64(refused))
 
 	// Cancellation check, between the planning pass and the worker fan-out:
 	// a canceled or expired context abandons the batch before any Q(S) is
@@ -252,6 +281,10 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 				out[i] = unscored
 			}
 		}
+		e.rec.Add("eval.budget_reverts", int64(len(jobs)))
+		e.rec.Emit("eval.abort",
+			telemetry.Int("cands", len(cands)),
+			telemetry.Int("reverted", len(jobs)))
 		return out
 	}
 
@@ -299,6 +332,20 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 		}
 	}
 	e.mu.Unlock()
+
+	// Emitted from the calling goroutine after the fan-out joins, so the trace
+	// stream is identical at any worker count.
+	e.rec.Add("eval.computed", int64(len(jobs)))
+	if e.rec != nil {
+		e.rec.Observe("eval.batch_size", float64(len(cands)))
+		e.rec.Observe("eval.batch_fanout", float64(len(jobs)))
+		e.rec.Emit("eval.batch",
+			telemetry.Int("cands", len(cands)),
+			telemetry.Int("hits", hits),
+			telemetry.Int("dups", dups),
+			telemetry.Int("unscored", refused),
+			telemetry.Int("jobs", len(jobs)))
+	}
 	return out
 }
 
@@ -361,6 +408,11 @@ func (e *Evaluator) Solution(ids []schema.SourceID, solver string) *Solution {
 			sol.MatchOK = true
 		}
 	}
+	e.rec.Emit("solver.done",
+		telemetry.Str("solver", solver),
+		telemetry.Float("best_q", sol.Quality),
+		telemetry.Int("evals", sol.Evals),
+		telemetry.Str("status", string(sol.Status)))
 	return sol
 }
 
@@ -377,8 +429,31 @@ type Search struct {
 	Rand *rand.Rand
 	// MaxSources is m.
 	MaxSources int
+	// Rec is the run's telemetry recorder (nil = off). Solvers emit their
+	// per-iteration convergence events through TraceIter.
+	Rec *telemetry.Recorder
 
 	ctx context.Context
+}
+
+// TraceIter records one solver iteration: the current and best-so-far Q plus
+// any solver-specific attrs (tabu tenure, annealing temperature, …). Solvers
+// call it once per iteration from the solve goroutine, so trace bytes are
+// identical at any evaluator worker count.
+func (s *Search) TraceIter(solver string, iter int, curQ, bestQ float64, extra ...telemetry.Attr) {
+	if s.Rec == nil {
+		return
+	}
+	attrs := make([]telemetry.Attr, 0, 4+len(extra))
+	attrs = append(attrs,
+		telemetry.Str("solver", solver),
+		telemetry.Int("iter", iter),
+		telemetry.Float("cur_q", curQ),
+		telemetry.Float("best_q", bestQ))
+	attrs = append(attrs, extra...)
+	s.Rec.Emit("solver.iter", attrs...)
+	s.Rec.Add("solver.iters", 1)
+	s.Rec.Gauge("solver.best_q", bestQ)
 }
 
 // Stopped reports whether the solve's context is canceled or past its
@@ -409,12 +484,14 @@ func NewSearch(ctx context.Context, p *Problem, opts Options) (*Search, error) {
 	ev := NewEvaluator(p, opts.MaxEvals)
 	ev.SetWorkers(opts.Parallel)
 	ev.BindContext(ctx)
+	ev.Instrument(opts.Recorder)
 	return &Search{
 		Eval:       ev,
 		Required:   req,
 		Optional:   optional,
 		Rand:       rand.New(rand.NewSource(opts.Seed)),
 		MaxSources: p.MaxSources,
+		Rec:        opts.Recorder,
 		ctx:        ctx,
 	}, nil
 }

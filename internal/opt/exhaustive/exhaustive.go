@@ -52,13 +52,23 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 	const flush = 64
 	var bestIDs []schema.SourceID
 	bestQ := -1.0
+	scanned := 0
 	cands := make([][]schema.SourceID, 0, flush)
 	score := func() {
+		flushQ := -1.0
 		for i, q := range search.Eval.EvalBatch(cands) {
+			if q > flushQ {
+				flushQ = q
+			}
 			if q > bestQ {
 				bestQ = q
 				bestIDs = cands[i]
 			}
+		}
+		scanned += len(cands)
+		if len(cands) > 0 {
+			// One trace point per flushed batch; iter counts subsets scanned.
+			search.TraceIter(s.Name(), scanned, flushQ, bestQ)
 		}
 		cands = cands[:0]
 	}

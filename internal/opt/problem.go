@@ -25,6 +25,7 @@ import (
 	"mube/internal/qef"
 	"mube/internal/schema"
 	"mube/internal/source"
+	"mube/internal/telemetry"
 )
 
 // Problem is one fully specified optimization problem. Between µBE
@@ -171,6 +172,11 @@ type Options struct {
 	// results are bit-identical for every setting (see Evaluator), so this
 	// trades wall-clock time only and is not part of the problem spec.
 	Parallel int
+	// Recorder receives solver traces and evaluator metrics for this run.
+	// nil (the default) disables telemetry. Like Parallel it is not part of
+	// the problem spec: solver results are bit-identical with or without a
+	// recorder attached.
+	Recorder *telemetry.Recorder
 }
 
 // Defaults for Options' zero values.

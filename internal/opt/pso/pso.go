@@ -14,6 +14,7 @@ import (
 
 	"mube/internal/opt"
 	"mube/internal/schema"
+	"mube/internal/telemetry"
 	"sort"
 )
 
@@ -159,8 +160,12 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 			cands[i] = toIDs(pt.pos)
 		}
 		improved := false
+		iterQ := -1.0
 		for i, q := range search.Eval.EvalBatch(cands) {
 			pt := swarm[i]
+			if q > iterQ {
+				iterQ = q
+			}
 			if q > pt.bestQ {
 				pt.bestQ = q
 				pt.bestPos = append(pt.bestPos[:0], pt.pos...)
@@ -176,6 +181,8 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 		} else {
 			noImprove++
 		}
+		search.TraceIter(s.Name(), iter, iterQ, globalQ,
+			telemetry.Int("particles", s.Particles))
 	}
 	return search.Eval.Solution(toIDs(globalBest), s.Name()), nil
 }

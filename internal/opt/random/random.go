@@ -55,13 +55,19 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 		for i := range cands {
 			cands[i] = search.RandomSubset()
 		}
+		chunkQ := -1.0
 		for i, q := range search.Eval.EvalBatch(cands) {
+			if q > chunkQ {
+				chunkQ = q
+			}
 			if q > bestQ {
 				bestQ = q
 				bestIDs = cands[i]
 			}
 		}
 		drawn += n
+		// One trace point per chunk: the chunk is this solver's iteration.
+		search.TraceIter(s.Name(), drawn, chunkQ, bestQ)
 	}
 	if bestIDs == nil {
 		bestIDs = search.RandomSubset()

@@ -65,11 +65,18 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 					improved = true
 				}
 			}
+			if improved {
+				cur.Apply(stepMove)
+				curQ = stepQ
+			}
+			traceBest := bestQ
+			if curQ > traceBest {
+				traceBest = curQ
+			}
+			search.TraceIter(s.Name(), iters, curQ, traceBest)
 			if !improved {
 				break // local optimum: restart
 			}
-			cur.Apply(stepMove)
-			curQ = stepQ
 		}
 		if curQ > bestQ {
 			bestQ = curQ

@@ -1,0 +1,92 @@
+package solvers
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/opt"
+	"mube/internal/telemetry"
+)
+
+// solveTraced runs one seeded solve with a JSONL recorder attached and
+// returns the solution plus the raw trace bytes.
+func solveTraced(t *testing.T, s opt.Solver, p *opt.Problem, base opt.Options) (*opt.Solution, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := telemetry.NewJSONLSink(&buf)
+	traced := base
+	traced.Recorder = telemetry.New(sink)
+	sol, err := s.Solve(context.Background(), p, traced)
+	if err != nil {
+		t.Fatalf("%s traced solve: %v", s.Name(), err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatalf("%s trace sink: %v", s.Name(), err)
+	}
+	return sol, buf.Bytes()
+}
+
+// TestTelemetryDoesNotPerturbSolves is the telemetry layer's acceptance
+// contract: for every solver (including the exhaustive oracle), attaching a
+// recorder changes nothing about the solve — IDs, Quality bit-for-bit, and
+// Evals match a plain run at both 1 and 4 evaluator workers. Run under -race
+// this also exercises the worker-pool/metrics interleaving.
+func TestTelemetryDoesNotPerturbSolves(t *testing.T) {
+	cons := constraint.Set{Sources: ids(3)}
+	p := problem(t, 5, cons)
+	for _, s := range append(All(), Exhaustive()) {
+		for _, workers := range []int{1, 4} {
+			base := opt.Options{Seed: 42, MaxEvals: 300, MaxIters: 40, Patience: 10, Parallel: workers}
+			plain, err := s.Solve(context.Background(), p, base)
+			if err != nil {
+				t.Fatalf("%s plain solve: %v", s.Name(), err)
+			}
+			traced, trace := solveTraced(t, s, p, base)
+			//mube:vet-ignore floatcmp — telemetry must be unobservable bit-for-bit
+			if traced.Quality != plain.Quality {
+				t.Errorf("%s workers=%d: traced quality %v != plain %v",
+					s.Name(), workers, traced.Quality, plain.Quality)
+			}
+			if traced.Evals != plain.Evals {
+				t.Errorf("%s workers=%d: traced evals %d != plain %d",
+					s.Name(), workers, traced.Evals, plain.Evals)
+			}
+			if len(traced.IDs) != len(plain.IDs) {
+				t.Errorf("%s workers=%d: id sets differ: %v vs %v",
+					s.Name(), workers, traced.IDs, plain.IDs)
+				continue
+			}
+			for i := range traced.IDs {
+				if traced.IDs[i] != plain.IDs[i] {
+					t.Errorf("%s workers=%d: id sets differ: %v vs %v",
+						s.Name(), workers, traced.IDs, plain.IDs)
+					break
+				}
+			}
+			if len(trace) == 0 {
+				t.Errorf("%s workers=%d: empty trace", s.Name(), workers)
+			}
+		}
+	}
+}
+
+// TestTraceBytesIndependentOfWorkerCount: because events are only ever
+// emitted from the solve-owning goroutine, the JSONL trace must be
+// byte-identical at any evaluator worker count.
+func TestTraceBytesIndependentOfWorkerCount(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	for _, s := range append(All(), Exhaustive()) {
+		base := opt.Options{Seed: 7, MaxEvals: 250, MaxIters: 30, Patience: 8}
+		seqOpts := base
+		seqOpts.Parallel = 1
+		parOpts := base
+		parOpts.Parallel = 4
+		_, seq := solveTraced(t, s, p, seqOpts)
+		_, par := solveTraced(t, s, p, parOpts)
+		if !bytes.Equal(seq, par) {
+			t.Errorf("%s: trace bytes differ between 1 and 4 workers", s.Name())
+		}
+	}
+}

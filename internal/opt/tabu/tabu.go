@@ -16,6 +16,7 @@ import (
 
 	"mube/internal/opt"
 	"mube/internal/schema"
+	"mube/internal/telemetry"
 )
 
 // Solver is a configured tabu search.
@@ -104,6 +105,9 @@ func (s Solver) solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 			// Entire sampled neighborhood is tabu; age the list by one
 			// iteration and resample.
 			noImprove++
+			search.TraceIter(s.Name(), iter, curQ, bestQ,
+				telemetry.Int("tenure", s.Tenure),
+				telemetry.Int("tabu_active", tabuActive(tabuUntil, iter)))
 			continue
 		}
 
@@ -125,8 +129,23 @@ func (s Solver) solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 		} else {
 			noImprove++
 		}
+		search.TraceIter(s.Name(), iter, curQ, bestQ,
+			telemetry.Int("tenure", s.Tenure),
+			telemetry.Int("tabu_active", tabuActive(tabuUntil, iter)))
 	}
 	return search.Eval.Solution(bestIDs, s.Name()), nil
+}
+
+// tabuActive counts the sources still tabu after iter's update, for the
+// iteration trace.
+func tabuActive(tabuUntil map[schema.SourceID]int, iter int) int {
+	n := 0
+	for _, until := range tabuUntil {
+		if until > iter {
+			n++
+		}
+	}
+	return n
 }
 
 // isTabu reports whether mv touches a source that is still tabu at iter.

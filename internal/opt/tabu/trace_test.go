@@ -1,0 +1,69 @@
+package tabu
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/opt"
+	"mube/internal/opt/opttest"
+	"mube/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_trace.jsonl")
+
+// goldenSolve runs the fixed tiny seeded tabu solve the golden trace was
+// recorded from and returns the JSONL trace bytes.
+func goldenSolve(t *testing.T, workers int) []byte {
+	t.Helper()
+	p := opttest.Problem(t, 3, constraint.Set{})
+	var buf bytes.Buffer
+	sink := telemetry.NewJSONLSink(&buf)
+	opts := opt.Options{
+		Seed:     5,
+		MaxEvals: 120,
+		MaxIters: 8,
+		Patience: 4,
+		Parallel: workers,
+		Recorder: telemetry.New(sink),
+	}
+	if _, err := (Solver{}).Solve(context.Background(), p, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTrace pins the trace format: the same seed must reproduce the
+// checked-in trace byte for byte, at one worker and at four. Any intentional
+// change to event names, attribute order, or float formatting must regenerate
+// the golden file with `go test ./internal/opt/tabu -run GoldenTrace -update`
+// and show up in review.
+func TestGoldenTrace(t *testing.T) {
+	got := goldenSolve(t, 1)
+	golden := filepath.Join("testdata", "golden_trace.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace diverged from golden (run with -update if intentional)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if par := goldenSolve(t, 4); !bytes.Equal(par, want) {
+		t.Errorf("trace at 4 workers diverged from golden\ngot:\n%s", par)
+	}
+}

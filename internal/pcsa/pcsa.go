@@ -16,7 +16,18 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 )
+
+// mergeOps counts OR-merge operations process-wide. Union merging is the
+// innermost hot loop of every Coverage/Redundancy evaluation, so the counter
+// is a single atomic add here and surfaced read-only via MergeOps (the
+// mube-bench debug endpoint publishes it as an expvar).
+var mergeOps atomic.Uint64
+
+// MergeOps returns the total number of signature OR-merges performed by this
+// process. Monotonic; not resettable.
+func MergeOps() uint64 { return mergeOps.Load() }
 
 // phi is the Flajolet–Martin magic constant correcting the expectation of
 // the bit-pattern observable.
@@ -205,6 +216,7 @@ func (s *Signature) MergeFrom(o *Signature) error {
 	for i, bm := range o.maps {
 		s.maps[i] |= bm
 	}
+	mergeOps.Add(1)
 	return nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"mube/internal/pcsa"
 	"mube/internal/schema"
 	"mube/internal/source"
+	"mube/internal/telemetry"
 )
 
 // Status classifies the final outcome of probing one source.
@@ -187,7 +188,18 @@ type Prober struct {
 	policy Policy
 	clock  fault.Clock
 	inj    *fault.Injector
-	rng    *rand.Rand // backoff jitter only
+	rng    *rand.Rand          // backoff jitter only
+	rec    *telemetry.Recorder // nil = telemetry off
+}
+
+// Instrument attaches a telemetry recorder (nil disables) and returns the
+// prober for chaining. To stamp probe events with virtual time, build the
+// recorder with telemetry.NewClocked over the same fault.Clock the prober
+// uses. Telemetry never influences probing: fates, backoff draws, and the
+// resulting universe are identical with or without it.
+func (p *Prober) Instrument(rec *telemetry.Recorder) *Prober {
+	p.rec = rec
+	return p
 }
 
 // New returns a prober. clock may be nil, selecting a virtual clock starting
@@ -213,6 +225,7 @@ func (p *Prober) Probe(c Candidate, cfg pcsa.Config) (*source.Source, Result) {
 	if c.Open == nil {
 		// Uncooperative by design: nothing to probe.
 		res.Status = StatusHealthy
+		p.record(res)
 		return p.schemaOnly(c), res
 	}
 	consecHandshake := 0
@@ -223,9 +236,16 @@ func (p *Prober) Probe(c Candidate, cfg pcsa.Config) (*source.Source, Result) {
 		if err == nil {
 			res.Status = StatusHealthy
 			res.Err = ""
+			p.record(res)
 			return s, res
 		}
 		res.Err = err.Error()
+		if p.rec != nil {
+			p.rec.Emit("probe.attempt",
+				telemetry.Str("source", c.Name),
+				telemetry.Int("attempt", attempt),
+				telemetry.Str("err", err.Error()))
+		}
 		if errors.Is(err, fault.ErrUnreachable) {
 			consecHandshake++
 			if consecHandshake >= p.policy.BreakerLimit {
@@ -233,19 +253,46 @@ func (p *Prober) Probe(c Candidate, cfg pcsa.Config) (*source.Source, Result) {
 				// limit it is dropped rather than degraded — there is no
 				// evidence it exists at all anymore.
 				res.Status = StatusDropped
+				p.rec.Add("probe.breaker_trips", 1)
+				p.record(res)
 				return nil, res
 			}
 		} else {
 			consecHandshake = 0
 		}
 		if attempt < p.policy.MaxAttempts {
-			p.clock.Sleep(p.backoff(attempt))
+			d := p.backoff(attempt)
+			if p.rec != nil {
+				p.rec.Add("probe.backoff_ns", d.Nanoseconds())
+				p.rec.Emit("probe.backoff",
+					telemetry.Str("source", c.Name),
+					telemetry.Int("attempt", attempt),
+					telemetry.Int64("wait_ns", d.Nanoseconds()))
+			}
+			p.clock.Sleep(d)
 		}
 	}
 	// Retries exhausted but the source answered at least once: degrade to
 	// uncooperative (§4 — it still exports schema and characteristics).
 	res.Status = StatusDegraded
+	p.record(res)
 	return p.schemaOnly(c), res
+}
+
+// record tallies one finished probe into the run's metrics and emits the
+// probe.result event. Probing is sequential, so emission order — and with it
+// the trace bytes — is a pure function of the candidate list, plan, and seed.
+func (p *Prober) record(res Result) {
+	if p.rec == nil {
+		return
+	}
+	p.rec.Add("probe.attempts", int64(res.Attempts))
+	p.rec.Add("probe.retries", int64(res.Retries))
+	p.rec.Add("probe."+string(res.Status), 1)
+	p.rec.Emit("probe.result",
+		telemetry.Str("source", res.Name),
+		telemetry.Str("status", string(res.Status)),
+		telemetry.Int("attempts", res.Attempts))
 }
 
 // probeOnce runs one scan attempt: draw the fate, pay its latency, enforce

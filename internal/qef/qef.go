@@ -61,7 +61,14 @@ type Context struct {
 	// but no cardinality: it contributes to the Coverage union but not to
 	// Redundancy's, so the two unions cannot be shared.
 	coopMixed bool
+	// merges counts pairwise signature merges unionStats performed, for
+	// telemetry (the evaluator folds it into the pcsa.merges counter).
+	merges int
 }
+
+// Merges returns the number of pairwise PCSA signature merges this context's
+// union computation performed (0 until a union-based QEF has run).
+func (c *Context) Merges() int { return c.merges }
 
 // Scratch holds reusable evaluation buffers. A long-lived evaluator keeps one
 // Scratch per worker and threads it through successive contexts so the union
@@ -105,9 +112,12 @@ func (c *Context) unionStats() {
 				} else {
 					acc = sig.Clone()
 				}
-			} else if err := acc.MergeFrom(sig); err != nil {
-				// Unreachable: Universe.Add enforces a uniform config.
-				panic(fmt.Sprintf("qef: union of signatures: %v", err))
+			} else {
+				c.merges++
+				if err := acc.MergeFrom(sig); err != nil {
+					// Unreachable: Universe.Add enforces a uniform config.
+					panic(fmt.Sprintf("qef: union of signatures: %v", err))
+				}
 			}
 		}
 		if s.Cooperative() {

@@ -31,6 +31,9 @@ type specJSON struct {
 	// resumed exploration still knows which sources were degraded when its
 	// constraints were chosen.
 	Health *probe.HealthReport `json:"health,omitempty"`
+	// Trace preserves the solver-trace path (Spec.TracePath), so a resumed
+	// exploration keeps writing to the same trace file.
+	Trace string `json:"trace,omitempty"`
 }
 
 // SaveSpec serializes the session's current problem specification so an
@@ -51,6 +54,7 @@ func (s *Session) SaveSpec(w io.Writer) error {
 		MaxIters:   spec.SolverOptions.MaxIters,
 		Patience:   spec.SolverOptions.Patience,
 		Health:     spec.Health,
+		Trace:      spec.TracePath,
 	}
 	for _, id := range spec.Constraints.Sources {
 		out.Sources = append(out.Sources, int(id))
@@ -103,6 +107,9 @@ func LoadSpec(r io.Reader, cfg Config) (*Session, error) {
 		Patience: in.Patience,
 	}
 	cfg.Health = in.Health
+	if cfg.TracePath == "" {
+		cfg.TracePath = in.Trace
+	}
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err

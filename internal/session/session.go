@@ -23,6 +23,7 @@ import (
 	"mube/internal/qef"
 	"mube/internal/schema"
 	"mube/internal/source"
+	"mube/internal/telemetry"
 )
 
 // Spec is the user-editable problem specification of one iteration.
@@ -49,6 +50,11 @@ type Spec struct {
 	// resumed exploration (SaveSpec/LoadSpec) still knows which sources were
 	// misbehaving when the decisions baked into its constraints were made.
 	Health *probe.HealthReport
+	// TracePath records where this exploration's solver trace is written
+	// ("" = tracing off). Like Health it is bookkeeping, not problem input:
+	// it rides along in the persisted spec so a resumed session keeps
+	// appending to the same trace file, but it never influences the solve.
+	TracePath string
 }
 
 // Clone deep-copies the spec.
@@ -84,6 +90,7 @@ type Session struct {
 	spec    Spec
 	history []Iteration
 	clock   Clock
+	rec     *telemetry.Recorder
 }
 
 // Config assembles a session.
@@ -109,6 +116,13 @@ type Config struct {
 	Health *probe.HealthReport
 	// Clock supplies iteration timestamps; defaults to time.Now.
 	Clock Clock
+	// Recorder receives solver traces and evaluator metrics for every Solve
+	// (nil = telemetry off). It is injected into each solve's opt.Options, so
+	// results stay bit-identical with or without it.
+	Recorder *telemetry.Recorder
+	// TracePath is recorded in the spec when tracing is on; see
+	// Spec.TracePath.
+	TracePath string
 }
 
 // New opens a session.
@@ -154,6 +168,7 @@ func New(cfg Config) (*Session, error) {
 		qefs:  qefs,
 		base:  matcher,
 		clock: clock,
+		rec:   cfg.Recorder,
 		spec: Spec{
 			Weights:       weights,
 			Theta:         matcher.Config().Theta,
@@ -163,6 +178,7 @@ func New(cfg Config) (*Session, error) {
 			Solver:        solver,
 			SolverOptions: cfg.SolverOptions,
 			Health:        cfg.Health.Clone(),
+			TracePath:     cfg.TracePath,
 		},
 	}
 	if err := s.validate(); err != nil {
@@ -286,6 +302,14 @@ func (s *Session) SetSolver(name string) error {
 // SetSolverOptions bounds subsequent Solve calls.
 func (s *Session) SetSolverOptions(o opt.Options) { s.spec.SolverOptions = o }
 
+// Instrument attaches a telemetry recorder for subsequent Solve calls (nil
+// disables). tracePath is recorded in the spec for persistence; pass "" when
+// the recorder has no trace sink.
+func (s *Session) Instrument(rec *telemetry.Recorder, tracePath string) {
+	s.rec = rec
+	s.spec.TracePath = tracePath
+}
+
 // RequireSource adds a source constraint.
 func (s *Session) RequireSource(id schema.SourceID) error {
 	for _, have := range s.spec.Constraints.Sources {
@@ -401,11 +425,23 @@ func (s *Session) SolveContext(ctx context.Context) (*opt.Solution, error) {
 			opts.Initial = last.Solution.IDs
 		}
 	}
+	if opts.Recorder == nil {
+		opts.Recorder = s.rec
+	}
+	span := s.rec.StartSpan("session.solve",
+		telemetry.Str("solver", s.spec.Solver),
+		telemetry.Int("iteration", len(s.history)),
+		telemetry.Int64("seed", opts.Seed))
 	start := s.clock()
 	sol, err := solver.Solve(ctx, p, opts)
 	if err != nil {
+		span.End(telemetry.Str("err", err.Error()))
 		return nil, err
 	}
+	span.End(
+		telemetry.Float("best_q", sol.Quality),
+		telemetry.Int("evals", sol.Evals),
+		telemetry.Str("status", string(sol.Status)))
 	s.history = append(s.history, Iteration{
 		Index:    len(s.history),
 		Spec:     s.spec.Clone(),

@@ -13,8 +13,69 @@ import (
 	"mube/internal/probe"
 	"mube/internal/qef"
 	"mube/internal/schema"
+	"mube/internal/telemetry"
 	"mube/internal/testutil"
 )
+
+// TestSessionTelemetry covers the session-level telemetry wiring: a
+// configured recorder sees the solve span and evaluator metrics, the trace
+// path survives a spec save/load round-trip, a Config.TracePath overrides the
+// persisted one, and Instrument swaps the recorder live.
+func TestSessionTelemetry(t *testing.T) {
+	u := testutil.BooksUniverse(t)
+	sink := &telemetry.MemorySink{}
+	s, err := New(Config{
+		Universe:      u,
+		MaxSources:    3,
+		Recorder:      telemetry.New(sink),
+		TracePath:     "run.jsonl",
+		SolverOptions: opt.Options{Seed: 1, MaxEvals: 200, MaxIters: 30, Patience: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	evs := sink.Events()
+	if len(evs) < 2 || evs[0].Name != "session.solve.start" || evs[len(evs)-1].Name != "session.solve.end" {
+		t.Fatalf("solve span missing: %d events, first %q", len(evs), evs[0].Name)
+	}
+
+	var buf bytes.Buffer
+	if err := s.SaveSpec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+	loaded, err := LoadSpec(bytes.NewReader(saved), Config{Universe: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Spec().TracePath; got != "run.jsonl" {
+		t.Errorf("trace path after round-trip = %q, want run.jsonl", got)
+	}
+	over, err := LoadSpec(bytes.NewReader(saved), Config{Universe: u, TracePath: "other.jsonl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := over.Spec().TracePath; got != "other.jsonl" {
+		t.Errorf("config trace path did not override: %q", got)
+	}
+
+	// Instrument replaces the recorder for subsequent solves and updates the
+	// recorded path; a nil recorder turns telemetry off.
+	s.Instrument(nil, "")
+	if got := s.Spec().TracePath; got != "" {
+		t.Errorf("Instrument(nil) left trace path %q", got)
+	}
+	n := len(sink.Events())
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.Events()); got != n {
+		t.Errorf("detached sink still received events: %d -> %d", n, got)
+	}
+}
 
 func newSession(t *testing.T) *Session {
 	t.Helper()

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultBuckets is the fixed histogram bucket layout: upper bounds in powers
+// of two. A fixed layout keeps snapshots comparable across runs and binaries
+// without any registration step; values above the last bound land in the
+// overflow bucket.
+var DefaultBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// metrics is the lock-guarded metric store inside a Recorder.
+type metrics struct {
+	mu     sync.Mutex
+	count  map[string]int64
+	gauges map[string]float64
+	hists  map[string]*histogram
+}
+
+type histogram struct {
+	count    int64
+	sum      float64
+	min      float64
+	max      float64
+	counts   []int64 // parallel to DefaultBuckets
+	overflow int64
+}
+
+func (m *metrics) init() {
+	m.count = make(map[string]int64)
+	m.gauges = make(map[string]float64)
+	m.hists = make(map[string]*histogram)
+}
+
+func (m *metrics) add(name string, delta int64) {
+	m.mu.Lock()
+	m.count[name] += delta
+	m.mu.Unlock()
+}
+
+func (m *metrics) gauge(name string, v float64) {
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+func (m *metrics) observe(name string, v float64) {
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &histogram{
+			min:    math.Inf(1),
+			max:    math.Inf(-1),
+			counts: make([]int64, len(DefaultBuckets)),
+		}
+		m.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	i := sort.SearchFloat64s(DefaultBuckets, v)
+	if i < len(DefaultBuckets) {
+		h.counts[i]++
+	} else {
+		h.overflow++
+	}
+	m.mu.Unlock()
+}
+
+// HistogramSnapshot is the exported copy of one histogram. Bounds are the
+// inclusive upper bounds of Counts; Overflow counts observations above the
+// last bound. All fields are finite so the snapshot survives encoding/json.
+type HistogramSnapshot struct {
+	Count    int64     `json:"count"`
+	Sum      float64   `json:"sum"`
+	Min      float64   `json:"min"`
+	Max      float64   `json:"max"`
+	Bounds   []float64 `json:"bounds"`
+	Counts   []int64   `json:"counts"`
+	Overflow int64     `json:"overflow"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a Recorder's metrics.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns the named counter's value (0 if absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Snapshot{}
+	if len(m.count) > 0 {
+		out.Counters = make(map[string]int64, len(m.count))
+		for k, v := range m.count {
+			out.Counters[k] = v
+		}
+	}
+	if len(m.gauges) > 0 {
+		out.Gauges = make(map[string]float64, len(m.gauges))
+		for k, v := range m.gauges {
+			out.Gauges[k] = v
+		}
+	}
+	if len(m.hists) > 0 {
+		out.Histograms = make(map[string]HistogramSnapshot, len(m.hists))
+		for k, h := range m.hists {
+			hs := HistogramSnapshot{
+				Count:    h.count,
+				Sum:      h.sum,
+				Min:      h.min,
+				Max:      h.max,
+				Bounds:   DefaultBuckets,
+				Counts:   append([]int64(nil), h.counts...),
+				Overflow: h.overflow,
+			}
+			if h.count == 0 {
+				hs.Min, hs.Max = 0, 0
+			}
+			out.Histograms[k] = hs
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// KV is one key=value pair in a run header or config line.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// KVInt is shorthand for an integer-valued KV.
+func KVInt(key string, v int) KV { return KV{Key: key, Value: strconv.Itoa(v)} }
+
+// KVStr is shorthand for a string-valued KV.
+func KVStr(key, value string) KV { return KV{Key: key, Value: value} }
+
+// Header renders the shared run header every binary prints before a solve or
+// bench run, e.g.
+//
+//	mube-bench: scale=quick seed=1 eval-workers=4 faults=off
+//
+// Keys are rendered in argument order so each binary controls its layout but
+// the format (bin: k=v k=v ...) is identical everywhere.
+func Header(bin string, kvs ...KV) string {
+	var b strings.Builder
+	b.WriteString(bin)
+	b.WriteByte(':')
+	for _, kv := range kvs {
+		b.WriteByte(' ')
+		b.WriteString(kv.Key)
+		b.WriteByte('=')
+		b.WriteString(kv.Value)
+	}
+	return b.String()
+}
+
+// configPrefix marks machine-readable run-configuration lines in bench
+// output; mube-benchjson folds them into the report's config block.
+const configPrefix = "mube-config: "
+
+// metricsPrefix marks the machine-readable metrics-snapshot line the bench
+// harness prints after the benchmarks; mube-benchjson embeds it as the
+// report's metrics block.
+const metricsPrefix = "mube-metrics: "
+
+// ConfigLine renders a mube-config line from ordered key/value pairs.
+func ConfigLine(kvs ...KV) string {
+	parts := make([]string, len(kvs))
+	for i, kv := range kvs {
+		parts[i] = kv.Key + "=" + kv.Value
+	}
+	return configPrefix + strings.Join(parts, " ")
+}
+
+// ParseConfigLine splits a mube-config line into its key/value pairs.
+// It reports ok=false when line does not carry the prefix.
+func ParseConfigLine(line string) (map[string]string, bool) {
+	rest, ok := strings.CutPrefix(line, configPrefix)
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]string)
+	for _, kv := range strings.Fields(rest) {
+		if k, v, ok := strings.Cut(kv, "="); ok {
+			out[k] = v
+		}
+	}
+	return out, true
+}
+
+// MetricsLine renders a mube-metrics line: the prefix followed by a JSON
+// object with keys in sorted order, so the line is byte-deterministic.
+func MetricsLine(vals map[string]float64) string {
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(metricsPrefix)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte(':')
+		b.Write(appendValue(nil, vals[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseMetricsLine parses a mube-metrics line back into its values.
+// It reports ok=false when line does not carry the prefix.
+func ParseMetricsLine(line string) (map[string]float64, bool) {
+	rest, ok := strings.CutPrefix(line, metricsPrefix)
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]float64)
+	if err := json.Unmarshal([]byte(rest), &out); err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// WriteSummary renders a human-readable metrics summary: counters, gauges,
+// then histograms, each section sorted by name. This is what
+// `mube solve -metrics` prints after the solution.
+func WriteSummary(w io.Writer, snap Snapshot) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(snap.Counters) > 0 {
+		fmt.Fprintln(tw, "counter\tvalue")
+		for _, k := range sortedKeys(snap.Counters) {
+			fmt.Fprintf(tw, "%s\t%d\n", k, snap.Counters[k])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintln(tw, "gauge\tvalue")
+		for _, k := range sortedKeys(snap.Gauges) {
+			fmt.Fprintf(tw, "%s\t%s\n", k, strconv.FormatFloat(snap.Gauges[k], 'g', 6, 64))
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintln(tw, "histogram\tcount\tmean\tmin\tmax")
+		for _, k := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[k]
+			fmt.Fprintf(tw, "%s\t%d\t%.2f\t%g\t%g\n", k, h.Count, h.Mean(), h.Min, h.Max)
+		}
+	}
+	return tw.Flush()
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

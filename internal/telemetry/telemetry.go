@@ -1,0 +1,196 @@
+// Package telemetry is a stdlib-only metrics and tracing facade for the
+// deterministic core. It exposes counters, gauges, fixed-bucket histograms,
+// and a span/event tracer that emits JSON Lines.
+//
+// Determinism contract: nothing in this package reads wall time. Events are
+// stamped with a monotonic sequence number assigned under the same lock that
+// serializes emission, and — only when the caller attaches an injected clock
+// (e.g. a fault.VirtualClock) — with that clock's notion of now. A nil
+// *Recorder is the no-op default: every method is safe to call on it and does
+// nothing, so instrumented code paths cost a single nil check when telemetry
+// is off and cannot perturb Q(S), memoization, or budget accounting.
+//
+// Hot paths must only ever emit trace events from the goroutine that owns the
+// solve (the solver loop or the EvalBatch caller); worker goroutines are
+// limited to commutative metric updates (Add/Observe), whose totals are
+// independent of scheduling order. This keeps traces byte-identical at any
+// evaluator worker count.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal clock the tracer accepts. fault.Clock satisfies it
+// structurally; the telemetry package deliberately does not import
+// internal/fault so that any package can depend on telemetry without cycles.
+type Clock interface {
+	Now() time.Time
+}
+
+// Attr is one key/value attribute on a trace event. Values are restricted to
+// the small set produced by the constructors below so encoding is total and
+// byte-deterministic.
+type Attr struct {
+	Key   string
+	Value any // int64, float64, string, or bool
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: int64(v)} }
+
+// Int64 builds an integer attribute from an int64.
+func Int64(key string, v int64) Attr { return Attr{Key: key, Value: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, Value: v} }
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Value: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr { return Attr{Key: key, Value: v} }
+
+// Recorder is the façade instrumented code holds. It multiplexes trace events
+// to a Sink and accumulates metrics in-process. The zero value is not useful;
+// construct with New or NewClocked. A nil *Recorder is the supported no-op.
+type Recorder struct {
+	mu    sync.Mutex
+	sink  Sink
+	clock Clock
+	epoch time.Time
+	seq   int64
+
+	metrics metrics
+}
+
+// New returns a Recorder writing trace events to sink. A nil sink is allowed:
+// the recorder then only accumulates metrics. Events carry no time field
+// (Stamped=false) because no clock is attached.
+func New(sink Sink) *Recorder {
+	r := &Recorder{sink: sink}
+	r.metrics.init()
+	return r
+}
+
+// NewClocked returns a Recorder whose events additionally carry t_ns, the
+// nanoseconds elapsed on clock since construction. The clock must be an
+// injected deterministic clock (fault.VirtualClock in tests and fault runs);
+// passing a wall clock would break trace determinism and is the caller's
+// responsibility to avoid — core packages are analyzer-checked to never
+// construct one.
+func NewClocked(sink Sink, clock Clock) *Recorder {
+	r := &Recorder{sink: sink, clock: clock}
+	if clock != nil {
+		r.epoch = clock.Now()
+	}
+	r.metrics.init()
+	return r
+}
+
+// Emit records one trace event. Attrs are encoded in argument order. Safe on
+// a nil receiver. Must only be called from the solve-owning goroutine (see
+// the package comment).
+func (r *Recorder) Emit(name string, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	ev := Event{Seq: r.seq, Name: name, Attrs: attrs}
+	if r.clock != nil {
+		ev.TNano = r.clock.Now().Sub(r.epoch).Nanoseconds()
+		ev.Stamped = true
+	}
+	sink := r.sink
+	if sink != nil {
+		sink.Write(ev)
+	}
+	r.mu.Unlock()
+}
+
+// Span is an in-flight span started with StartSpan. End emits the matching
+// end event; a Span from a nil Recorder is inert.
+type Span struct {
+	r     *Recorder
+	name  string
+	start int64 // seq of the start event
+	t0    int64 // t_ns of the start event (valid only when r.clock != nil)
+}
+
+// StartSpan emits "<name>.start" and returns a Span whose End emits
+// "<name>.end" carrying span=<start seq> and, when a clock is attached,
+// dur_ns. Safe on a nil receiver.
+func (r *Recorder) StartSpan(name string, attrs ...Attr) Span {
+	if r == nil {
+		return Span{}
+	}
+	r.mu.Lock()
+	r.seq++
+	ev := Event{Seq: r.seq, Name: name + ".start", Attrs: attrs}
+	sp := Span{r: r, name: name, start: r.seq}
+	if r.clock != nil {
+		ev.TNano = r.clock.Now().Sub(r.epoch).Nanoseconds()
+		ev.Stamped = true
+		sp.t0 = ev.TNano
+	}
+	if r.sink != nil {
+		r.sink.Write(ev)
+	}
+	r.mu.Unlock()
+	return sp
+}
+
+// End closes the span. Extra attrs are appended after the span reference.
+func (s Span) End(attrs ...Attr) {
+	if s.r == nil {
+		return
+	}
+	all := make([]Attr, 0, len(attrs)+2)
+	all = append(all, Int64("span", s.start))
+	if s.r.clock != nil {
+		// Recompute under the emit lock so dur_ns and t_ns agree.
+		s.r.mu.Lock()
+		now := s.r.clock.Now().Sub(s.r.epoch).Nanoseconds()
+		s.r.mu.Unlock()
+		all = append(all, Int64("dur_ns", now-s.t0))
+	}
+	all = append(all, attrs...)
+	s.r.Emit(s.name+".end", all...)
+}
+
+// Add increments counter name by delta. Commutative: safe from worker
+// goroutines. Safe on a nil receiver.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.metrics.add(name, delta)
+}
+
+// Gauge sets gauge name to v (last write wins). Safe on a nil receiver.
+func (r *Recorder) Gauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.metrics.gauge(name, v)
+}
+
+// Observe records v into histogram name using the default bucket layout.
+// Commutative: safe from worker goroutines. Safe on a nil receiver.
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.metrics.observe(name, v)
+}
+
+// Snapshot returns a copy of all metric state. Safe on a nil receiver, which
+// yields an empty snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	return r.metrics.snapshot()
+}

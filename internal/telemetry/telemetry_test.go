@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Emit("ev", Int("k", 1))
+	r.Add("c", 2)
+	r.Gauge("g", 3)
+	r.Observe("h", 4)
+	sp := r.StartSpan("span")
+	sp.End(Int("done", 1))
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil recorder produced metrics: %+v", snap)
+	}
+}
+
+func TestJSONLEncodingDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		r := New(NewJSONLSink(&buf))
+		r.Emit("solver.iter", Int("iter", 1), Float("best_q", 0.75), Str("solver", "tabu"), Bool("tabu", true))
+		r.Emit("eval.batch", Int("cands", 30), Float("neg_inf", math.Inf(-1)))
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("encoding not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	want := `{"seq":1,"ev":"solver.iter","iter":1,"best_q":0.75,"solver":"tabu","tabu":true}` + "\n" +
+		`{"seq":2,"ev":"eval.batch","cands":30,"neg_inf":null}` + "\n"
+	if a != want {
+		t.Fatalf("unexpected encoding:\n got %q\nwant %q", a, want)
+	}
+	// Every line must be valid JSON.
+	for _, line := range strings.Split(strings.TrimSpace(a), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+	}
+}
+
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time { return c.t }
+func (c *fakeClock) advance(d time.Duration) {
+	c.t = c.t.Add(d)
+}
+
+func TestClockedSpans(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	sink := &MemorySink{}
+	r := NewClocked(sink, clk)
+	sp := r.StartSpan("session.solve", Str("solver", "tabu"))
+	clk.advance(42 * time.Millisecond)
+	sp.End(Int("evals", 7))
+	evs := sink.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Name != "session.solve.start" || !evs[0].Stamped || evs[0].TNano != 0 {
+		t.Fatalf("bad start event: %+v", evs[0])
+	}
+	end := evs[1]
+	if end.Name != "session.solve.end" {
+		t.Fatalf("bad end event name: %q", end.Name)
+	}
+	if v, ok := end.Attr("span"); !ok || v.(int64) != evs[0].Seq {
+		t.Fatalf("span ref = %v, want %d", v, evs[0].Seq)
+	}
+	if v, ok := end.Attr("dur_ns"); !ok || v.(int64) != (42*time.Millisecond).Nanoseconds() {
+		t.Fatalf("dur_ns = %v, want %d", v, (42 * time.Millisecond).Nanoseconds())
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	r := New(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("eval.computed", 1)
+				r.Observe("eval.batch_size", float64(i%40))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counter("eval.computed"); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	h := snap.Histograms["eval.batch_size"]
+	if h.Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count)
+	}
+	var bucketed int64
+	for _, c := range h.Counts {
+		bucketed += c
+	}
+	if bucketed+h.Overflow != h.Count {
+		t.Fatalf("buckets %d + overflow %d != count %d", bucketed, h.Overflow, h.Count)
+	}
+	//mube:vet-ignore floatcmp — observed values are exact small integers
+	if h.Min != 0 || h.Max != 39 {
+		t.Fatalf("min/max = %g/%g, want 0/39", h.Min, h.Max)
+	}
+	// Snapshot must round-trip through encoding/json (finite bounds only).
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+func TestHeaderAndLines(t *testing.T) {
+	h := Header("mube-bench", KVStr("scale", "quick"), KVInt("seed", 1), KVStr("faults", "off"))
+	if h != "mube-bench: scale=quick seed=1 faults=off" {
+		t.Fatalf("header = %q", h)
+	}
+
+	cl := ConfigLine(KVStr("faults", "off"), KVInt("eval-workers", 4))
+	if cl != "mube-config: faults=off eval-workers=4" {
+		t.Fatalf("config line = %q", cl)
+	}
+	cfg, ok := ParseConfigLine(cl)
+	if !ok || cfg["faults"] != "off" || cfg["eval-workers"] != "4" {
+		t.Fatalf("parse config = %v, %v", cfg, ok)
+	}
+	if _, ok := ParseConfigLine("goos: linux"); ok {
+		t.Fatal("parsed non-config line")
+	}
+
+	ml := MetricsLine(map[string]float64{"memo_hit_rate": 0.5, "best_q": 0.75})
+	if ml != `mube-metrics: {"best_q":0.75,"memo_hit_rate":0.5}` {
+		t.Fatalf("metrics line = %q", ml)
+	}
+	vals, ok := ParseMetricsLine(ml)
+	//mube:vet-ignore floatcmp — 0.75 and 0.5 are exact binary floats round-tripped through JSON
+	if !ok || vals["best_q"] != 0.75 || vals["memo_hit_rate"] != 0.5 {
+		t.Fatalf("parse metrics = %v, %v", vals, ok)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r := New(nil)
+	r.Add("eval.memo_hits", 10)
+	r.Add("eval.computed", 30)
+	r.Gauge("solver.best_q", 0.8125)
+	r.Observe("eval.batch_size", 30)
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, r.Snapshot()); err != nil {
+		t.Fatalf("WriteSummary: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"eval.memo_hits", "eval.computed", "solver.best_q", "eval.batch_size"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitOrderAcrossGoroutinesHasUniqueSeqs(t *testing.T) {
+	sink := &MemorySink{}
+	r := New(sink)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit("ev")
+			}
+		}()
+	}
+	wg.Wait()
+	evs := sink.Events()
+	if len(evs) != 400 {
+		t.Fatalf("got %d events, want 400", len(evs))
+	}
+	seen := make(map[int64]bool, len(evs))
+	for i, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("seq %d at position %d: emission order must match seq order", ev.Seq, i)
+		}
+	}
+}

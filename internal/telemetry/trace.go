@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// Event is one trace record. Seq is a monotonic counter assigned under the
+// recorder's emission lock, so the (Seq, bytes) stream is identical across
+// runs with the same seed regardless of evaluator worker count. TNano is the
+// elapsed virtual time since the recorder's epoch and is present only when an
+// injected clock was attached (Stamped).
+type Event struct {
+	Seq     int64
+	Name    string
+	TNano   int64
+	Stamped bool
+	Attrs   []Attr
+}
+
+// Sink receives emitted events. Write is always called under the recorder's
+// lock, in sequence order; implementations need no additional locking against
+// concurrent Write calls from the same recorder.
+type Sink interface {
+	Write(ev Event)
+}
+
+// JSONLSink encodes each event as one JSON object per line:
+//
+//	{"seq":3,"ev":"solver.iter","iter":1,"best_q":0.75}
+//
+// Attributes are flattened to top-level keys in emission order, after the
+// fixed seq/ev(/t_ns) prefix. Encoding is hand-rolled so the bytes are a pure
+// function of the event: floats use strconv 'g' shortest form, and map
+// iteration order never enters the picture.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON Lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w}
+}
+
+// Write implements Sink.
+func (s *JSONLSink) Write(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b := s.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendInt(b, ev.Seq, 10)
+	b = append(b, `,"ev":`...)
+	b = strconv.AppendQuote(b, ev.Name)
+	if ev.Stamped {
+		b = append(b, `,"t_ns":`...)
+		b = strconv.AppendInt(b, ev.TNano, 10)
+	}
+	for _, a := range ev.Attrs {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, a.Key)
+		b = append(b, ':')
+		b = appendValue(b, a.Value)
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	_, s.err = s.w.Write(b)
+}
+
+// Err reports the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func appendValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case float64:
+		// JSON has no Inf/NaN; the Unscored sentinel (-Inf) and friends are
+		// encoded as null so a trace line is always valid JSON.
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return append(b, "null"...)
+		}
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case string:
+		return strconv.AppendQuote(b, x)
+	case bool:
+		return strconv.AppendBool(b, x)
+	default:
+		return append(b, "null"...)
+	}
+}
+
+// MemorySink buffers events in memory, for tests and for the convergence
+// experiment, which post-processes solver.iter events into a curve.
+type MemorySink struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+// Write implements Sink. Attrs are aliased, not copied; recorders build a
+// fresh attr slice per Emit so this is safe.
+func (s *MemorySink) Write(ev Event) {
+	s.mu.Lock()
+	s.evs = append(s.evs, ev)
+	s.mu.Unlock()
+}
+
+// Events returns the buffered events in emission order.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.evs))
+	copy(out, s.evs)
+	return out
+}
+
+// Attr returns the named attribute's value and whether it was present.
+func (ev Event) Attr(key string) (any, bool) {
+	for _, a := range ev.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}

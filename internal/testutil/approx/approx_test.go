@@ -12,10 +12,10 @@ func TestAlmostEqual(t *testing.T) {
 	}{
 		{0, 0, true},
 		{1, 1, true},
-		{1, 1 + 1e-12, true},           // below Epsilon
-		{1, 1 + 1e-6, false},           // above Epsilon
-		{0.1 + 0.2, 0.3, true},         // the classic accumulation ulp
-		{math.Inf(1), math.Inf(1), true},   // equal infinities
+		{1, 1 + 1e-12, true},             // below Epsilon
+		{1, 1 + 1e-6, false},             // above Epsilon
+		{0.1 + 0.2, 0.3, true},           // the classic accumulation ulp
+		{math.Inf(1), math.Inf(1), true}, // equal infinities
 		{math.Inf(1), math.Inf(-1), false},
 		{math.NaN(), math.NaN(), false}, // NaN never compares equal
 		{-1e-12, 1e-12, true},
