@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race faults telemetry mube-vet bench benchall fmt
+.PHONY: check build vet test race faults telemetry mube-vet bench bench-delta benchall fmt
 
 check: build vet race faults telemetry mube-vet
 
@@ -49,6 +49,16 @@ mube-vet:
 bench:
 	$(GO) test -bench=Fig -benchmem -benchtime=1x -count=3 -run=^$$ . | $(GO) run ./cmd/mube-benchjson > BENCH_fig.json
 	@echo "wrote BENCH_fig.json"
+
+# bench-delta runs the incremental-evaluation micro-benchmarks (counting-union
+# churn, fused flip estimates, the delta vs full neighborhood pair) and folds
+# them into BENCH_fig.json alongside the figure benchmarks; re-running only
+# replaces the Delta records. The metrics line (merge_ops_per_eval,
+# delta_hit_rate, ...) from this run wins.
+bench-delta:
+	$(GO) test -bench=Delta -benchmem -benchtime=1x -count=3 -run=^$$ . | $(GO) run ./cmd/mube-benchjson -merge BENCH_fig.json > BENCH_delta.tmp
+	@mv BENCH_delta.tmp BENCH_fig.json
+	@echo "merged Delta benchmarks into BENCH_fig.json"
 
 benchall:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -118,6 +118,15 @@ func printBenchMetrics(sc exp.Scale) error {
 	if elapsed > 0 {
 		vals["evals_per_sec"] = float64(computed) / elapsed
 	}
+	if computed > 0 {
+		// Full signature merges per distinct evaluation: the cost the
+		// incremental paths exist to shrink. Counting-union operations
+		// (delta builds, rebases, fused flip estimates) are reported
+		// separately so the before/after trade is visible in one line.
+		vals["merge_ops_per_eval"] = float64(snap.Counters["pcsa.merges"]) / float64(computed)
+		vals["counting_merges_per_eval"] = float64(snap.Counters["pcsa.counting_merges"]) / float64(computed)
+		vals["delta_hit_rate"] = float64(snap.Counters["eval.delta_hits"]) / float64(computed)
+	}
 	if h, ok := snap.Histograms["eval.batch_size"]; ok && h.Count > 0 && h.Max > 0 {
 		vals["batch_occupancy"] = h.Mean() / h.Max
 	}
@@ -392,6 +401,137 @@ func BenchmarkTabuSolve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := solver.Solve(context.Background(), p, sc.Options(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFlips returns a 64-flip neighborhood (adds, drops, swaps) around a
+// 20-source base — the workload EvalMoves hands the evaluator every
+// local-search iteration.
+func benchFlips(all []schema.SourceID) (base []schema.SourceID, flips []opt.Move) {
+	base = make([]schema.SourceID, 20)
+	copy(base, all[:20])
+	base = opt.SortIDs(base)
+	for i := 0; i < 64; i++ {
+		switch i % 3 {
+		case 0:
+			flips = append(flips, opt.Move{Add: all[20+i%40], Drop: -1})
+		case 1:
+			flips = append(flips, opt.Move{Add: -1, Drop: base[i%20]})
+		default:
+			flips = append(flips, opt.Move{Add: all[20+i%40], Drop: base[i%20]})
+		}
+	}
+	return base, flips
+}
+
+// benchEvalBatchDelta measures scoring the 64-flip neighborhood through
+// EvalBatchDelta on a fresh evaluator (no memo hits), with the incremental
+// paths on or off. The on/off pair is the before/after of the delta
+// optimization on identical work.
+func benchEvalBatchDelta(b *testing.B, delta bool) {
+	sc := benchScale()
+	res := benchUniverse(b)
+	p, err := sc.Problem(res, 20, constraint.Set{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, flips := benchFlips(res.Universe.IDs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := opt.NewEvaluator(p, 0)
+		e.SetWorkers(1)
+		e.SetDelta(delta)
+		if qs := e.EvalBatchDelta(base, flips); len(qs) != len(flips) {
+			b.Fatal("short result")
+		}
+	}
+}
+
+// BenchmarkDeltaNeighborhood scores the neighborhood incrementally: one
+// counting-union build per batch, O(1 source) per flip.
+func BenchmarkDeltaNeighborhood(b *testing.B) { benchEvalBatchDelta(b, true) }
+
+// BenchmarkDeltaNeighborhoodFull is the same neighborhood through the full
+// O(|S|) re-merge path (NoDelta) — the baseline the delta path is measured
+// against.
+func BenchmarkDeltaNeighborhoodFull(b *testing.B) { benchEvalBatchDelta(b, false) }
+
+// BenchmarkDeltaCountingChurn measures the subtractable union's mutation
+// kernel: one Add plus one Remove of a 128-map signature, the per-batch
+// rebase cost when a local-search base drifts one source.
+func BenchmarkDeltaCountingChurn(b *testing.B) {
+	res := benchUniverse(b)
+	all := res.Universe.IDs()
+	c := pcsa.MustNewCounting(res.Universe.SignatureConfig())
+	var sigs []*pcsa.Signature
+	for _, id := range all[:20] {
+		if sig := res.Universe.Source(id).Signature; sig != nil {
+			sigs = append(sigs, sig)
+			if err := c.Add(sig); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if len(sigs) == 0 {
+		b.Fatal("no signatures in bench universe")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sigs[i%len(sigs)]
+		if err := c.Remove(s); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaEstimate measures the fused flip-estimate kernel: estimate
+// of (union − drop + add) as a pure read over the counting lanes.
+func BenchmarkDeltaEstimate(b *testing.B) {
+	res := benchUniverse(b)
+	all := res.Universe.IDs()
+	c := pcsa.MustNewCounting(res.Universe.SignatureConfig())
+	var sigs []*pcsa.Signature
+	for _, id := range all {
+		if sig := res.Universe.Source(id).Signature; sig != nil {
+			sigs = append(sigs, sig)
+		}
+	}
+	for _, sig := range sigs[:20] {
+		if err := c.Add(sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		add := sigs[20+i%(len(sigs)-20)]
+		drop := sigs[i%20]
+		if _, err := c.EstimateDelta(add, drop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaSignatureMerge measures the word-level OR kernel: one
+// 128-map MergeFrom, the unit of work the delta path eliminates per source.
+func BenchmarkDeltaSignatureMerge(b *testing.B) {
+	res := benchUniverse(b)
+	all := res.Universe.IDs()
+	var src *pcsa.Signature
+	for _, id := range all {
+		if sig := res.Universe.Source(id).Signature; sig != nil {
+			src = sig
+			break
+		}
+	}
+	dst := src.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.MergeFrom(src); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -34,6 +34,9 @@ func startDebugServer(addr string, rec *telemetry.Recorder) (net.Listener, error
 		expvar.Publish("mube.pcsa.merge_ops", expvar.Func(func() any {
 			return pcsa.MergeOps()
 		}))
+		expvar.Publish("mube.pcsa.counting_ops", expvar.Func(func() any {
+			return pcsa.CountingMerges()
+		}))
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -6,15 +6,25 @@
 // Usage:
 //
 //	go test -bench=Fig -benchmem -count=3 -run='^$' . | mube-benchjson
+//	go test -bench=Delta -benchmem -count=3 -run='^$' . | mube-benchjson -merge BENCH_fig.json
 //
 // Each benchmark result line becomes one record; repeated runs (-count > 1)
 // stay separate records so consumers can compute their own variance. The
 // goos/goarch/pkg/cpu header lines are captured once at the top level.
+//
+// With -merge FILE, an existing report is loaded first and the new run is
+// folded into it: records for benchmark names present in the new run replace
+// the old ones (a partial re-run supersedes its own stale numbers), records
+// for names only in FILE are kept, and config/metrics keys from the new run
+// win per key. A missing FILE is treated as an empty report, so `make
+// bench-delta` works from a clean tree.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -54,7 +64,71 @@ type report struct {
 	Benchmarks []result           `json:"benchmarks"`
 }
 
+// loadReport reads an existing report for -merge. A missing file is an empty
+// report; a malformed one is an error (silently discarding archived numbers
+// would defeat the point of archiving them).
+func loadReport(path string) (report, error) {
+	prev := report{Benchmarks: []result{}}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return prev, nil
+	}
+	if err != nil {
+		return prev, err
+	}
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return prev, fmt.Errorf("%s: %w", path, err)
+	}
+	return prev, nil
+}
+
+// mergeReports folds the new run into the previous report. Benchmark names
+// measured in the new run replace all prior records of the same name;
+// everything else from prev survives. Header fields and per-key
+// config/metrics from the new run win when present.
+func mergeReports(prev, next report) report {
+	fresh := make(map[string]bool, len(next.Benchmarks))
+	for _, r := range next.Benchmarks {
+		fresh[r.Name] = true
+	}
+	merged := make([]result, 0, len(prev.Benchmarks)+len(next.Benchmarks))
+	for _, r := range prev.Benchmarks {
+		if !fresh[r.Name] {
+			merged = append(merged, r)
+		}
+	}
+	out := prev
+	out.Benchmarks = append(merged, next.Benchmarks...)
+	if next.Goos != "" {
+		out.Goos = next.Goos
+	}
+	if next.Goarch != "" {
+		out.Goarch = next.Goarch
+	}
+	if next.Pkg != "" {
+		out.Pkg = next.Pkg
+	}
+	if next.CPU != "" {
+		out.CPU = next.CPU
+	}
+	for k, v := range next.Config {
+		if out.Config == nil {
+			out.Config = make(map[string]string)
+		}
+		out.Config[k] = v
+	}
+	for k, v := range next.Metrics {
+		if out.Metrics == nil {
+			out.Metrics = make(map[string]float64)
+		}
+		out.Metrics[k] = v
+	}
+	return out
+}
+
 func main() {
+	mergePath := flag.String("merge", "", "existing report JSON to fold the new run into")
+	flag.Parse()
 	rep := report{Benchmarks: []result{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -106,6 +180,14 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "mube-benchjson: read: %v\n", err)
 		os.Exit(1)
+	}
+	if *mergePath != "" {
+		prev, err := loadReport(*mergePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mube-benchjson: merge: %v\n", err)
+			os.Exit(1)
+		}
+		rep = mergeReports(prev, rep)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -17,6 +17,13 @@ func TestDeterminismRestricted(t *testing.T) {
 	analysistest.Run(t, fixture("determinism", "core"), "mube/internal/opt/fixture", rules.Determinism)
 }
 
+func TestDeterminismPCSA(t *testing.T) {
+	// The sketch layer (counting unions, fused estimate kernels) is in scope:
+	// ambient randomness or clock reads there would break the bit-identity
+	// contract of the incremental evaluation paths.
+	analysistest.Run(t, fixture("determinism", "pcsa"), "mube/internal/pcsa/fixture", rules.Determinism)
+}
+
 func TestDeterminismAllowlisted(t *testing.T) {
 	// Same subtree as the restricted case, but on the explicit allowlist.
 	analysistest.Run(t, fixture("determinism", "allowed"), "mube/internal/opt/opttest", rules.Determinism)

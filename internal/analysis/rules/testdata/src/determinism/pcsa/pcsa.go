@@ -1,0 +1,40 @@
+// Fixture loaded under mube/internal/pcsa/fixture: the sketch layer is part
+// of the deterministic core (estimates must be a pure function of the tuples
+// hashed in), so global randomness and wall-clock reads are flagged there
+// too. The patterns below mirror the counting-union code paths added for
+// incremental evaluation — saturating refcount updates and fused estimate
+// folds must stay pure.
+package pcsa
+
+import (
+	"math/rand"
+	"time"
+)
+
+type counting struct {
+	counts []uint8
+	words  []uint64
+}
+
+// leakySeed mimics the bug class the scope guards against: deriving sketch
+// state from ambient randomness or time instead of the injected config seed.
+func leakySeed() uint64 {
+	x := rand.Uint64()                // want "global rand.Uint64"
+	x ^= uint64(time.Now().UnixNano()) // want "time.Now in the deterministic core"
+	return x
+}
+
+// add is the pure refcount update shape: nothing ambient, nothing flagged.
+func (c *counting) add(bits []uint64) {
+	for i, w := range bits {
+		if w != 0 {
+			c.words[i] |= w
+		}
+	}
+}
+
+// injectedJitter shows the approved path: randomness through an injected
+// *rand.Rand is fine even inside the sketch layer.
+func injectedJitter(r *rand.Rand) uint64 {
+	return r.Uint64() // injected source: fine
+}

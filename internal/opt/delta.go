@@ -1,0 +1,475 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"mube/internal/pcsa"
+	"mube/internal/qef"
+	"mube/internal/schema"
+	"mube/internal/source"
+)
+
+// rebaseLimit caps how far a cached delta state may drift from the next
+// batch's base before it is cheaper (and simpler to reason about) to rebuild
+// the counting union from scratch. Local-search bases move by at most two
+// sources per accepted step, so the cache survives the entire trajectory of
+// tabu, SLS, and annealing; restarts and intensification jumps rebuild.
+const rebaseLimit = 4
+
+// deltaState is the incremental image of one base subset S: the subtractable
+// counting union over the signatures of S plus the exact integer tallies the
+// union statistics need. From it, any single-source flip S±{s} is scored as a
+// pure O(1-source) read (see flipStats) instead of an O(|S|) re-merge.
+//
+// The state is mutated only between batches, on the solve goroutine
+// (acquireDelta rebases or rebuilds it); during a batch's fan-out every
+// worker reads it concurrently without mutation.
+type deltaState struct {
+	base []schema.SourceID // the subset the state images, sorted
+	// counting is the subtractable union over the signatures of base; nil
+	// when the universe carries no signature configuration use at all.
+	counting *pcsa.Counting
+	sigN     int   // members of base with a signature
+	coopN    int   // cooperative members of base
+	mixedN   int   // members with a signature but no cardinality
+	coopSum  int64 // Σ|s| over cooperative members
+}
+
+// rebuild resets ds to image base from scratch. Returns the number of
+// counting-merge operations performed.
+func (ds *deltaState) rebuild(u *source.Universe, base []schema.SourceID) int {
+	ds.base = append(ds.base[:0], base...)
+	ds.sigN, ds.coopN, ds.mixedN, ds.coopSum = 0, 0, 0, 0
+	if ds.counting == nil {
+		// An invalid signature config means no source can carry a signature
+		// (Universe.Add enforces the match), so a nil counting union is fine:
+		// sigN stays 0 and the estimate is never read.
+		if c, err := pcsa.NewCounting(u.SignatureConfig()); err == nil {
+			ds.counting = c
+		}
+	} else {
+		ds.counting.Reset()
+	}
+	ops := 0
+	for _, id := range base {
+		ds.include(u, id)
+		if s := u.Source(id); s.Signature != nil {
+			if err := ds.counting.Add(s.Signature); err != nil {
+				// Unreachable: Universe.Add enforces a uniform config.
+				panic(fmt.Sprintf("opt: counting union add: %v", err))
+			}
+			ops++
+		}
+	}
+	return ops
+}
+
+// saturated reports whether the counting union has sticky lanes, making
+// signature removals inexact.
+func (ds *deltaState) saturated() bool {
+	return ds.counting != nil && ds.counting.Saturated()
+}
+
+// include adjusts the exact tallies for id joining the base.
+func (ds *deltaState) include(u *source.Universe, id schema.SourceID) {
+	s := u.Source(id)
+	if s.Signature != nil {
+		ds.sigN++
+	}
+	if s.Cooperative() {
+		ds.coopN++
+		ds.coopSum += s.Cardinality
+	} else if s.Signature != nil {
+		ds.mixedN++
+	}
+}
+
+// exclude adjusts the exact tallies for id leaving the base.
+func (ds *deltaState) exclude(u *source.Universe, id schema.SourceID) {
+	s := u.Source(id)
+	if s.Signature != nil {
+		ds.sigN--
+	}
+	if s.Cooperative() {
+		ds.coopN--
+		ds.coopSum -= s.Cardinality
+	} else if s.Signature != nil {
+		ds.mixedN--
+	}
+}
+
+// rebase moves ds from its current base to base, incrementally when they
+// differ by at most rebaseLimit sources — this is where the counting union's
+// subtractability pays: an annealing chain whose base advances one accepted
+// move at a time updates in O(1 source) per batch instead of re-merging |S|
+// signatures. Falls back to rebuild on large diffs, on pre-existing
+// saturation (removals would be inexact), or on a Remove underflow. Returns
+// the number of counting-merge operations performed.
+func (ds *deltaState) rebase(u *source.Universe, base []schema.SourceID) int {
+	added, removed := diffSorted(ds.base, base)
+	if len(added)+len(removed) > rebaseLimit {
+		return ds.rebuild(u, base)
+	}
+	if len(removed) > 0 && ds.saturated() {
+		for _, id := range removed {
+			if u.Source(id).Signature != nil {
+				return ds.rebuild(u, base)
+			}
+		}
+	}
+	ops := 0
+	for _, id := range removed {
+		if s := u.Source(id); s.Signature != nil {
+			if err := ds.counting.Remove(s.Signature); err != nil {
+				// Underflow leaves the counting state inconsistent; the only
+				// safe recovery is a full rebuild.
+				return ds.rebuild(u, base)
+			}
+			ops++
+		}
+		ds.exclude(u, id)
+	}
+	for _, id := range added {
+		if s := u.Source(id); s.Signature != nil {
+			if err := ds.counting.Add(s.Signature); err != nil {
+				panic(fmt.Sprintf("opt: counting union add: %v", err))
+			}
+			ops++
+		}
+		ds.include(u, id)
+	}
+	ds.base = append(ds.base[:0], base...)
+	return ops
+}
+
+// flipStats derives the union statistics of base±flip as a pure read against
+// the immutable delta state — safe from any worker goroutine. The estimate
+// comes from the counting union's fused EstimateDelta kernel and the tallies
+// from exact integer arithmetic, so the result is bit-identical to what
+// qef.Context.unionStats would compute for the flipped subset. Returns the
+// stats and the number of counting-merge operations.
+//
+// The caller must have verified the flip against the base (validFlip) and,
+// when the drop side carries a signature, that the counting union is not
+// saturated.
+func (ds *deltaState) flipStats(u *source.Universe, flip Move) (qef.UnionStats, int) {
+	sigN, coopN, mixedN := ds.sigN, ds.coopN, ds.mixedN
+	coopSum := ds.coopSum
+	var addSig, dropSig *pcsa.Signature
+	if flip.Add >= 0 {
+		s := u.Source(flip.Add)
+		if s.Signature != nil {
+			addSig = s.Signature
+			sigN++
+		}
+		if s.Cooperative() {
+			coopN++
+			coopSum += s.Cardinality
+		} else if s.Signature != nil {
+			mixedN++
+		}
+	}
+	if flip.Drop >= 0 {
+		s := u.Source(flip.Drop)
+		if s.Signature != nil {
+			dropSig = s.Signature
+			sigN--
+		}
+		if s.Cooperative() {
+			coopN--
+			coopSum -= s.Cardinality
+		} else if s.Signature != nil {
+			mixedN--
+		}
+	}
+	st := qef.UnionStats{CoopN: coopN, CoopSum: coopSum, CoopMixed: mixedN > 0}
+	ops := 0
+	// sigN == 0 mirrors the full path's nil accumulator: UnionEst stays 0.
+	if sigN > 0 {
+		est, err := ds.counting.EstimateDelta(addSig, dropSig)
+		if err != nil {
+			// Unreachable: Universe.Add enforces a uniform config.
+			panic(fmt.Sprintf("opt: counting union estimate: %v", err))
+		}
+		st.UnionEst = est
+		if addSig != nil {
+			ops++
+		}
+		if dropSig != nil {
+			ops++
+		}
+	}
+	return st, ops
+}
+
+// diffSorted returns the elements of b not in a (added) and of a not in b
+// (removed); both inputs must be sorted.
+func diffSorted(a, b []schema.SourceID) (added, removed []schema.SourceID) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			removed = append(removed, a[i])
+			i++
+		default:
+			added = append(added, b[j])
+			j++
+		}
+	}
+	removed = append(removed, a[i:]...)
+	added = append(added, b[j:]...)
+	return added, removed
+}
+
+// RunningStats maintains the union statistics of a subset that grows and
+// shrinks one source at a time — the exhaustive solver pushes and pops the
+// counting union along its DFS recursion path, so each enumerated candidate's
+// statistics are a snapshot instead of an O(|S|) re-merge. Single-goroutine
+// use only.
+type RunningStats struct {
+	ds      deltaState
+	u       *source.Universe
+	tainted bool
+	ops     int
+}
+
+// NewRunningStats returns running statistics for the empty subset.
+func NewRunningStats(u *source.Universe) *RunningStats {
+	r := &RunningStats{u: u}
+	r.ds.rebuild(u, nil)
+	return r
+}
+
+// Push includes id in the running subset.
+func (r *RunningStats) Push(id schema.SourceID) {
+	if s := r.u.Source(id); s.Signature != nil && !r.tainted {
+		if r.ds.counting == nil {
+			r.tainted = true
+		} else if err := r.ds.counting.Add(s.Signature); err != nil {
+			r.tainted = true
+		} else {
+			r.ops++
+		}
+	}
+	r.ds.include(r.u, id)
+}
+
+// Pop excludes a previously pushed id. A pop of a signature-bearing source
+// while the counting union is saturated cannot be exact, so it taints the
+// stats: every later Snapshot reports invalid and candidates must take the
+// full evaluation path. (With µBE's subset caps, saturation needs 255 sources
+// sharing a bucket bit and does not occur in practice.)
+func (r *RunningStats) Pop(id schema.SourceID) {
+	if s := r.u.Source(id); s.Signature != nil && !r.tainted {
+		if r.ds.counting == nil || r.ds.counting.Saturated() {
+			r.tainted = true
+		} else if err := r.ds.counting.Remove(s.Signature); err != nil {
+			r.tainted = true
+		} else {
+			r.ops++
+		}
+	}
+	r.ds.exclude(r.u, id)
+}
+
+// Snapshot returns the running subset's union statistics and whether they
+// are exact (bit-identical to what a fresh context would compute). Invalid
+// snapshots — after a saturation taint — must not be preset.
+func (r *RunningStats) Snapshot() (qef.UnionStats, bool) {
+	if r.tainted {
+		return qef.UnionStats{}, false
+	}
+	st := qef.UnionStats{
+		CoopN:     r.ds.coopN,
+		CoopSum:   r.ds.coopSum,
+		CoopMixed: r.ds.mixedN > 0,
+	}
+	if r.ds.sigN > 0 {
+		st.UnionEst = r.ds.counting.Estimate()
+	}
+	return st, true
+}
+
+// TakeOps returns the counting-merge operations performed since the last
+// call and resets the tally; callers fold it into the pcsa.counting_merges
+// telemetry counter.
+func (r *RunningStats) TakeOps() int {
+	n := r.ops
+	r.ops = 0
+	return n
+}
+
+// acquireDelta checks the cached delta state out for one batch, rebasing it
+// onto base (or building it fresh). Runs on the batch's calling goroutine
+// before the worker fan-out; the returned state is then immutable until
+// releaseDelta.
+func (e *Evaluator) acquireDelta(base []schema.SourceID) *deltaState {
+	e.deltaMu.Lock()
+	ds := e.deltaCached
+	e.deltaCached = nil
+	e.deltaMu.Unlock()
+	var ops int
+	if ds == nil {
+		ds = &deltaState{}
+		ops = ds.rebuild(e.p.Universe, base)
+	} else {
+		ops = ds.rebase(e.p.Universe, base)
+	}
+	if ops > 0 {
+		e.rec.Add("pcsa.counting_merges", int64(ops))
+	}
+	return ds
+}
+
+// releaseDelta checks the delta state back in after a batch's fan-out has
+// joined, so the next batch can rebase it instead of rebuilding.
+func (e *Evaluator) releaseDelta(ds *deltaState) {
+	e.deltaMu.Lock()
+	e.deltaCached = ds
+	e.deltaMu.Unlock()
+}
+
+// SetDelta toggles the incremental scoring paths (EvalBatchDelta's flip
+// scoring and EvalBatchPreset's preset stats). They are on by default; off,
+// both APIs plan and account identically but score every job through the
+// full re-merge path. Results are bit-identical either way — the toggle
+// exists for differential testing and honest before/after benchmarks.
+func (e *Evaluator) SetDelta(on bool) { e.noDelta = !on }
+
+// validFlip reports whether mv is a true single flip against the sorted
+// base: its add side absent from base, its drop side present, and the two
+// distinct. Anything else (re-adding a member, dropping a non-member) still
+// evaluates correctly via applyFlip's tolerant set semantics, but must take
+// the full path — the delta tallies would double-count it.
+func validFlip(base []schema.SourceID, mv Move) bool {
+	if mv.Add >= 0 {
+		if mv.Add == mv.Drop {
+			return false
+		}
+		i := sort.Search(len(base), func(i int) bool { return base[i] >= mv.Add })
+		if i < len(base) && base[i] == mv.Add {
+			return false
+		}
+	}
+	if mv.Drop >= 0 {
+		i := sort.Search(len(base), func(i int) bool { return base[i] >= mv.Drop })
+		if i == len(base) || base[i] != mv.Drop {
+			return false
+		}
+	}
+	return true
+}
+
+// applyFlip returns the sorted subset that applying mv to the sorted base
+// produces, with the same set semantics as Subset.Apply (drop first, then
+// add; both tolerant of non-members/members) — but without materializing a
+// map per move.
+func applyFlip(base []schema.SourceID, mv Move) []schema.SourceID {
+	out := make([]schema.SourceID, 0, len(base)+1)
+	for _, id := range base {
+		if mv.Drop >= 0 && id == mv.Drop {
+			continue
+		}
+		out = append(out, id)
+	}
+	if mv.Add >= 0 {
+		i := sort.Search(len(out), func(i int) bool { return out[i] >= mv.Add })
+		if i == len(out) || out[i] != mv.Add {
+			out = append(out, 0)
+			copy(out[i+1:], out[i:])
+			out[i] = mv.Add
+		}
+	}
+	return out
+}
+
+// EvalBatchDelta scores a whole neighborhood of flips against one base
+// subset, returning Q(base±flip) for each flip in order. True single flips
+// are scored incrementally — O(1 source) against the batch's shared counting
+// union — and anything else (invalid flips, or all flips when SetDelta(false))
+// takes the full re-merge path. Memoization, budget accounting, and every
+// returned quality are bit-identical to EvalBatch over the applied subsets.
+//
+// base must be sorted and must not be mutated until the call returns.
+func (e *Evaluator) EvalBatchDelta(base []schema.SourceID, flips []Move) []float64 {
+	cands := make([]candidate, len(flips))
+	for i, mv := range flips {
+		cands[i] = candidate{ids: applyFlip(base, mv)}
+		if !e.noDelta && validFlip(base, mv) {
+			cands[i].flip = mv
+			cands[i].hasFlip = true
+		}
+	}
+	return e.evalCandidates(cands, base)
+}
+
+// PresetCandidate is one EvalBatchPreset entry: a candidate subset plus the
+// union statistics the caller maintained incrementally (the exhaustive
+// solver's push/pop DFS). Valid=false — set when the caller's running state
+// lost exactness, e.g. counting saturation along the recursion path — routes
+// the candidate through the full path.
+type PresetCandidate struct {
+	IDs   []schema.SourceID
+	Stats qef.UnionStats
+	Valid bool
+}
+
+// EvalBatchPreset scores candidates whose union statistics the caller
+// already knows, skipping the per-candidate O(|S|) signature re-merge.
+// Planning, memoization, and budget accounting are identical to EvalBatch;
+// so is every returned quality, bit for bit — preset stats must equal what
+// the context would have computed, which the exhaustive solver's counting
+// union guarantees.
+func (e *Evaluator) EvalBatchPreset(cands []PresetCandidate) []float64 {
+	wrapped := make([]candidate, len(cands))
+	for i, pc := range cands {
+		wrapped[i] = candidate{ids: pc.IDs}
+		if pc.Valid && !e.noDelta {
+			st := pc.Stats
+			wrapped[i].st = &st
+		}
+	}
+	return e.evalCandidates(wrapped, nil)
+}
+
+// computePreset evaluates Q(ids) with externally supplied union statistics:
+// feasibility and every QEF run exactly as in compute, but the context skips
+// its O(|S|) signature re-merge. Pure; safe on any worker goroutine.
+func (e *Evaluator) computePreset(ids []schema.SourceID, st qef.UnionStats, sc *qef.Scratch) float64 {
+	if !e.p.Feasible(ids) {
+		return 0
+	}
+	ctx := qef.NewContextScratch(e.p.Universe, e.p.Matcher, e.p.Constraints, ids, sc)
+	ctx.PresetUnionStats(st)
+	v := e.p.Quality.Eval(ctx)
+	// The coopMixed fallback union may still merge inside the context.
+	if m := ctx.Merges(); m > 0 {
+		e.rec.Add("pcsa.merges", int64(m))
+	}
+	return v
+}
+
+// computeFlip evaluates Q(base±flip) against the batch's immutable delta
+// state: flipStats derives the union statistics as a pure read, then the
+// QEFs run on a preset context. Pure; safe on any worker goroutine (counter
+// adds are commutative).
+func (e *Evaluator) computeFlip(ids []schema.SourceID, flip Move, ds *deltaState, sc *qef.Scratch) float64 {
+	if !e.p.Feasible(ids) {
+		return 0
+	}
+	st, ops := ds.flipStats(e.p.Universe, flip)
+	if ops > 0 {
+		e.rec.Add("pcsa.counting_merges", int64(ops))
+	}
+	ctx := qef.NewContextScratch(e.p.Universe, e.p.Matcher, e.p.Constraints, ids, sc)
+	ctx.PresetUnionStats(st)
+	v := e.p.Quality.Eval(ctx)
+	if m := ctx.Merges(); m > 0 {
+		e.rec.Add("pcsa.merges", int64(m))
+	}
+	return v
+}

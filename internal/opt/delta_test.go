@@ -1,0 +1,377 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/pcsa"
+	"mube/internal/qef"
+	"mube/internal/schema"
+	"mube/internal/source"
+	"mube/internal/telemetry"
+)
+
+// mixedProblem builds a problem over a hand-made universe containing every
+// source species the delta tallies must track: cooperative, uncooperative
+// (no signature), and coop-mixed (signature, no cardinality).
+func mixedProblem(t testing.TB, maxSources int) *Problem {
+	t.Helper()
+	cfg := pcsa.Config{NumMaps: 64}
+	u := source.NewUniverse(cfg)
+	add := func(s *source.Source) {
+		t.Helper()
+		if _, err := u.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuples := func(lo, hi uint64) source.TupleIterator {
+		ts := make([]source.TupleID, 0, hi-lo)
+		for x := lo; x < hi; x++ {
+			ts = append(ts, x)
+		}
+		return source.NewSliceIterator(ts)
+	}
+	coop := func(name string, lo, hi uint64, attrs ...string) *source.Source {
+		s, err := source.FromTuples(name, schema.NewSchema(attrs...), tuples(lo, hi), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	add(coop("a", 0, 8000, "title"))
+	add(coop("b", 4000, 12000, "title"))
+	add(coop("c", 0, 6000, "name"))
+	add(coop("d", 10000, 20000, "title"))
+	add(source.Uncooperative("shy", schema.NewSchema("title")))
+	mixed := coop("mixed", 5000, 15000, "title")
+	mixed.Cardinality = -1 // signature without cardinality: the coopMixed case
+	add(mixed)
+	add(coop("e", 18000, 25000, "name"))
+	add(source.Uncooperative("shy2", schema.NewSchema("name")))
+	u.Precompute()
+
+	q, err := qef.NewQuality(
+		[]qef.QEF{qef.Cardinality{}, qef.Coverage{}, qef.Redundancy{}},
+		qef.Weights{
+			qef.NameCardinality: 0.4,
+			qef.NameCoverage:    0.3,
+			qef.NameRedundancy:  0.3,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Problem{Universe: u, Quality: q, MaxSources: maxSources}
+}
+
+// assertSameEvaluator compares two evaluators' observable state: memo
+// contents (bit for bit), evals, and calls.
+func assertSameEvaluator(t *testing.T, label string, a, b *Evaluator) {
+	t.Helper()
+	if a.Evals() != b.Evals() || a.Calls() != b.Calls() {
+		t.Errorf("%s: evals/calls %d/%d != %d/%d", label, a.Evals(), a.Calls(), b.Evals(), b.Calls())
+	}
+	a.mu.Lock()
+	b.mu.Lock()
+	defer a.mu.Unlock()
+	defer b.mu.Unlock()
+	if len(a.memo) != len(b.memo) {
+		t.Errorf("%s: memo sizes differ: %d vs %d", label, len(a.memo), len(b.memo))
+		return
+	}
+	for k, va := range a.memo {
+		vb, ok := b.memo[k]
+		if !ok {
+			t.Errorf("%s: memo key %q missing in reference", label, k)
+			continue
+		}
+		if math.Float64bits(va) != math.Float64bits(vb) {
+			t.Errorf("%s: memo value %v != %v for key %q", label, va, vb, k)
+		}
+	}
+}
+
+// driveNeighborhoods runs a local-search-like trajectory on e: score a
+// neighborhood of flips against the current base, move the base to the best
+// flip, occasionally restart to a random subset (forcing a delta rebuild).
+// All randomness comes from seed, so two evaluators driven with the same
+// seed see the identical call sequence.
+func driveNeighborhoods(t *testing.T, e *Evaluator, p *Problem, seed int64, rounds int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	all := p.Universe.IDs()
+	randomBase := func() []schema.SourceID {
+		n := 1 + r.Intn(p.MaxSources)
+		perm := r.Perm(len(all))
+		base := make([]schema.SourceID, n)
+		for j := 0; j < n; j++ {
+			base[j] = all[perm[j]]
+		}
+		return SortIDs(base)
+	}
+	base := randomBase()
+	for round := 0; round < rounds; round++ {
+		var flips []Move
+		flips = append(flips, NoMove) // re-scores the base itself
+		for _, id := range all {
+			in := false
+			for _, b := range base {
+				in = in || b == id
+			}
+			if !in && len(base) < p.MaxSources {
+				flips = append(flips, Move{Add: id, Drop: -1})
+			}
+			if in && len(base) > 1 {
+				flips = append(flips, Move{Add: -1, Drop: id})
+			}
+		}
+		// Swaps, plus deliberately invalid flips that must fall back to the
+		// full path (re-adding a member, dropping a non-member).
+		for i := 0; i < 4; i++ {
+			flips = append(flips, Move{
+				Add:  all[r.Intn(len(all))],
+				Drop: all[r.Intn(len(all))],
+			})
+		}
+		qs := e.EvalBatchDelta(base, flips)
+		if len(qs) != len(flips) {
+			t.Fatalf("round %d: got %d results for %d flips", round, len(qs), len(flips))
+		}
+		bestQ, best := math.Inf(-1), NoMove
+		for i, q := range qs {
+			if q > bestQ {
+				bestQ, best = q, flips[i]
+			}
+		}
+		if r.Intn(5) == 0 {
+			base = randomBase() // jump: exercises the rebuild path
+		} else {
+			base = applyFlip(base, best) // drift: exercises the rebase path
+		}
+	}
+}
+
+// TestEvalBatchDeltaDifferential is the white-box acceptance test of the
+// delta path: identical trajectories driven through a delta-enabled and a
+// delta-disabled evaluator must produce bit-identical memo contents and
+// identical budget accounting — across worker counts, budget limits, seeds,
+// and a universe containing uncooperative and coop-mixed sources.
+func TestEvalBatchDeltaDifferential(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		build func(t testing.TB) *Problem
+	}{
+		{"books", func(t testing.TB) *Problem { return problem(t, 4, constraint.Set{}) }},
+		{"mixed", func(t testing.TB) *Problem { return mixedProblem(t, 4) }},
+	} {
+		p := mk.build(t)
+		for _, seed := range []int64{1, 2, 3} {
+			for _, workers := range []int{1, 4} {
+				for _, limit := range []int{0, 40} {
+					delta := NewEvaluator(p, limit)
+					delta.SetWorkers(workers)
+					driveNeighborhoods(t, delta, p, seed, 12)
+
+					full := NewEvaluator(p, limit)
+					full.SetWorkers(workers)
+					full.SetDelta(false)
+					driveNeighborhoods(t, full, p, seed, 12)
+
+					label := mk.name + "/" +
+						string(rune('0'+seed)) + "/w" + string(rune('0'+workers))
+					assertSameEvaluator(t, label, delta, full)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalBatchDeltaSaturationFallback: when the cached counting union is
+// saturated, flips that drop a signature-bearing source must be demoted to
+// the full path — and results stay bit-identical to a delta-disabled
+// evaluator.
+func TestEvalBatchDeltaSaturationFallback(t *testing.T) {
+	p := mixedProblem(t, 4)
+	base := SortIDs([]schema.SourceID{0, 1, 2})
+	var flips []Move
+	for _, id := range p.Universe.IDs() {
+		switch id {
+		case 0, 1, 2:
+			flips = append(flips, Move{Add: -1, Drop: id})
+		default:
+			flips = append(flips, Move{Add: id, Drop: 0})
+		}
+	}
+
+	ev := NewEvaluator(p, 0)
+	// Saturate the counting union's lanes for source 0's signature by
+	// over-adding it; this mimics a long-lived union whose refcounts hit the
+	// sticky ceiling. The implied bitmap is unchanged (the bits were already
+	// set), so add-only flips stay exact while drops must be demoted.
+	ds := ev.acquireDelta(base)
+	sig := p.Universe.Source(0).Signature
+	for i := 0; i < 256; i++ {
+		if err := ds.counting.Add(sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ds.counting.Saturated() {
+		t.Fatal("counting union should be saturated")
+	}
+	ev.releaseDelta(ds)
+
+	rec := telemetry.New(nil)
+	ev.Instrument(rec)
+	got := ev.EvalBatchDelta(base, flips)
+
+	ref := NewEvaluator(p, 0)
+	ref.SetDelta(false)
+	want := ref.EvalBatchDelta(base, flips)
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Errorf("flip %d (%+v): saturated delta %v != full %v", i, flips[i], got[i], want[i])
+		}
+	}
+	// The sig-dropping flips were demoted, so delta hits < total jobs.
+	snap := rec.Snapshot()
+	if hits, jobs := snap.Counter("eval.delta_hits"), snap.Counter("eval.computed"); hits >= jobs {
+		t.Errorf("expected demotions under saturation: delta_hits=%d, computed=%d", hits, jobs)
+	}
+}
+
+// TestEvalBatchPresetDifferential: preset candidates built from a push/pop
+// RunningStats walk must score bit-identically to the plain batch path, and
+// Valid=false snapshots must route through the full path unharmed.
+func TestEvalBatchPresetDifferential(t *testing.T) {
+	p := mixedProblem(t, 3)
+	all := p.Universe.IDs()
+
+	// Enumerate all subsets of size ≤ 3 DFS-style with running stats.
+	run := NewRunningStats(p.Universe)
+	var cands []PresetCandidate
+	var pick []schema.SourceID
+	var walk func(start int)
+	walk = func(start int) {
+		ids := SortIDs(append([]schema.SourceID(nil), pick...))
+		st, valid := run.Snapshot()
+		cands = append(cands, PresetCandidate{IDs: ids, Stats: st, Valid: valid})
+		if len(pick) == p.MaxSources {
+			return
+		}
+		for i := start; i < len(all); i++ {
+			pick = append(pick, all[i])
+			run.Push(all[i])
+			walk(i + 1)
+			run.Pop(all[i])
+			pick = pick[:len(pick)-1]
+		}
+	}
+	walk(0)
+	// Poison a few snapshots to exercise the Valid=false full-path route.
+	for i := 0; i < len(cands); i += 7 {
+		cands[i].Valid = false
+		cands[i].Stats = qef.UnionStats{}
+	}
+
+	for _, workers := range []int{1, 4} {
+		pre := NewEvaluator(p, 0)
+		pre.SetWorkers(workers)
+		got := pre.EvalBatchPreset(cands)
+
+		plain := NewEvaluator(p, 0)
+		plain.SetWorkers(workers)
+		ids := make([][]schema.SourceID, len(cands))
+		for i := range cands {
+			ids[i] = cands[i].IDs
+		}
+		want := plain.EvalBatch(ids)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Errorf("workers=%d cand %v: preset %v != plain %v",
+					workers, cands[i].IDs, got[i], want[i])
+			}
+		}
+		assertSameEvaluator(t, "preset", pre, plain)
+	}
+}
+
+// TestDeltaRebase pins the cache-rebase behavior: a base drifting within the
+// rebase limit reuses the counting union incrementally, a jump rebuilds it,
+// and in both cases the resulting state matches a fresh rebuild exactly.
+func TestDeltaRebase(t *testing.T) {
+	p := mixedProblem(t, 5)
+	ev := NewEvaluator(p, 0)
+
+	check := func(label string, base []schema.SourceID) {
+		t.Helper()
+		ds := ev.acquireDelta(base)
+		fresh := &deltaState{}
+		fresh.rebuild(p.Universe, base)
+		if ds.sigN != fresh.sigN || ds.coopN != fresh.coopN ||
+			ds.mixedN != fresh.mixedN || ds.coopSum != fresh.coopSum {
+			t.Errorf("%s: tallies (%d,%d,%d,%d) != fresh (%d,%d,%d,%d)", label,
+				ds.sigN, ds.coopN, ds.mixedN, ds.coopSum,
+				fresh.sigN, fresh.coopN, fresh.mixedN, fresh.coopSum)
+		}
+		gotEst, wantEst := ds.counting.Estimate(), fresh.counting.Estimate()
+		if math.Float64bits(gotEst) != math.Float64bits(wantEst) {
+			t.Errorf("%s: counting estimate %v != fresh %v", label, gotEst, wantEst)
+		}
+		ev.releaseDelta(ds)
+	}
+
+	check("initial", SortIDs([]schema.SourceID{0, 1, 2}))
+	check("drift+1", SortIDs([]schema.SourceID{0, 1, 2, 3}))
+	check("swap", SortIDs([]schema.SourceID{0, 1, 3, 5}))
+	check("jump", SortIDs([]schema.SourceID{2, 4, 6, 7})) // full diff: rebuild
+	check("drop", SortIDs([]schema.SourceID{2, 4, 6}))
+}
+
+// TestValidFlipAndApplyFlip pins the flip helpers against Subset semantics.
+func TestValidFlipAndApplyFlip(t *testing.T) {
+	base := []schema.SourceID{1, 3, 5}
+	cases := []struct {
+		mv    Move
+		valid bool
+	}{
+		{Move{Add: 2, Drop: -1}, true},
+		{Move{Add: -1, Drop: 3}, true},
+		{Move{Add: 4, Drop: 5}, true},
+		{NoMove, true},
+		{Move{Add: 3, Drop: -1}, false},  // re-add member
+		{Move{Add: -1, Drop: 2}, false},  // drop non-member
+		{Move{Add: 7, Drop: 7}, false},   // degenerate swap
+		{Move{Add: 9, Drop: 4}, false},   // drop side absent
+	}
+	for _, tc := range cases {
+		if got := validFlip(base, tc.mv); got != tc.valid {
+			t.Errorf("validFlip(%v, %+v) = %v, want %v", base, tc.mv, got, tc.valid)
+		}
+		got := applyFlip(base, tc.mv)
+		// Reference: the map-based Subset semantics.
+		m := map[schema.SourceID]struct{}{}
+		for _, id := range base {
+			m[id] = struct{}{}
+		}
+		if tc.mv.Drop >= 0 {
+			delete(m, tc.mv.Drop)
+		}
+		if tc.mv.Add >= 0 {
+			m[tc.mv.Add] = struct{}{}
+		}
+		want := make([]schema.SourceID, 0, len(m))
+		for id := range m {
+			want = append(want, id)
+		}
+		SortIDs(want)
+		if len(got) != len(want) {
+			t.Fatalf("applyFlip(%v, %+v) = %v, want %v", base, tc.mv, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("applyFlip(%v, %+v) = %v, want %v", base, tc.mv, got, want)
+			}
+		}
+	}
+}

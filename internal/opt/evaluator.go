@@ -46,6 +46,13 @@ type Evaluator struct {
 	// scratch buffers (PCSA union signatures) recycled across evaluations;
 	// each in-flight evaluation checks one out for exclusive use.
 	scratch sync.Pool
+
+	// Incremental-scoring state (see delta.go): the counting union of the
+	// most recent delta batch's base, cached across batches so a moving
+	// local-search base rebases in O(diff) instead of rebuilding in O(|S|).
+	deltaMu     sync.Mutex
+	deltaCached *deltaState
+	noDelta     bool // SetDelta(false): score everything via the full path
 }
 
 // NewEvaluator builds an evaluator for p with an optional evaluation limit.
@@ -202,11 +209,30 @@ func (e *Evaluator) Eval(ids []schema.SourceID) float64 {
 
 // batchJob is one distinct subset a batch must compute: the candidate indexes
 // in out share the subset (duplicates within the batch) and receive its value.
+// A job carries an optional incremental-scoring plan: preset union stats
+// (exhaustive's push/pop DFS) or a single flip against the batch's shared
+// base (the local-search neighborhoods). Jobs with neither run the full
+// re-merge path.
 type batchJob struct {
 	key string
 	ids []schema.SourceID
 	out []int
 	v   float64
+
+	// st, when non-nil, holds union statistics precomputed by the caller.
+	st *qef.UnionStats
+	// flip + delta: score as base±flip against the batch's delta state.
+	flip  Move
+	delta bool
+}
+
+// candidate pairs one batch entry with its incremental-scoring plan.
+type candidate struct {
+	ids  []schema.SourceID
+	st   *qef.UnionStats
+	flip Move
+	// hasFlip marks a validated single flip against the batch's base.
+	hasFlip bool
 }
 
 // EvalBatch evaluates a slice of independent candidate subsets and returns
@@ -221,6 +247,25 @@ type batchJob struct {
 // they would have scored sequentially, and consume the returned slice in
 // order.
 func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
+	wrapped := make([]candidate, len(cands))
+	for i, ids := range cands {
+		wrapped[i] = candidate{ids: ids}
+	}
+	return e.evalCandidates(wrapped, nil)
+}
+
+// evalCandidates is the shared batch engine behind EvalBatch, EvalBatchDelta,
+// and EvalBatchPreset. base is non-nil only for delta batches and names the
+// subset the candidates' flips are relative to.
+//
+// The determinism contract is the planning-vs-fan-out split: memo hits,
+// duplicate suppression, and budget debits resolve sequentially in candidate
+// order under the lock; the fan-out computes pure functions only. Whether a
+// job is scored by the full re-merge, a preset, or a flip against the delta
+// state never changes its value (the incremental paths are bit-exact), so
+// results are identical at any worker count and with the delta path on or
+// off.
+func (e *Evaluator) evalCandidates(cands []candidate, base []schema.SourceID) []float64 {
 	out := make([]float64, len(cands))
 
 	// Planning pass: resolve memo hits and budget debits sequentially in
@@ -230,9 +275,9 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 	e.mu.Lock()
 	var jobs []*batchJob
 	var pending map[string]*batchJob
-	for i, ids := range cands {
+	for i, c := range cands {
 		e.calls++
-		k := key(ids)
+		k := key(c.ids)
 		if v, ok := e.memo[k]; ok {
 			out[i] = v
 			hits++
@@ -249,7 +294,7 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 			continue
 		}
 		e.evals++
-		j := &batchJob{key: k, ids: ids, out: []int{i}}
+		j := &batchJob{key: k, ids: c.ids, out: []int{i}, st: c.st, flip: c.flip, delta: c.hasFlip}
 		if pending == nil {
 			pending = make(map[string]*batchJob, len(cands)-i)
 		}
@@ -289,6 +334,28 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 	}
 
 	if len(jobs) > 0 {
+		// Acquire (build or rebase) the shared delta state once per batch,
+		// before the fan-out: workers then read it concurrently without
+		// mutation. A flip whose drop side would read a saturated counting
+		// lane is demoted to the full path here, deterministically.
+		var ds *deltaState
+		deltaHits := 0
+		for _, j := range jobs {
+			if j.delta {
+				if ds == nil {
+					ds = e.acquireDelta(base)
+				}
+				if j.flip.Drop >= 0 && ds.saturated() &&
+					e.p.Universe.Source(j.flip.Drop).Signature != nil {
+					j.delta = false
+				}
+			}
+			if j.delta || j.st != nil {
+				deltaHits++
+			}
+		}
+		e.rec.Add("eval.delta_hits", int64(deltaHits))
+
 		workers := e.workers
 		if workers > len(jobs) {
 			workers = len(jobs)
@@ -296,13 +363,14 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 		if workers <= 1 {
 			sc := e.scratch.Get().(*qef.Scratch)
 			for _, j := range jobs {
-				j.v = e.compute(j.ids, sc)
+				j.v = e.computeJob(j, ds, sc)
 			}
 			e.scratch.Put(sc)
 		} else {
 			// Workers pull jobs off a shared cursor. Which worker computes
 			// which job is scheduler-dependent, but each job's value is a
-			// pure function of its subset, so results are unaffected.
+			// pure function of its subset (and the immutable delta state),
+			// so results are unaffected.
 			var cursor atomic.Int64
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
@@ -316,11 +384,14 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 						if i >= len(jobs) {
 							return
 						}
-						jobs[i].v = e.compute(jobs[i].ids, sc)
+						jobs[i].v = e.computeJob(jobs[i], ds, sc)
 					}
 				}()
 			}
 			wg.Wait()
+		}
+		if ds != nil {
+			e.releaseDelta(ds)
 		}
 	}
 
@@ -347,6 +418,20 @@ func (e *Evaluator) EvalBatch(cands [][]schema.SourceID) []float64 {
 			telemetry.Int("jobs", len(jobs)))
 	}
 	return out
+}
+
+// computeJob dispatches one job to its scoring path: preset stats, flip
+// against the delta state, or the full re-merge. All three return bit-
+// identical values for the same subset.
+func (e *Evaluator) computeJob(j *batchJob, ds *deltaState, sc *qef.Scratch) float64 {
+	switch {
+	case j.st != nil:
+		return e.computePreset(j.ids, *j.st, sc)
+	case j.delta && ds != nil:
+		return e.computeFlip(j.ids, j.flip, ds, sc)
+	default:
+		return e.compute(j.ids, sc)
+	}
 }
 
 // Status derives how the solve ended from the bound context and the budget:
@@ -485,6 +570,7 @@ func NewSearch(ctx context.Context, p *Problem, opts Options) (*Search, error) {
 	ev.SetWorkers(opts.Parallel)
 	ev.BindContext(ctx)
 	ev.Instrument(opts.Recorder)
+	ev.SetDelta(!opts.NoDelta)
 	return &Search{
 		Eval:       ev,
 		Required:   req,
@@ -655,14 +741,10 @@ func (s *Search) EvalMove(ss *Subset, mv Move) float64 {
 
 // EvalMoves scores a whole neighborhood at once: it returns Q(S') for each
 // move applied to ss (without mutating it), fanning the candidates out
-// through the evaluator's batch API. Results, memoization, and budget
-// accounting are identical to calling EvalMove on each move in order.
+// through the evaluator's delta batch API — single flips against the current
+// subset score incrementally from the shared counting union. Results,
+// memoization, and budget accounting are identical to calling EvalMove on
+// each move in order.
 func (s *Search) EvalMoves(ss *Subset, moves []Move) []float64 {
-	cands := make([][]schema.SourceID, len(moves))
-	for i, mv := range moves {
-		next := ss.Clone()
-		next.Apply(mv)
-		cands[i] = next.IDs()
-	}
-	return s.Eval.EvalBatch(cands)
+	return s.Eval.EvalBatchDelta(ss.IDs(), moves)
 }

@@ -49,20 +49,32 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 	// preserves enumeration order, so the strict-improvement scan selects
 	// the same optimum (first among ties) as the sequential walk, while the
 	// evaluator fans each flush out to its worker pool.
+	//
+	// The running union statistics are pushed and popped along the recursion
+	// path — one counting-union update per DFS edge instead of an O(|S|)
+	// re-merge per candidate — and snapshotted into each candidate, so the
+	// evaluator presets them instead of re-deriving them.
 	const flush = 64
+	run := opt.NewRunningStats(p.Universe)
+	for _, id := range search.Required {
+		run.Push(id)
+	}
 	var bestIDs []schema.SourceID
 	bestQ := -1.0
 	scanned := 0
-	cands := make([][]schema.SourceID, 0, flush)
+	cands := make([]opt.PresetCandidate, 0, flush)
 	score := func() {
+		if n := run.TakeOps(); n > 0 {
+			search.Rec.Add("pcsa.counting_merges", int64(n))
+		}
 		flushQ := -1.0
-		for i, q := range search.Eval.EvalBatch(cands) {
+		for i, q := range search.Eval.EvalBatchPreset(cands) {
 			if q > flushQ {
 				flushQ = q
 			}
 			if q > bestQ {
 				bestQ = q
-				bestIDs = cands[i]
+				bestIDs = cands[i].IDs
 			}
 		}
 		scanned += len(cands)
@@ -79,7 +91,8 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 			return
 		}
 		ids := append(append([]schema.SourceID(nil), search.Required...), pick...)
-		cands = append(cands, opt.SortIDs(ids))
+		st, valid := run.Snapshot()
+		cands = append(cands, opt.PresetCandidate{IDs: opt.SortIDs(ids), Stats: st, Valid: valid})
 		if len(cands) == flush {
 			score()
 		}
@@ -88,7 +101,9 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 		}
 		for i := start; i < len(search.Optional) && !search.Stopped(); i++ {
 			pick = append(pick, search.Optional[i])
+			run.Push(search.Optional[i])
 			walk(i+1, remaining-1)
+			run.Pop(search.Optional[i])
 			pick = pick[:len(pick)-1]
 		}
 	}

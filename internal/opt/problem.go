@@ -177,6 +177,12 @@ type Options struct {
 	// the problem spec: solver results are bit-identical with or without a
 	// recorder attached.
 	Recorder *telemetry.Recorder
+	// NoDelta disables the evaluator's incremental scoring paths (counting-
+	// union flips and preset union statistics), forcing every candidate
+	// through the full signature re-merge. Results are bit-identical either
+	// way — see Evaluator.SetDelta; the toggle exists for differential
+	// testing and before/after benchmarking, not tuning.
+	NoDelta bool
 }
 
 // Defaults for Options' zero values.

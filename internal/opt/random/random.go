@@ -35,6 +35,12 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 	// order) and score each chunk as one batch. The chunk size is a
 	// constant — independent of the worker count — so the candidate
 	// sequence and the best-so-far scan never depend on parallelism.
+	//
+	// Random search deliberately uses the plain EvalBatch path, not the
+	// delta API: its samples are independent draws with no base subset in
+	// common, so there is nothing for a counting union to be incremental
+	// against — every "flip" would be a full rebuild. The evaluator's delta
+	// bookkeeping must never engage here (asserted by a test).
 	const chunk = 32
 	for drawn := 0; drawn < samples && !search.Eval.Exhausted() && !search.Stopped(); {
 		n := samples - drawn

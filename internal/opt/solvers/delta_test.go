@@ -1,0 +1,119 @@
+package solvers
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/opt"
+	"mube/internal/opt/anneal"
+	"mube/internal/opt/exhaustive"
+	"mube/internal/opt/random"
+	"mube/internal/opt/sls"
+	"mube/internal/opt/tabu"
+	"mube/internal/telemetry"
+)
+
+// TestDeltaPathDifferential is the tentpole acceptance test: for every
+// solver that consumes the incremental evaluation paths (tabu, SLS,
+// annealing, and the exhaustive oracle), an identical run with NoDelta set
+// must produce a bit-identical solver trajectory — same Quality down to the
+// float bits, same IDs, same Evals, same Status, and byte-identical JSONL
+// traces — across 3 seeds and both 1 and 4 evaluator workers.
+func TestDeltaPathDifferential(t *testing.T) {
+	p := problem(t, 4, constraint.Set{Sources: ids(3)})
+	solvers := []opt.Solver{tabu.Solver{}, sls.Solver{}, anneal.Solver{}, exhaustive.Solver{}}
+	for _, s := range solvers {
+		for _, seed := range []int64{1, 2, 3} {
+			for _, workers := range []int{1, 4} {
+				base := opt.Options{
+					Seed: seed, MaxEvals: 400, MaxIters: 30, Patience: 8,
+					Parallel: workers,
+				}
+				deltaOpts := base
+				fullOpts := base
+				fullOpts.NoDelta = true
+				deltaSol, deltaTrace := solveTraced(t, s, p, deltaOpts)
+				fullSol, fullTrace := solveTraced(t, s, p, fullOpts)
+
+				label := s.Name()
+				if math.Float64bits(deltaSol.Quality) != math.Float64bits(fullSol.Quality) {
+					t.Errorf("%s seed=%d workers=%d: delta quality %v != full %v",
+						label, seed, workers, deltaSol.Quality, fullSol.Quality)
+				}
+				if deltaSol.Evals != fullSol.Evals {
+					t.Errorf("%s seed=%d workers=%d: delta evals %d != full %d",
+						label, seed, workers, deltaSol.Evals, fullSol.Evals)
+				}
+				if deltaSol.Status != fullSol.Status {
+					t.Errorf("%s seed=%d workers=%d: delta status %v != full %v",
+						label, seed, workers, deltaSol.Status, fullSol.Status)
+				}
+				if len(deltaSol.IDs) != len(fullSol.IDs) {
+					t.Errorf("%s seed=%d workers=%d: id sets differ: %v vs %v",
+						label, seed, workers, deltaSol.IDs, fullSol.IDs)
+				} else {
+					for i := range deltaSol.IDs {
+						if deltaSol.IDs[i] != fullSol.IDs[i] {
+							t.Errorf("%s seed=%d workers=%d: id sets differ: %v vs %v",
+								label, seed, workers, deltaSol.IDs, fullSol.IDs)
+							break
+						}
+					}
+				}
+				if !bytes.Equal(deltaTrace, fullTrace) {
+					t.Errorf("%s seed=%d workers=%d: trace bytes differ between delta and full paths",
+						label, seed, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaPathEngages guards the point of the optimization: on a plain
+// local-search run the incremental paths must actually carry most of the
+// computed evaluations (every single-flip neighborhood candidate), not
+// silently fall back to full re-merges.
+func TestDeltaPathEngages(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	for _, s := range []opt.Solver{tabu.Solver{}, sls.Solver{}, anneal.Solver{}, exhaustive.Solver{}} {
+		rec := telemetry.New(nil)
+		opts := opt.Options{Seed: 5, MaxEvals: 300, MaxIters: 20, Patience: 6, Recorder: rec}
+		if _, err := s.Solve(context.Background(), p, opts); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		snap := rec.Snapshot()
+		hits, computed := snap.Counter("eval.delta_hits"), snap.Counter("eval.computed")
+		if computed == 0 {
+			t.Fatalf("%s: no evaluations computed", s.Name())
+		}
+		if hits*2 < computed {
+			t.Errorf("%s: delta paths carried %d of %d computed evals; expected a majority",
+				s.Name(), hits, computed)
+		}
+	}
+}
+
+// TestRandomSolverStaysOnPlainPath pins the random solver's routing: its
+// samples share no base subset, so it must use the plain batch path and the
+// delta bookkeeping must never engage — no delta hits, no counting merges.
+func TestRandomSolverStaysOnPlainPath(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	rec := telemetry.New(nil)
+	opts := opt.Options{Seed: 5, MaxEvals: 200, MaxIters: 20, Recorder: rec}
+	if _, err := (random.Solver{}).Solve(context.Background(), p, opts); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	if n := snap.Counter("eval.delta_hits"); n != 0 {
+		t.Errorf("random solver engaged the delta path %d times; want 0", n)
+	}
+	if n := snap.Counter("pcsa.counting_merges"); n != 0 {
+		t.Errorf("random solver performed %d counting merges; want 0", n)
+	}
+	if snap.Counter("eval.computed") == 0 {
+		t.Error("no evaluations computed")
+	}
+}

@@ -149,21 +149,64 @@ func (s *Signature) AddString(t string) {
 
 // Estimate returns the estimated number of distinct tuples recorded.
 func (s *Signature) Estimate() float64 {
+	return estimateRhoSum(s.cfg, rhoSumWords(s.maps))
+}
+
+// rhoSumWords computes Σ over bitmaps of R, where R is the index of the
+// least significant zero bit — the PCSA observable. It is shared by
+// Signature, Counting, and the fused union-estimate kernels so every path
+// derives the estimate from the exact same integer sum.
+func rhoSumWords(words []uint64) int {
 	sum := 0
-	for _, bm := range s.maps {
-		// R = index of the least significant zero bit.
-		sum += bits.TrailingZeros64(^bm)
+	i := 0
+	// Unrolled 4-wide: the loop is the innermost read of every estimate.
+	for ; i+4 <= len(words); i += 4 {
+		sum += bits.TrailingZeros64(^words[i]) +
+			bits.TrailingZeros64(^words[i+1]) +
+			bits.TrailingZeros64(^words[i+2]) +
+			bits.TrailingZeros64(^words[i+3])
 	}
-	m := float64(s.cfg.NumMaps)
+	for ; i < len(words); i++ {
+		sum += bits.TrailingZeros64(^words[i])
+	}
+	return sum
+}
+
+// estimateRhoSum turns the summed observable into a cardinality estimate.
+// Given identical rho sums it returns bit-identical floats, which is what
+// lets the incremental (counting / fused) paths reproduce the full-merge
+// estimate exactly.
+func estimateRhoSum(cfg Config, sum int) float64 {
+	m := float64(cfg.NumMaps)
 	a := float64(sum) / m
 	est := m / phi * math.Exp2(a)
-	if !s.cfg.DisableSmallRangeCorrection {
+	if !cfg.DisableSmallRangeCorrection {
 		est = m / phi * (math.Exp2(a) - math.Exp2(-kappa*a))
 	}
 	if est < 0 {
 		est = 0
 	}
 	return est
+}
+
+// orWords ORs src into dst word by word; the slices must be the same length
+// (enforced by the uniform-config checks of every caller). The 4-wide unroll
+// with a single up-front bounds check is the merge kernel under every
+// signature union.
+func orWords(dst, src []uint64) {
+	if len(dst) != len(src) {
+		panic("pcsa: orWords length mismatch")
+	}
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] |= src[i]
+		dst[i+1] |= src[i+1]
+		dst[i+2] |= src[i+2]
+		dst[i+3] |= src[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] |= src[i]
+	}
 }
 
 // Empty reports whether no tuple has been recorded.
@@ -213,24 +256,57 @@ func (s *Signature) MergeFrom(o *Signature) error {
 	if s.cfg != o.cfg {
 		return ErrIncompatible
 	}
-	for i, bm := range o.maps {
-		s.maps[i] |= bm
-	}
+	orWords(s.maps, o.maps)
 	mergeOps.Add(1)
 	return nil
 }
 
+// EstimateUnion returns the estimate of the union of s and o without
+// materializing the merged signature: the OR happens word by word inside the
+// rho-sum accumulation. o may be nil, in which case this is Estimate. It is
+// the fused read kernel behind add-only neighborhood flips.
+func (s *Signature) EstimateUnion(o *Signature) (float64, error) {
+	if o == nil {
+		return s.Estimate(), nil
+	}
+	if s.cfg != o.cfg {
+		return 0, configMismatch(s.cfg, o.cfg)
+	}
+	sum := 0
+	for i, w := range s.maps {
+		sum += bits.TrailingZeros64(^(w | o.maps[i]))
+	}
+	return estimateRhoSum(s.cfg, sum), nil
+}
+
+// configMismatch builds the diagnostic for merging signatures of different
+// shapes, naming both parameter sets; it wraps ErrIncompatible so existing
+// errors.Is checks keep working.
+func configMismatch(a, b Config) error {
+	return fmt.Errorf("pcsa: mixed signature parameters (m=%d, seed=%d) vs (m=%d, seed=%d): %w",
+		a.NumMaps, a.Seed, b.NumMaps, b.Seed, ErrIncompatible)
+}
+
 // Union returns a new signature representing the union of all the given
-// signatures. At least one signature is required.
+// signatures. At least one signature is required; all signatures must share
+// one parameter set (the error names the mismatched pair otherwise). The
+// result is pre-sized from the first signature's parameters and merged with
+// the word-level kernel.
 func Union(sigs ...*Signature) (*Signature, error) {
 	if len(sigs) == 0 {
 		return nil, errors.New("pcsa: Union of zero signatures")
 	}
-	out := sigs[0].Clone()
+	first := sigs[0]
 	for _, o := range sigs[1:] {
-		if err := out.MergeFrom(o); err != nil {
-			return nil, err
+		if o.cfg != first.cfg {
+			return nil, configMismatch(first.cfg, o.cfg)
 		}
+	}
+	out := &Signature{cfg: first.cfg, maps: make([]uint64, len(first.maps))}
+	copy(out.maps, first.maps)
+	for _, o := range sigs[1:] {
+		orWords(out.maps, o.maps)
+		mergeOps.Add(1)
 	}
 	return out, nil
 }

@@ -375,6 +375,10 @@ func (p *Prober) BuildUniverse(cfg pcsa.Config, cands []Candidate) (*source.Univ
 		}
 		rep.add(res)
 	}
+	// Materialize the universe-wide aggregates (total cardinality, |∪U|
+	// estimate) now, at acquisition time, so the first Coverage evaluation
+	// does not pay for the full-universe union merge.
+	u.Precompute()
 	return u, rep, nil
 }
 
@@ -412,6 +416,9 @@ func (p *Prober) ReprobeUniverse(u *source.Universe) (*source.Universe, *HealthR
 		}
 		rep.add(res)
 	}
+	// As in BuildUniverse: pay for the universe aggregates here, not in the
+	// first evaluation after re-acquisition.
+	nu.Precompute()
 	return nu, rep, kept, nil
 }
 

@@ -52,7 +52,8 @@ type Context struct {
 
 	scratch *Scratch
 
-	// Union statistics over S, computed once by unionStats.
+	// Union statistics over S, computed once by unionStats — or preset by
+	// the incremental evaluator via PresetUnionStats.
 	statsOnce bool
 	unionEst  float64 // estimate of |∪ s| over sources of S with a signature
 	coopN     int     // number of cooperative sources in S
@@ -61,22 +62,74 @@ type Context struct {
 	// but no cardinality: it contributes to the Coverage union but not to
 	// Redundancy's, so the two unions cannot be shared.
 	coopMixed bool
-	// merges counts pairwise signature merges unionStats performed, for
+
+	// Cooperative-only union estimate, computed on demand for the coopMixed
+	// Redundancy fallback and cached.
+	coopOnce bool
+	coopEst  float64
+
+	// merges counts pairwise signature merges this context performed, for
 	// telemetry (the evaluator folds it into the pcsa.merges counter).
 	merges int
+}
+
+// UnionStats are the union statistics over a candidate set S that the
+// Coverage and Redundancy QEFs consume. The incremental evaluator derives
+// them in O(1 source) from a counting union and injects them with
+// PresetUnionStats instead of letting the context re-merge all of S.
+type UnionStats struct {
+	// UnionEst is the estimate of |∪ s| over the sources of S that export a
+	// signature; 0 when none does.
+	UnionEst float64
+	// CoopN is the number of cooperative sources in S.
+	CoopN int
+	// CoopSum is Σ|s| over the cooperative sources of S.
+	CoopSum int64
+	// CoopMixed reports whether S contains a source with a signature but no
+	// cardinality (see Context.coopMixed).
+	CoopMixed bool
+}
+
+// PresetUnionStats primes the context with externally computed union
+// statistics, bypassing unionStats' O(|S|) signature re-merge. It must be
+// called before any QEF evaluates; the values must equal what unionStats
+// would have computed (the incremental evaluator guarantees this
+// bit-exactly). The cooperative-only union of the CoopMixed fallback is
+// still derived lazily by the context itself.
+func (c *Context) PresetUnionStats(st UnionStats) {
+	c.statsOnce = true
+	c.unionEst = st.UnionEst
+	c.coopN = st.CoopN
+	c.coopSum = st.CoopSum
+	c.coopMixed = st.CoopMixed
 }
 
 // Merges returns the number of pairwise PCSA signature merges this context's
 // union computation performed (0 until a union-based QEF has run).
 func (c *Context) Merges() int { return c.merges }
 
-// Scratch holds reusable evaluation buffers. A long-lived evaluator keeps one
-// Scratch per worker and threads it through successive contexts so the union
-// signature (2 KiB at the default PCSA configuration) is allocated once
-// instead of once per candidate subset. A nil *Scratch is valid everywhere
-// one is accepted and simply allocates per use.
+// Scratch is the per-worker sketch arena: reusable evaluation buffers a
+// long-lived evaluator keeps per worker and threads through successive
+// contexts, so the union signature (2 KiB at the default PCSA configuration)
+// and the cooperative-only fallback union are allocated once instead of once
+// per candidate subset. A nil *Scratch is valid everywhere one is accepted
+// and simply allocates per use. A Scratch must only ever be used by one
+// evaluation at a time; contexts leave no cross-candidate state behind in it
+// (every buffer is overwritten before it is read).
 type Scratch struct {
-	union *pcsa.Signature
+	union *pcsa.Signature // full union over S
+	coop  *pcsa.Signature // cooperative-only union (coopMixed fallback)
+}
+
+// checkout returns a scratch signature slot primed with sig's contents,
+// reusing *slot when present.
+func checkout(slot **pcsa.Signature, sig *pcsa.Signature) *pcsa.Signature {
+	if *slot == nil {
+		*slot = sig.Clone()
+	} else {
+		(*slot).CopyFrom(sig)
+	}
+	return *slot
 }
 
 // NewContext builds an evaluation context for the source set ids.
@@ -103,12 +156,7 @@ func (c *Context) unionStats() {
 		if sig := s.Signature; sig != nil {
 			if acc == nil {
 				if c.scratch != nil {
-					if c.scratch.union == nil {
-						c.scratch.union = sig.Clone()
-					} else {
-						c.scratch.union.CopyFrom(sig)
-					}
-					acc = c.scratch.union
+					acc = checkout(&c.scratch.union, sig)
 				} else {
 					acc = sig.Clone()
 				}
@@ -130,6 +178,42 @@ func (c *Context) unionStats() {
 	if acc != nil {
 		c.unionEst = acc.Estimate()
 	}
+}
+
+// coopUnionEstimate returns the estimated union over only the cooperative
+// sources of S — the Redundancy denominator in the coopMixed case — merging
+// into the scratch arena when one is attached. The merge walks IDs in sorted
+// order, so the resulting bitmap (and with it the estimate, bit for bit)
+// matches any other order-independent derivation of the same union.
+func (c *Context) coopUnionEstimate() float64 {
+	if c.coopOnce {
+		return c.coopEst
+	}
+	c.coopOnce = true
+	var acc *pcsa.Signature
+	for _, id := range c.IDs {
+		s := c.U.Source(id)
+		if !s.Cooperative() {
+			continue
+		}
+		if acc == nil {
+			if c.scratch != nil {
+				acc = checkout(&c.scratch.coop, s.Signature)
+			} else {
+				acc = s.Signature.Clone()
+			}
+			continue
+		}
+		c.merges++
+		if err := acc.MergeFrom(s.Signature); err != nil {
+			// Unreachable: Universe.Add enforces a uniform config.
+			panic(fmt.Sprintf("qef: union of cooperative signatures: %v", err))
+		}
+	}
+	if acc != nil {
+		c.coopEst = acc.Estimate()
+	}
+	return c.coopEst
 }
 
 // MatchResult returns the (memoized) result of Match(S) for this context.
@@ -243,13 +327,7 @@ func (Redundancy) Eval(ctx *Context) float64 {
 	if ctx.coopMixed {
 		// A source exported a signature without a cardinality: restrict the
 		// union to the cooperative sources, as the formula requires.
-		var coop []schema.SourceID
-		for _, id := range ctx.IDs {
-			if ctx.U.Source(id).Cooperative() {
-				coop = append(coop, id)
-			}
-		}
-		union = ctx.U.UnionEstimate(coop)
+		union = ctx.coopUnionEstimate()
 	}
 	if union <= 0 || ctx.coopSum == 0 {
 		return 0

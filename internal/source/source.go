@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mube/internal/minhash"
 	"mube/internal/pcsa"
@@ -144,26 +145,38 @@ func Uncooperative(name string, sch schema.Schema) *Source {
 
 // Universe is the set U = {s_1 … s_N} of all candidate sources. Sources are
 // added once, then the universe is effectively immutable; the aggregate
-// synopses used as QEF denominators are computed lazily and cached.
+// synopses used as QEF denominators are cached behind an atomic pointer —
+// builders call Precompute so every Coverage.Eval afterwards is a lock-free
+// load instead of re-deriving the cache under a mutex.
 //
 // Concurrency: Add (and any other mutation) must happen-before concurrent
-// use. After that, all read methods — including the lazily cached aggregates,
-// whose memoization is guarded by an internal mutex — are safe to call from
-// multiple goroutines, which is what the parallel objective evaluator
-// (internal/opt) relies on.
+// use. After that, all read methods — including the cached aggregates — are
+// safe to call from multiple goroutines, which is what the parallel
+// objective evaluator (internal/opt) relies on.
 type Universe struct {
 	sources []*Source
 	sigCfg  pcsa.Config
 
-	// lazily computed aggregates, guarded by mu so concurrent QEF
-	// evaluations cannot race on the first computation.
+	// agg caches the universe-wide aggregates; nil after a mutation. Reads
+	// are a single atomic load; the (re)computation is serialized by mu.
+	agg atomic.Pointer[aggregates]
+
+	// mu guards the aggregate recomputation and the characteristic-range
+	// memo.
 	mu           sync.Mutex
-	totalCard    int64
-	totalValid   bool
-	unionAll     *pcsa.Signature
-	unionAllEst  float64
-	unionValid   bool
 	charRangeMem map[string][2]float64
+}
+
+// aggregates are the universe-wide QEF denominators, computed in one pass
+// and shared immutably.
+type aggregates struct {
+	totalCard   int64
+	unionAllEst float64
+	// mixed counts sources that export a signature but no cardinality — the
+	// unusual shape that forces Redundancy onto its cooperative-only union
+	// fallback. The incremental evaluator uses mixed == 0 to skip that
+	// bookkeeping entirely.
+	mixed int
 }
 
 // NewUniverse returns an empty universe whose cooperative sources use the
@@ -193,11 +206,53 @@ func (u *Universe) Add(s *Source) (schema.SourceID, error) {
 
 // invalidate clears cached aggregates after a mutation.
 func (u *Universe) invalidate() {
+	u.agg.Store(nil)
 	u.mu.Lock()
-	u.totalValid = false
-	u.unionValid = false
 	u.charRangeMem = make(map[string][2]float64)
 	u.mu.Unlock()
+}
+
+// Precompute eagerly materializes the universe-wide aggregates (total
+// cardinality, union-of-all estimate, mixed-source count) so the hot QEF
+// read paths never pay the first-computation cost mid-solve. Builders
+// (synthetic generation, probe.BuildUniverse/ReprobeUniverse, session load)
+// call it once after the last Add; it is also safe to call at any time.
+func (u *Universe) Precompute() { u.aggregates() }
+
+// aggregates returns the cached universe-wide aggregates, computing them on
+// first use after a mutation. The fast path is one atomic load.
+func (u *Universe) aggregates() *aggregates {
+	if a := u.agg.Load(); a != nil {
+		return a
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if a := u.agg.Load(); a != nil { // raced with another recompute
+		return a
+	}
+	a := &aggregates{}
+	var sigs []*pcsa.Signature
+	for _, s := range u.sources {
+		if s.Cardinality > 0 {
+			a.totalCard += s.Cardinality
+		}
+		if s.Signature != nil {
+			sigs = append(sigs, s.Signature)
+			if !s.Cooperative() {
+				a.mixed++
+			}
+		}
+	}
+	if len(sigs) > 0 {
+		un, err := pcsa.Union(sigs...)
+		if err != nil {
+			// Unreachable: Add enforces a uniform config.
+			panic(fmt.Sprintf("source: union of universe signatures: %v", err))
+		}
+		a.unionAllEst = un.Estimate()
+	}
+	u.agg.Store(a)
+	return a
 }
 
 // Len returns the number of sources N.
@@ -226,51 +281,17 @@ func (u *Universe) NumAttrs() int {
 
 // TotalCardinality returns Σ_{t∈U} |t| over cooperative sources — the
 // denominator of the Card QEF.
-func (u *Universe) TotalCardinality() int64 {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	if !u.totalValid {
-		var sum int64
-		for _, s := range u.sources {
-			if s.Cardinality > 0 {
-				sum += s.Cardinality
-			}
-		}
-		u.totalCard = sum
-		u.totalValid = true
-	}
-	return u.totalCard
-}
+func (u *Universe) TotalCardinality() int64 { return u.aggregates().totalCard }
 
-// UnionAllEstimate returns the estimated |∪_{t∈U} t| over cooperative
+// UnionAllEstimate returns the estimated |∪_{t∈U} t| over signature-bearing
 // sources — the denominator of the Coverage QEF. It returns 0 when no source
-// cooperates.
-func (u *Universe) UnionAllEstimate() float64 {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	if !u.unionValid {
-		var sigs []*pcsa.Signature
-		for _, s := range u.sources {
-			if s.Signature != nil {
-				sigs = append(sigs, s.Signature)
-			}
-		}
-		if len(sigs) == 0 {
-			u.unionAll = nil
-			u.unionAllEst = 0
-		} else {
-			un, err := pcsa.Union(sigs...)
-			if err != nil {
-				// Unreachable: Add enforces a uniform config.
-				panic(fmt.Sprintf("source: union of universe signatures: %v", err))
-			}
-			u.unionAll = un
-			u.unionAllEst = un.Estimate()
-		}
-		u.unionValid = true
-	}
-	return u.unionAllEst
-}
+// exports a signature. After Precompute the read is one atomic load.
+func (u *Universe) UnionAllEstimate() float64 { return u.aggregates().unionAllEst }
+
+// MixedCount returns the number of sources that export a signature but no
+// cardinality. When it is 0, the Redundancy QEF's cooperative-only union
+// fallback can never trigger, which the incremental evaluator exploits.
+func (u *Universe) MixedCount() int { return u.aggregates().mixed }
 
 // UnionEstimate returns the estimated number of distinct tuples in the union
 // of the given sources, skipping uncooperative ones. It returns 0 when none

@@ -268,6 +268,9 @@ func Generate(cfg Config) (*Result, error) {
 			res.Conformant = append(res.Conformant, id)
 		}
 	}
+	// Materialize the universe aggregates (total cardinality, |∪U| estimate)
+	// at generation time rather than inside the first Coverage evaluation.
+	res.Universe.Precompute()
 	return res, nil
 }
 
