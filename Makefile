@@ -1,13 +1,14 @@
 # Development entry points. `make check` is the tier-1 gate CI runs on every
-# commit: build, go vet, the full test suite under the race detector
-# (including the fault-injection suite, see `faults`), and the repo's own
-# analyzers (cmd/mube-vet).
+# commit: build, the repo's own analyzers (cmd/mube-vet — early, so policy
+# violations fail in seconds instead of after the race suites), go vet, and
+# the full test suite under the race detector (including the fault-injection
+# suite, see `faults`).
 
 GO ?= go
 
-.PHONY: check build vet test race faults telemetry mube-vet bench bench-delta benchall fmt
+.PHONY: check build vet test race faults telemetry mube-vet vet-json bench bench-delta benchall fmt
 
-check: build vet race faults telemetry mube-vet
+check: build mube-vet vet race faults telemetry
 
 build:
 	$(GO) build ./...
@@ -43,6 +44,11 @@ telemetry:
 
 mube-vet:
 	$(GO) run ./cmd/mube-vet ./...
+
+# vet-json emits the machine-readable diagnostics stream (stable field and
+# array order, so CI can diff artifacts across runs).
+vet-json:
+	$(GO) run ./cmd/mube-vet -json ./...
 
 # bench runs the figure-regeneration benchmarks three times each (single-shot
 # timings so the three runs expose variance) and archives them as JSON.

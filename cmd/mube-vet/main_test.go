@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -134,9 +135,121 @@ func TestListFlag(t *testing.T) {
 	if code := run(".", []string{"-list"}, &stdout, &stderr); code != exitClean {
 		t.Fatalf("-list exit = %d, stderr: %s", code, stderr.String())
 	}
-	for _, name := range []string{"determinism:", "floatcmp:", "errdrop:", "seedflow:"} {
+	for _, name := range []string{"determinism:", "floatcmp:", "errdrop:", "seedflow:",
+		"workerpure:", "ctxflow:", "atomicmix:", "leakjoin:"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
 		}
+	}
+	// Output is sorted by analyzer name.
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	names := make([]string, 0, len(lines))
+	for _, l := range lines {
+		names = append(names, strings.SplitN(l, ":", 2)[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list output not sorted: %v", names)
+	}
+}
+
+// violatingModule is a scratch module with one floatcmp finding.
+func violatingModule(t *testing.T) string {
+	t.Helper()
+	return writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"main.go": "package main\n\nfunc main() {\n" +
+			"\ta, b := 0.1, 0.2\n\tif a == b {\n\t\tpanic(\"equal\")\n\t}\n}\n",
+	})
+}
+
+func TestFlagsAfterPatterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go command")
+	}
+	dir := violatingModule(t)
+	// The pattern precedes the flags; both must still be honored.
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"./...", "-json", "-parallel", "2", "-no-cache"}, &stdout, &stderr)
+	if code != exitDiagnostics {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, exitDiagnostics, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"analyzer": "floatcmp"`) {
+		t.Errorf("-json after pattern not honored:\n%s", stdout.String())
+	}
+	// And the '=' form interleaved around a pattern.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(dir, []string{"-parallel=1", "./...", "-json"}, &stdout, &stderr); code != exitDiagnostics {
+		t.Fatalf("interleaved exit = %d, want %d\nstderr: %s", code, exitDiagnostics, stderr.String())
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go command")
+	}
+	dir := violatingModule(t)
+	cacheDir := t.TempDir()
+	outputs := make([]string, 0, 4)
+	for _, args := range [][]string{
+		{"-json", "-no-cache", "-parallel", "1", "./..."},
+		{"-json", "-no-cache", "-parallel", "8", "./..."},
+		{"-json", "-cache-dir", cacheDir, "./..."}, // cold cache
+		{"-json", "-cache-dir", cacheDir, "./..."}, // warm cache
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(dir, args, &stdout, &stderr); code != exitDiagnostics {
+			t.Fatalf("%v exit = %d, want %d\nstderr: %s", args, code, exitDiagnostics, stderr.String())
+		}
+		outputs = append(outputs, stdout.String())
+	}
+	for i, out := range outputs[1:] {
+		if out != outputs[0] {
+			t.Errorf("-json output differs between run 0 and run %d:\n%s\nvs\n%s", i+1, outputs[0], out)
+		}
+	}
+	if !strings.Contains(outputs[0], `"line": 5`) {
+		t.Errorf("-json output missing expected finding:\n%s", outputs[0])
+	}
+}
+
+func TestBaselineFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go command")
+	}
+	dir := violatingModule(t)
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	var stdout, stderr bytes.Buffer
+	// Recording the current findings exits 0.
+	if code := run(dir, []string{"-no-cache", "-write-baseline", baseline, "./..."}, &stdout, &stderr); code != exitClean {
+		t.Fatalf("-write-baseline exit = %d\nstderr: %s", code, stderr.String())
+	}
+	// With the baseline applied the dirty tree passes.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(dir, []string{"-no-cache", "-baseline", baseline, "./..."}, &stdout, &stderr); code != exitClean {
+		t.Fatalf("-baseline exit = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	// A new finding in another file is not covered.
+	if err := os.WriteFile(filepath.Join(dir, "extra.go"),
+		[]byte("package main\n\nfunc eq(a, b float64) bool { return a == b }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(dir, []string{"-no-cache", "-baseline", baseline, "./..."}, &stdout, &stderr); code != exitDiagnostics {
+		t.Fatalf("new finding over baseline exit = %d, want %d\nstdout: %s", code, exitDiagnostics, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "extra.go") {
+		t.Errorf("survivor should be the new finding:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "main.go") {
+		t.Errorf("baselined finding leaked through:\n%s", stdout.String())
+	}
+	// A missing baseline file is a hard configuration error.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(dir, []string{"-no-cache", "-baseline", baseline + ".missing", "./..."}, &stdout, &stderr); code != exitLoadFailure {
+		t.Fatalf("missing baseline exit = %d, want %d", code, exitLoadFailure)
 	}
 }

@@ -134,21 +134,39 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				Path:      pkg.Path,
-				ignores:   ignores,
-				out:       &out,
-			}
-			a.Run(pass)
-		}
+		out = append(out, runPackage(pkg, analyzers)...)
 	}
+	return sortDiagnostics(out)
+}
+
+// runPackage applies the analyzers to one package and returns its raw
+// diagnostics, unsorted. This is the cacheable unit of work: a package's
+// diagnostics depend only on its sources, its dependencies' export data, and
+// the analyzer set.
+func runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Path:      pkg.Path,
+			ignores:   ignores,
+			out:       &out,
+		}
+		a.Run(pass)
+	}
+	return out
+}
+
+// sortDiagnostics orders diagnostics by (file, line, column, analyzer,
+// message) and removes exact duplicates (a file reached through overlapping
+// package variants). The total order is what makes mube-vet's output — text
+// or JSON — byte-identical regardless of package schedule or parallelism.
+func sortDiagnostics(out []Diagnostic) []Diagnostic {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Position.Filename != b.Position.Filename {

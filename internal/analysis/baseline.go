@@ -1,0 +1,93 @@
+// Baseline mode: a recorded multiset of pre-existing findings, so a new
+// analyzer can land strict — failing on regressions — without forcing a
+// same-day cleanup of historical debt. Entries are keyed by (analyzer, file,
+// message) with a count, deliberately omitting line numbers: unrelated edits
+// move findings around a file without churning the baseline, while a new
+// instance of a suppressed finding in the same file only passes until the
+// old one is fixed (counts are consumed, not wildcarded).
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A BaselineEntry suppresses Count diagnostics matching (Analyzer, File,
+// Message). File is module-relative with forward slashes, as in -json
+// output.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// ReadBaseline loads a baseline file (a JSON array of entries).
+func ReadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	return entries, nil
+}
+
+// WriteBaseline records diags (with paths made relative to dir) as a
+// baseline at path, sorted and indented so the file diffs cleanly.
+func WriteBaseline(path, dir string, diags []Diagnostic) error {
+	counts := map[BaselineEntry]int{}
+	for _, d := range diags {
+		k := BaselineEntry{Analyzer: d.Analyzer, File: relPath(dir, d.Position.Filename), Message: d.Message}
+		counts[k]++
+	}
+	entries := make([]BaselineEntry, 0, len(counts))
+	for k, n := range counts {
+		k.Count = n
+		entries = append(entries, k)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FilterBaseline drops diagnostics covered by the baseline, consuming counts
+// in sorted diagnostic order, and returns the survivors. Stale entries
+// (nothing left to suppress) are harmless.
+func FilterBaseline(diags []Diagnostic, entries []BaselineEntry, dir string) []Diagnostic {
+	remaining := map[BaselineEntry]int{}
+	for _, e := range entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		e.Count = 0
+		remaining[e] += n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := BaselineEntry{Analyzer: d.Analyzer, File: relPath(dir, d.Position.Filename), Message: d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

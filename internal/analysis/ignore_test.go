@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadSrc type-checks in-memory sources (filename -> source) into a Package.
+func loadSrc(t *testing.T, path string, sources map[string]string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic file order regardless of map iteration
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, sources[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: importer.Default()}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{ImportPath: path, Path: path, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+}
+
+// callFlagger reports name at every call of the function literally named
+// "hit", so tests control diagnostic positions precisely.
+func callFlagger(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "test analyzer flagging hit() calls",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "hit" {
+							pass.Reportf(call.Pos(), "hit call")
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	src := `package p
+
+func hit() {}
+
+func f() {
+	hit()                                // line 6: no directive, reported
+	hit() //mube:vet-ignore alpha        // line 7: same-line, alpha only
+	//mube:vet-ignore alpha — reason
+	hit()                                // line 9: preceding-line, alpha only
+	hit() //mube:vet-ignore alpha,beta   // line 10: multi-analyzer list
+	hit() //mube:vet-ignore              // line 11: bare star form, everything
+	//mube:vet-ignore beta
+
+	hit()                                // line 14: directive two lines up: no effect
+}
+`
+	pkg := loadSrc(t, "mube/internal/fake", map[string]string{"p.go": src})
+	diags := Run([]*Package{pkg}, []*Analyzer{callFlagger("alpha"), callFlagger("beta")})
+
+	got := map[string][]int{}
+	for _, d := range diags {
+		got[d.Analyzer] = append(got[d.Analyzer], d.Position.Line)
+	}
+	wantAlpha := []int{6, 14}
+	wantBeta := []int{6, 7, 9, 14}
+	if !equalInts(got["alpha"], wantAlpha) {
+		t.Errorf("alpha reported lines %v, want %v", got["alpha"], wantAlpha)
+	}
+	if !equalInts(got["beta"], wantBeta) {
+		t.Errorf("beta reported lines %v, want %v", got["beta"], wantBeta)
+	}
+}
+
+func TestIgnoreDirectiveInTestFile(t *testing.T) {
+	// Directives work identically in a _test.go file of the package — the
+	// common case being test helpers that intentionally violate a policy.
+	lib := `package p
+
+func hit() {}
+
+func f() {
+	hit() // reported: line 6
+}
+`
+	test := `package p
+
+func g() {
+	hit() //mube:vet-ignore alpha
+	//mube:vet-ignore alpha
+	hit()
+	hit() // reported: line 7
+}
+`
+	pkg := loadSrc(t, "mube/internal/fake", map[string]string{"p.go": lib, "p_test.go": test})
+	diags := Run([]*Package{pkg}, []*Analyzer{callFlagger("alpha")})
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s:%d", filepath.Base(d.Position.Filename), d.Position.Line))
+	}
+	want := "p.go:6 p_test.go:7"
+	if strings.Join(got, " ") != want {
+		t.Errorf("reported %v, want %q", got, want)
+	}
+}
+
+func TestIgnoreDirectiveScopedToFile(t *testing.T) {
+	// A directive in one file must not leak to the same line number of
+	// another file.
+	a := `package p
+
+func hit() {}
+
+func fa() {
+	hit() //mube:vet-ignore alpha
+}
+`
+	b := `package p
+
+func fb() {
+	_ = 1
+	_ = 2
+	hit() // same line number as the suppressed call in a.go
+}
+`
+	pkg := loadSrc(t, "mube/internal/fake", map[string]string{"a.go": a, "b.go": b})
+	diags := Run([]*Package{pkg}, []*Analyzer{callFlagger("alpha")})
+	if len(diags) != 1 || filepath.Base(diags[0].Position.Filename) != "b.go" {
+		t.Errorf("want exactly the b.go diagnostic, got %v", diags)
+	}
+}
+
+func TestCollectIgnoresKeys(t *testing.T) {
+	src := `package p
+
+//mube:vet-ignore alpha,beta — shared scaffolding
+var x = 1
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := collectIgnores(fset, []*ast.File{f})
+	for _, tc := range []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{3, "alpha", true},  // directive's own line
+		{4, "alpha", true},  // line below
+		{4, "beta", true},   // second listed analyzer
+		{4, "gamma", false}, // unlisted analyzer
+		{5, "alpha", false}, // two lines below
+	} {
+		got := s.suppressed(token.Position{Filename: "p.go", Line: tc.line}, tc.analyzer)
+		if got != tc.want {
+			t.Errorf("suppressed(line %d, %s) = %v, want %v", tc.line, tc.analyzer, got, tc.want)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// jsonDiagnostic is the -json wire form. Field order is fixed by the struct
+// (encoding/json emits fields in declaration order), paths are relative to
+// the module dir, and the array is pre-sorted — together that makes the
+// output byte-identical across runs, machines, and -parallel settings, so CI
+// can diff it.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders sorted diagnostics as an indented JSON array (always an
+// array, "[]" when clean) with file paths relative to dir.
+func WriteJSON(w io.Writer, dir string, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relPath(dir, d.Position.Filename),
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Message:  d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// relPath makes path relative to dir when possible, with forward slashes so
+// output is stable across platforms.
+func relPath(dir, path string) string {
+	if dir != "" {
+		if abs, err := filepath.Abs(dir); err == nil {
+			if rel, err := filepath.Rel(abs, path); err == nil && !filepath.IsAbs(rel) &&
+				rel != ".." && !hasDotDotPrefix(rel) {
+				path = rel
+			}
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

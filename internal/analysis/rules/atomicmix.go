@@ -1,0 +1,117 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mube/internal/analysis"
+)
+
+// AtomicMix catches the mixed-access class of race: a variable or field
+// updated through the function-style sync/atomic API (atomic.AddUint64(&x, 1))
+// in one place and read or written plainly in another. Plain accesses next to
+// atomic ones are racy even when each side "only reads" — the race detector
+// flags them and the memory model gives them no ordering. The typed atomics
+// (atomic.Int64, atomic.Pointer) make this mistake unrepresentable, which is
+// why the repo's aggregates use them; this analyzer fences the remaining
+// function-style API.
+//
+// The check is per package: an object is "atomic" if any non-test file in
+// the package passes its address to a sync/atomic function; every plain
+// mention of that object elsewhere in the package is then reported. Accesses
+// from other packages (exported fields) are out of scope.
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "a variable accessed through sync/atomic functions must never be read " +
+		"or written plainly; use the atomic API consistently or a typed atomic",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *analysis.Pass) {
+	// Pass 1: objects whose address reaches a sync/atomic call, and the
+	// mention sites inside those calls (legal by definition).
+	atomicObjs := map[types.Object]token.Position{}
+	inAtomicCall := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, _ := pkgFunc(pass, call)
+			if pkgPath != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj, id := addressedObj(pass, un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = pass.Fset.Position(call.Pos())
+				}
+				inAtomicCall[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	// Pass 2: every other mention of those objects is a mixed access.
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || inAtomicCall[id] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if first, ok := atomicObjs[obj]; ok {
+				pass.Reportf(id.Pos(),
+					"plain access to %s, which is accessed via sync/atomic (first at %s:%d); mixed access races — use the atomic API or a typed atomic",
+					obj.Name(), relBase(first.Filename), first.Line)
+			}
+			return true
+		})
+	}
+}
+
+// addressedObj resolves &expr's operand to the object being made atomic —
+// the field of a selector chain (&c.n) or a bare variable (&x) — plus the
+// ident that names it.
+func addressedObj(pass *analysis.Pass, expr ast.Expr) (types.Object, *ast.Ident) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e], e
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel], e.Sel
+	case *ast.IndexExpr:
+		// &xs[i]: the element has no object identity; skip.
+		return nil, nil
+	}
+	return nil, nil
+}
+
+// relBase trims a position's path to its final element so messages stay
+// stable across checkouts.
+func relBase(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		return filename[i+1:]
+	}
+	return filename
+}

@@ -25,11 +25,15 @@ import (
 
 // All is the registry the mube-vet driver runs, in reporting order.
 var All = []*analysis.Analyzer{
+	AtomicMix,
+	CtxFlow,
 	Determinism,
 	ErrDrop,
 	FloatCmp,
+	LeakJoin,
 	SeedFlow,
 	Telemetry,
+	WorkerPure,
 }
 
 // modulePath is the import-path root policy scoping keys off.

@@ -1,7 +1,10 @@
 package rules_test
 
 import (
+	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 
 	"mube/internal/analysis"
@@ -11,6 +14,41 @@ import (
 
 func fixture(elem ...string) string {
 	return filepath.Join(append([]string{"testdata", "src"}, elem...)...)
+}
+
+var wantComment = regexp.MustCompile(`//\s*want\s+"(?:[^"\\]|\\.)*"`)
+
+// fixtureNoWants copies a fixture with its want comments stripped, so a
+// violating fixture can double as an out-of-scope case that must be silent.
+// The copy lives under testdata (not t.TempDir) because fixture loading
+// resolves imports relative to the fixture directory, which must stay inside
+// the module.
+func fixtureNoWants(t *testing.T, elem ...string) string {
+	t.Helper()
+	src := fixture(elem...)
+	dst, err := os.MkdirTemp("testdata", "nowants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.RemoveAll(dst) })
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = wantComment.ReplaceAll(data, []byte{})
+		if err := os.WriteFile(filepath.Join(dst, ent.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
 }
 
 func TestDeterminismRestricted(t *testing.T) {
@@ -64,6 +102,38 @@ func TestTelemetryOutOfScope(t *testing.T) {
 	// cmd/ binaries own stdout; the allowed fixture produces no diagnostics
 	// when loaded under a cmd path.
 	analysistest.Run(t, fixture("telemetry", "allowed"), "mube/cmd/mube", rules.Telemetry)
+}
+
+func TestWorkerPure(t *testing.T) {
+	analysistest.Run(t, fixture("workerpure"), "mube/internal/opt/fixture", rules.WorkerPure)
+}
+
+func TestWorkerPureOutOfScope(t *testing.T) {
+	// Outside the deterministic core, goroutine closures are not workers:
+	// the violating fixture produces no diagnostics under internal/session.
+	analysistest.Run(t, fixtureNoWants(t, "workerpure"), "mube/internal/session", rules.WorkerPure)
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, fixture("ctxflow", "core"), "mube/internal/opt/fixture", rules.CtxFlow)
+}
+
+func TestCtxFlowAllowlisted(t *testing.T) {
+	analysistest.Run(t, fixture("ctxflow", "allowed"), "mube/internal/exp", rules.CtxFlow)
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, fixture("atomicmix"), "mube/internal/fixture/atomicmix", rules.AtomicMix)
+}
+
+func TestLeakJoin(t *testing.T) {
+	analysistest.Run(t, fixture("leakjoin"), "mube/internal/fixture/leakjoin", rules.LeakJoin)
+}
+
+func TestLeakJoinOutOfScope(t *testing.T) {
+	// cmd/ may fire-and-forget (debug servers); the violating fixture is
+	// silent under a cmd path.
+	analysistest.Run(t, fixtureNoWants(t, "leakjoin"), "mube/cmd/mube-bench", rules.LeakJoin)
 }
 
 func TestRegistryNamesUnique(t *testing.T) {

@@ -1,0 +1,53 @@
+// Package fixture mixes function-style sync/atomic access with plain access
+// to the same objects; typed atomics and plain-only fields must pass.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64       // accessed via atomic.AddUint64: every touch must be atomic
+	safe atomic.Int64 // typed atomic: mixed access is unrepresentable
+	hits uint64       // plain-only: fine
+}
+
+func (c *counter) incr() {
+	atomic.AddUint64(&c.n, 1)
+	c.safe.Add(1)
+	c.hits++
+}
+
+// load uses the atomic API consistently.
+func (c *counter) load() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// mixedRead reads the atomic field without the API.
+func (c *counter) mixedRead() uint64 {
+	return c.n // want "plain access to n"
+}
+
+// mixedWrite resets it plainly.
+func (c *counter) mixedWrite() {
+	c.n = 0 // want "plain access to n"
+	c.hits = 0
+	c.safe.Store(0)
+}
+
+var global uint64
+
+func bumpGlobal() {
+	atomic.AddUint64(&global, 1)
+}
+
+func readGlobal() uint64 {
+	return global // want "plain access to global"
+}
+
+// swap keeps a package-level var fully atomic.
+var state uint32
+
+func swap(next uint32) uint32 {
+	old := atomic.LoadUint32(&state)
+	atomic.StoreUint32(&state, next)
+	return old
+}

@@ -1,0 +1,16 @@
+// Package fixture holds patterns ctxflow bans in the core but permits in
+// allowlisted packages (the exp harness owns its run lifecycles): loaded
+// under mube/internal/exp it must produce no diagnostics.
+package fixture
+
+import "context"
+
+// detachedRun would be flagged anywhere else in internal/.
+func detachedRun(work func(context.Context)) {
+	work(context.Background())
+}
+
+// unusedCtx would be a dropped cancellation path in the core.
+func unusedCtx(ctx context.Context, n int) int {
+	return n * 2
+}

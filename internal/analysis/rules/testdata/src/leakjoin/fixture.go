@@ -1,0 +1,120 @@
+// Package fixture covers the goroutine-join shapes: pools that join on every
+// path, and spawns whose goroutines can outlive the function.
+package fixture
+
+import "sync"
+
+func work(wg *sync.WaitGroup) { defer wg.Done() }
+
+// joined is the canonical pool: spawn in a loop, Wait after it.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// chanJoined joins by receiving the goroutine's result.
+func chanJoined() int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+	}()
+	return <-out
+}
+
+// deferJoined joins through a deferred Wait, which runs on every path.
+func deferJoined(b bool) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	if b {
+		return
+	}
+}
+
+// rangeJoined drains the channel the goroutine feeds and closes.
+func rangeJoined() int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+		close(out)
+	}()
+	t := 0
+	for v := range out {
+		t += v
+	}
+	return t
+}
+
+// selectJoined receives through a select whose every case is a receive.
+func selectJoined(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+	select {
+	case <-done:
+	}
+}
+
+// namedJoined spawns a named function; any join on the exit paths counts.
+func namedJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go work(&wg)
+	wg.Wait()
+}
+
+// leaked has no join at all.
+func leaked() {
+	go func() { // want "no join"
+		_ = 1
+	}()
+}
+
+// notAllPaths lets an early return escape the Wait.
+func notAllPaths(b bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "no join"
+		defer wg.Done()
+	}()
+	if b {
+		return
+	}
+	wg.Wait()
+}
+
+// namedLeaked spawns a named function and never joins anything.
+func namedLeaked() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go work(&wg) // want "no join"
+}
+
+// wrongObject waits on a different WaitGroup than the goroutine signals.
+func wrongObject(other *sync.WaitGroup) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "no join"
+		defer wg.Done()
+	}()
+	other.Wait()
+}
+
+// insideClosure: spawns inside function literals are checked against the
+// literal's own exit paths.
+func insideClosure() func() {
+	return func() {
+		go func() { // want "no join"
+			_ = 1
+		}()
+	}
+}

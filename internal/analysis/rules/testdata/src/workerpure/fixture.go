@@ -1,0 +1,132 @@
+// Package fixture mirrors the evaluator's batch fan-out shapes: a clean
+// worker pool that must pass, and impure variants that must be flagged.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mube/internal/telemetry"
+)
+
+type job struct {
+	ids []int
+	v   float64
+}
+
+type pool struct {
+	mu      sync.Mutex
+	memo    map[string]float64
+	scratch sync.Pool
+	rec     *telemetry.Recorder
+	evals   int
+}
+
+// good is the sanctioned fan-out: an atomic cursor hands out jobs, each
+// worker writes only its job's slot, and the commutative counters are the
+// only telemetry.
+func (p *pool) good(jobs []*job, workers int) {
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := p.scratch.Get()
+			defer p.scratch.Put(sc)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				jobs[i].v = p.compute(jobs[i].ids)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// compute is worker-reachable and pure: locals only, counter adds allowed.
+func (p *pool) compute(ids []int) float64 {
+	s := 0.0
+	for _, id := range ids {
+		s += float64(id)
+	}
+	p.rec.Add("eval.computed", 1)
+	p.rec.Observe("eval.job_size", float64(len(ids)))
+	return s
+}
+
+// badWrites mutates shared state from workers.
+func (p *pool) badWrites(jobs []*job, workers int) {
+	total := 0.0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.evals++            // want "writes shared state"
+			p.memo["k"] = 1      // want "writes a shared map"
+			total += jobs[0].v   // want "writes shared state"
+		}()
+	}
+	wg.Wait()
+	_ = total
+}
+
+// badLock serializes the fan-out through the evaluator's mutex.
+func (p *pool) badLock(jobs []*job) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.mu.Lock()   // want "sync is limited to WaitGroup.Done and Pool.Get/Put"
+		jobs[0].v = 1 // legal: disjoint slot
+		p.mu.Unlock() // want "sync is limited to WaitGroup.Done and Pool.Get/Put"
+	}()
+	wg.Wait()
+}
+
+// badChan coordinates workers through a channel instead of the cursor.
+func (p *pool) badChan(jobs []*job) {
+	out := make(chan float64, len(jobs))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out <- 1 // want "channel operation"
+	}()
+	wg.Wait()
+	<-out
+}
+
+// badEmit writes to the ordered event stream from a worker.
+func (p *pool) badEmit() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.rec.Emit("eval.batch", telemetry.Int("jobs", 1)) // want "Emit/Gauge are ordered"
+	}()
+	wg.Wait()
+}
+
+// badReach is impure only through a callee: the diagnostics land inside the
+// reachable function, at the offending statements.
+func (p *pool) badReach(workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.impure()
+		}()
+	}
+	wg.Wait()
+}
+
+// impure is fine on the solve goroutine but not from a worker.
+func (p *pool) impure() {
+	p.evals++                   // want "worker-reachable function impure writes shared state"
+	p.rec.Gauge("eval.best", 1) // want "worker-reachable function impure calls Gauge"
+}

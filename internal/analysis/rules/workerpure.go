@@ -1,0 +1,167 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mube/internal/analysis"
+	"mube/internal/analysis/cfg"
+)
+
+// WorkerPure proves the determinism contract of the evaluator's fan-out:
+// every goroutine spawned with a function literal in the deterministic core
+// (internal/opt and its solver subpackages, internal/pcsa, internal/qef) is a
+// batch worker, and workers must be pure. Planning — memo lookups, budget
+// accounting, trace emission — happens sequentially on the solve goroutine;
+// workers may only compute. Concretely, the closure and every in-package
+// function statically reachable from it must not
+//
+//   - write a captured variable, map, or field (the one sanctioned shape is
+//     writing disjoint slots of a captured slice, jobs[i].v = ...),
+//   - perform channel operations or take locks (sync is reduced to
+//     WaitGroup.Done and Pool.Get/Put inside a worker),
+//   - emit ordered telemetry (Recorder.Emit/Gauge); only the commutative
+//     counter set Add/Observe is safe off the solve goroutine.
+//
+// Soundness limits: calls through interfaces or function values are not
+// followed (the summary records them as dynamic sites), and calls into other
+// packages are trusted except for the sync and telemetry policies above.
+var WorkerPure = &analysis.Analyzer{
+	Name: "workerpure",
+	Doc: "goroutine closures in the deterministic core (internal/opt, pcsa, qef) " +
+		"and the functions they reach must be pure: no captured-state writes, " +
+		"no channel or lock operations, no ordered telemetry (Emit/Gauge)",
+	Run: runWorkerPure,
+}
+
+// workerPureScope is the deterministic core: the packages whose goroutines
+// are, by contract, evaluation workers.
+var workerPureScope = []string{
+	modulePath + "/internal/opt",
+	modulePath + "/internal/pcsa",
+	modulePath + "/internal/qef",
+}
+
+// workerSyncAllow is the worker-legal subset of package sync, keyed by
+// receiver type and method name.
+var workerSyncAllow = map[string]bool{
+	"WaitGroup.Done": true,
+	"Pool.Get":       true,
+	"Pool.Put":       true,
+}
+
+// workerRecorderAllow is the worker-legal subset of telemetry.Recorder:
+// commutative counters whose final value is independent of worker
+// interleaving. Emit and Gauge are ordered streams and belong to the solve
+// goroutine.
+var workerRecorderAllow = map[string]bool{
+	"Add":     true,
+	"Observe": true,
+}
+
+func runWorkerPure(pass *analysis.Pass) {
+	if !underAny(pass.Path, workerPureScope) {
+		return
+	}
+	sums := cfg.Summarize(pass.Files, pass.TypesInfo)
+	checked := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			sig, _ := pass.TypesInfo.TypeOf(lit).(*types.Signature)
+			sum := cfg.SummarizeBody(pass.TypesInfo, sig, lit.Body)
+			checkWorkerSummary(pass, sum, "worker closure")
+			// Follow static call edges into this package's functions; each
+			// is checked once even when reachable from several pools.
+			var roots []*types.Func
+			for _, c := range sum.Calls {
+				if sums.Of(c.Fn) != nil {
+					roots = append(roots, c.Fn)
+				}
+			}
+			for _, fn := range sums.Reachable(roots) {
+				if checked[fn] {
+					continue
+				}
+				checked[fn] = true
+				checkWorkerSummary(pass, sums.Of(fn), "worker-reachable function "+fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// checkWorkerSummary reports every impurity in one summarized body. where
+// names the body in messages ("worker closure" or the reachable function).
+func checkWorkerSummary(pass *analysis.Pass, sum *cfg.Summary, where string) {
+	for _, w := range sum.Writes {
+		switch {
+		case w.Root == cfg.RootLocal || w.Root == cfg.RootParam:
+			// Locals and arguments are per-invocation; fine.
+		case w.Root == cfg.RootCaptured && w.Indexed && !w.Map:
+			// The sanctioned result-slot pattern: each worker writes distinct
+			// indexes of a shared slice (jobs[i].v = ...).
+		case w.Map:
+			pass.Reportf(w.Pos, "%s writes a shared map (root: %s); map writes race — plan sequentially on the solve goroutine", where, w.Root)
+		default:
+			pass.Reportf(w.Pos, "%s writes shared state (root: %s); workers must be pure — only disjoint slice slots may be written", where, w.Root)
+		}
+	}
+	for _, pos := range sum.ChanOps {
+		pass.Reportf(pos, "%s performs a channel operation; workers coordinate only through the job cursor and WaitGroup", where)
+	}
+	for _, c := range sum.Calls {
+		if why := workerCallBanned(c.Fn); why != "" {
+			pass.Reportf(c.Pos, "%s calls %s; %s", where, c.Fn.Name(), why)
+		}
+	}
+}
+
+// workerCallBanned applies the cross-package call policy: sync is reduced to
+// the worker-legal trio, sync/atomic is free, telemetry is reduced to the
+// commutative counters. Everything else (stdlib, other module packages) is
+// trusted — a documented soundness limit.
+func workerCallBanned(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "sync":
+		if !workerSyncAllow[recvTypeName(fn)+"."+fn.Name()] {
+			return "inside a worker, sync is limited to WaitGroup.Done and Pool.Get/Put; locks serialize the fan-out and hide ordering bugs"
+		}
+	case modulePath + "/internal/telemetry":
+		if recvTypeName(fn) == "Recorder" && !workerRecorderAllow[fn.Name()] {
+			return "only the commutative Recorder counters (Add, Observe) may run on workers; Emit/Gauge are ordered and belong to the solve goroutine"
+		}
+	}
+	return ""
+}
+
+// recvTypeName returns the name of fn's receiver type ("WaitGroup" for
+// (*sync.WaitGroup).Done), or "" for a plain function.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -339,10 +339,10 @@ func TestValidFlipAndApplyFlip(t *testing.T) {
 		{Move{Add: -1, Drop: 3}, true},
 		{Move{Add: 4, Drop: 5}, true},
 		{NoMove, true},
-		{Move{Add: 3, Drop: -1}, false},  // re-add member
-		{Move{Add: -1, Drop: 2}, false},  // drop non-member
-		{Move{Add: 7, Drop: 7}, false},   // degenerate swap
-		{Move{Add: 9, Drop: 4}, false},   // drop side absent
+		{Move{Add: 3, Drop: -1}, false}, // re-add member
+		{Move{Add: -1, Drop: 2}, false}, // drop non-member
+		{Move{Add: 7, Drop: 7}, false},  // degenerate swap
+		{Move{Add: 9, Drop: 4}, false},  // drop side absent
 	}
 	for _, tc := range cases {
 		if got := validFlip(base, tc.mv); got != tc.valid {

@@ -61,9 +61,10 @@ func NewEvaluator(p *Problem, maxEvals int) *Evaluator {
 	e := &Evaluator{
 		p:       p,
 		workers: runtime.GOMAXPROCS(0),
-		ctx:     context.Background(),
-		memo:    make(map[string]float64),
-		limit:   maxEvals,
+		//mube:vet-ignore ctxflow — placeholder until BindContext; Solve always rebinds
+		ctx:   context.Background(),
+		memo:  make(map[string]float64),
+		limit: maxEvals,
 	}
 	e.scratch.New = func() any { return &qef.Scratch{} }
 	return e
@@ -80,7 +81,7 @@ func (e *Evaluator) Instrument(rec *telemetry.Recorder) { e.rec = rec }
 // the search within one batch. A nil ctx resets to context.Background().
 func (e *Evaluator) BindContext(ctx context.Context) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //mube:vet-ignore ctxflow — documented nil-reset semantics
 	}
 	e.ctx = ctx
 }
@@ -549,7 +550,7 @@ func (s *Search) Stopped() bool { return s.ctx.Err() != nil }
 // cancellation). It validates the problem.
 func NewSearch(ctx context.Context, p *Problem, opts Options) (*Search, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //mube:vet-ignore ctxflow — documented nil-means-no-cancellation API
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err

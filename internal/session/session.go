@@ -396,6 +396,7 @@ func (s *Session) Problem() (*opt.Problem, error) {
 // Solve runs one µBE iteration: solve the current spec, append the result to
 // the history, and return it.
 func (s *Session) Solve() (*opt.Solution, error) {
+	//mube:vet-ignore ctxflow — convenience wrapper; SolveContext is the cancelable API
 	return s.SolveContext(context.Background())
 }
 
