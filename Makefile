@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race faults telemetry mube-vet vet-json bench bench-delta benchall fmt
+.PHONY: check build vet test race faults telemetry mube-vet vet-json bench bench-delta bench-smoke benchall fmt
 
 check: build mube-vet vet race faults telemetry
 
@@ -65,6 +65,17 @@ bench-delta:
 	$(GO) test -bench=Delta -benchmem -benchtime=1x -count=3 -run=^$$ . | $(GO) run ./cmd/mube-benchjson -merge BENCH_fig.json > BENCH_delta.tmp
 	@mv BENCH_delta.tmp BENCH_fig.json
 	@echo "merged Delta benchmarks into BENCH_fig.json"
+
+# bench-smoke is CI's non-gating sanity pass: one Fig5 iteration diffed
+# against the committed BENCH_fig.json (the -compare table prints to stderr;
+# shared-runner timings are too noisy to gate on, so regressions are
+# informational here — run `make bench` locally to re-archive), plus the 100k
+# universe preset at reduced solver budget to prove the streamed-generation
+# and partitioned-solve path end to end.
+bench-smoke:
+	$(GO) test -bench=Fig5 -benchmem -benchtime=1x -count=1 -run=^$$ . | $(GO) run ./cmd/mube-benchjson -compare BENCH_fig.json > BENCH_smoke.json
+	@echo "wrote BENCH_smoke.json"
+	$(GO) run ./cmd/mube-bench -universe 100k -smoke
 
 benchall:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

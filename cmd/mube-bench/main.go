@@ -170,6 +170,8 @@ var experiments = []struct {
 func main() {
 	expName := flag.String("exp", "all", "experiment to run (or 'all')")
 	scaleName := flag.String("scale", "quick", "experiment scale: full | quick")
+	universe := flag.String("universe", "", "run the universe-scale benchmark instead: 50 | 10k | 100k | all")
+	smoke := flag.Bool("smoke", false, "with -universe: reduce solver budgets to CI smoke size")
 	seed := flag.Int64("seed", 0, "override the scale's base seed (0 = keep)")
 	parallel := flag.Int("parallel", 0, "evaluator worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	faults := flag.String("faults", "", "fault plan applied to universe acquisition, e.g. rate=0.3,seed=7 (\"\" or \"none\" = clean)")
@@ -215,6 +217,49 @@ func main() {
 		}
 		defer ln.Close()
 		fmt.Printf("debug: expvar and pprof on http://%s/debug/\n", ln.Addr())
+	}
+
+	// Universe-scale mode: build a streamed universe at the preset size and
+	// solve it end to end, instead of reproducing the paper's figures.
+	if *universe != "" {
+		names := []string{*universe}
+		if *universe == "all" {
+			names = names[:0]
+			for _, p := range exp.ScalePresets() {
+				names = append(names, p.Name)
+			}
+		}
+		fmt.Println(telemetry.Header("mube-bench",
+			telemetry.KVStr("universe", *universe),
+			telemetry.KVStr("smoke", strconv.FormatBool(*smoke)),
+			telemetry.KVInt("eval-workers", sc.Workers()),
+			telemetry.KVInt("GOMAXPROCS", runtime.GOMAXPROCS(0)),
+		))
+		var rows []*exp.ScaleBenchRow
+		for _, name := range names {
+			preset, err := exp.ScalePresetByName(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mube-bench: %v\n", err)
+				os.Exit(2)
+			}
+			if *smoke {
+				preset = preset.Reduced()
+			}
+			start := time.Now()
+			row, err := exp.ScaleBench(preset, sc.Parallel, sc.Rec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mube-bench: universe %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			rows = append(rows, row)
+			fmt.Printf("(universe %s in %.1fs)\n", name, time.Since(start).Seconds())
+		}
+		fmt.Println()
+		if err := exp.RenderScaleBench(os.Stdout, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "mube-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	// Run header: make every printed number attributable to a worker count

@@ -18,6 +18,14 @@
 // for names only in FILE are kept, and config/metrics keys from the new run
 // win per key. A missing FILE is treated as an empty report, so `make
 // bench-delta` works from a clean tree.
+//
+// With -compare FILE, the fresh run is additionally diffed against the
+// archived report: every metric present in both (ns/op, B/op, allocs/op per
+// benchmark averaged over repeats, plus the run-level telemetry snapshot —
+// evals_per_sec, merge_ops_per_eval, hit rates) prints as an old/new/±% table
+// on stderr, with direction-aware REGRESSION flags for changes worse than
+// 10%. Under -strict any flagged regression makes the exit status nonzero,
+// so CI can gate on it; without -strict the table is informational.
 package main
 
 import (
@@ -128,6 +136,8 @@ func mergeReports(prev, next report) report {
 
 func main() {
 	mergePath := flag.String("merge", "", "existing report JSON to fold the new run into")
+	comparePath := flag.String("compare", "", "previous report JSON to diff the new run against (table on stderr)")
+	strict := flag.Bool("strict", false, "with -compare: exit nonzero when any metric regresses by more than 10%")
 	flag.Parse()
 	rep := report{Benchmarks: []result{}}
 	sc := bufio.NewScanner(os.Stdin)
@@ -181,6 +191,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mube-benchjson: read: %v\n", err)
 		os.Exit(1)
 	}
+	regressions := 0
+	if *comparePath != "" {
+		// Diff the fresh run (pre-merge, so stale archived records cannot
+		// mask a regression) against the archived report.
+		prev, err := loadReport(*comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mube-benchjson: compare: %v\n", err)
+			os.Exit(1)
+		}
+		var rows []compareRow
+		rows, regressions = compareReports(prev, rep)
+		if err := renderCompare(os.Stderr, rows, regressions); err != nil {
+			fmt.Fprintf(os.Stderr, "mube-benchjson: compare: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *mergePath != "" {
 		prev, err := loadReport(*mergePath)
 		if err != nil {
@@ -193,6 +219,9 @@ func main() {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintf(os.Stderr, "mube-benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	if *strict && regressions > 0 {
 		os.Exit(1)
 	}
 }

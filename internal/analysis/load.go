@@ -142,7 +142,15 @@ func isTarget(lp *listPkg) bool {
 		// "p [p.test]" and "p_test [p.test]" count as targets exactly
 		// when p itself was matched; go list marks the variants DepOnly
 		// or not inconsistently across versions, so key off ForTest.
-		return true
+		// Dependency recompilations ("q [p.test]": q imported by p's
+		// tests while importing p) also carry ForTest=p but contain no
+		// test files of p — q's own files are already analyzed as plain
+		// q, so the variant is consumed as a dependency only.
+		base := lp.ImportPath
+		if i := strings.Index(base, " ["); i >= 0 {
+			base = base[:i]
+		}
+		return base == lp.ForTest || base == lp.ForTest+"_test"
 	}
 	return !lp.DepOnly
 }
@@ -167,8 +175,12 @@ func typecheck(lp *listPkg, byPath map[string]*listPkg) (*Package, error) {
 	if i := strings.Index(typesPath, " ["); i >= 0 {
 		typesPath = typesPath[:i]
 	}
+	// Policy scoping maps the external test package "p_test" back onto p;
+	// every other package — including a dependency recompiled against a test
+	// variant ("q [p.test]") — keeps its own path, so q's per-package
+	// allowlists still apply when q is rebuilt for p's tests.
 	logical := typesPath
-	if lp.ForTest != "" {
+	if lp.ForTest != "" && typesPath == lp.ForTest+"_test" {
 		logical = lp.ForTest
 	}
 	info := newTypesInfo()

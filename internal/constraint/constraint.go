@@ -99,18 +99,32 @@ func (s Set) RequiredSources() []schema.SourceID {
 }
 
 // SatisfiedBy reports whether the source set ids contains every required
-// source.
+// source. It is called once per candidate in the evaluator's hot path, so it
+// scans instead of building the RequiredSources set: candidate sets are small
+// (bounded by MaxSources) and linear membership tests allocate nothing.
 func (s Set) SatisfiedBy(ids []schema.SourceID) bool {
-	have := make(map[schema.SourceID]struct{}, len(ids))
-	for _, id := range ids {
-		have[id] = struct{}{}
-	}
-	for _, req := range s.RequiredSources() {
-		if _, ok := have[req]; !ok {
+	for _, id := range s.Sources {
+		if !containsID(ids, id) {
 			return false
 		}
 	}
+	for _, g := range s.GAs {
+		for _, r := range g.Refs() {
+			if !containsID(ids, r.Source) {
+				return false
+			}
+		}
+	}
 	return true
+}
+
+func containsID(ids []schema.SourceID, id schema.SourceID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }
 
 // SchemaSatisfies reports whether the mediated schema m subsumes every GA

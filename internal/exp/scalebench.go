@@ -1,0 +1,222 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mube/internal/constraint"
+	"mube/internal/match"
+	"mube/internal/opt"
+	"mube/internal/opt/solvers"
+	"mube/internal/pcsa"
+	"mube/internal/synth"
+	"mube/internal/telemetry"
+)
+
+// ScalePreset sizes one point of the universe-scale benchmark: how large a
+// streamed synthetic universe to build and how much solver budget to spend on
+// it. Unlike Scale (which reproduces the paper's figures on paper-sized
+// universes), presets exercise the Internet-scale path: arena-backed
+// signatures, the streaming generator, and the partitioned solver over
+// shard-disjoint domains.
+type ScalePreset struct {
+	// Name labels the preset ("50", "10k", "100k").
+	Name string
+	// NumSources is the universe size.
+	NumSources int
+	// Domains > 1 generates that many vocabulary-disjoint domains so the
+	// matcher's shard index decomposes the universe; 0 keeps the BAMM
+	// single-domain generator.
+	Domains int
+	// Choose is MaxSources for the solve.
+	Choose int
+	// MaxIters / Patience / MaxEvals bound each (sub-)solve.
+	MaxIters int
+	Patience int
+	MaxEvals int
+	// Solver names the algorithm in the solvers registry.
+	Solver string
+	// DataFactor scales tuple cardinalities, exactly as Scale.DataFactor.
+	DataFactor float64
+	// Seed drives generation and the solver.
+	Seed int64
+}
+
+// ScalePresets returns the benchmark ladder: the paper's neighborhood (50),
+// beyond any flat search (10k), and the Internet-scale target (100k).
+func ScalePresets() []ScalePreset {
+	return []ScalePreset{
+		{
+			Name:       "50",
+			NumSources: 50,
+			Domains:    0, // BAMM: one shared domain, single group
+			Choose:     10,
+			MaxIters:   40,
+			Patience:   12,
+			MaxEvals:   -1,
+			Solver:     "tabu",
+			DataFactor: 0.01,
+			Seed:       1,
+		},
+		{
+			Name:       "10k",
+			NumSources: 10_000,
+			Domains:    8,
+			Choose:     40,
+			MaxIters:   30,
+			Patience:   8,
+			MaxEvals:   12_000,
+			Solver:     "partition+tabu",
+			DataFactor: 0.001,
+			Seed:       1,
+		},
+		{
+			Name:       "100k",
+			NumSources: 100_000,
+			Domains:    8,
+			Choose:     80,
+			MaxIters:   30,
+			Patience:   8,
+			MaxEvals:   24_000,
+			Solver:     "partition+tabu",
+			DataFactor: 0.001,
+			Seed:       1,
+		},
+	}
+}
+
+// ScalePresetByName resolves one preset.
+func ScalePresetByName(name string) (ScalePreset, error) {
+	for _, p := range ScalePresets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return ScalePreset{}, fmt.Errorf("exp: unknown universe preset %q (want 50, 10k, or 100k)", name)
+}
+
+// Reduced shrinks a preset's solver budget for CI smoke runs: same universe,
+// same decomposition, a fraction of the search.
+func (p ScalePreset) Reduced() ScalePreset {
+	p.MaxIters = 6
+	p.Patience = 2
+	if p.MaxEvals < 0 || p.MaxEvals > 2000 {
+		p.MaxEvals = 2000
+	}
+	return p
+}
+
+// ScaleBenchRow reports one preset run.
+type ScaleBenchRow struct {
+	Preset  string
+	Sources int
+	// Groups is the number of independent source groups the shard index
+	// found (1 = no decomposition, flat solve).
+	Groups int
+	Solver string
+	// GenMS covers streaming generation plus universe precompute; SolveMS
+	// is the solve proper.
+	GenMS   float64
+	SolveMS float64
+	Evals   int
+	// EvalsPerSec is Evals over the solve wall time.
+	EvalsPerSec float64
+	// SolveMallocs and SolveAllocMB are the heap allocation count and bytes
+	// during the solve (runtime.MemStats deltas; telemetry only, never fed
+	// back into results).
+	SolveMallocs uint64
+	SolveAllocMB float64
+	// SigMB is the arena footprint of all source signatures.
+	SigMB   float64
+	Quality float64
+	Status  string
+}
+
+// ScaleBench builds the preset's universe through the streaming generator and
+// solves it end to end, reporting throughput and allocation telemetry.
+func ScaleBench(p ScalePreset, parallel int, rec *telemetry.Recorder) (*ScaleBenchRow, error) {
+	cfg := synth.Scaled(p.DataFactor)
+	cfg.NumSources = p.NumSources
+	cfg.Domains = p.Domains
+	cfg.Seed = p.Seed
+	cfg.Sig = pcsa.Config{NumMaps: 64}
+
+	genStart := time.Now()
+	u, err := synth.GenerateUniverse(cfg)
+	if err != nil {
+		return nil, err
+	}
+	genMS := float64(time.Since(genStart).Microseconds()) / 1000
+
+	matcher, err := match.New(u, match.Config{Theta: match.DefaultTheta})
+	if err != nil {
+		return nil, err
+	}
+	quality, err := PaperQuality()
+	if err != nil {
+		return nil, err
+	}
+	prob := &opt.Problem{
+		Universe:   u,
+		Matcher:    matcher,
+		Quality:    quality,
+		MaxSources: p.Choose,
+	}
+	solver, err := solvers.ByName(p.Solver)
+	if err != nil {
+		return nil, err
+	}
+	opts := opt.Options{
+		Seed:     p.Seed,
+		MaxEvals: p.MaxEvals,
+		MaxIters: p.MaxIters,
+		Patience: p.Patience,
+		Parallel: parallel,
+		Recorder: rec,
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	solveStart := time.Now()
+	sol, err := solver.Solve(context.Background(), prob, opts)
+	if err != nil {
+		return nil, err
+	}
+	solveSec := time.Since(solveStart).Seconds()
+	runtime.ReadMemStats(&after)
+
+	row := &ScaleBenchRow{
+		Preset:       p.Name,
+		Sources:      u.Len(),
+		Groups:       len(matcher.NewSharded(constraint.Set{}).SourceGroups()),
+		Solver:       solver.Name(),
+		GenMS:        genMS,
+		SolveMS:      solveSec * 1000,
+		Evals:        sol.Evals,
+		SolveMallocs: after.Mallocs - before.Mallocs,
+		SolveAllocMB: float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		SigMB:        float64(u.SignatureBytes()) / (1 << 20),
+		Quality:      sol.Quality,
+		Status:       string(sol.Status),
+	}
+	if solveSec > 0 {
+		row.EvalsPerSec = float64(sol.Evals) / solveSec
+	}
+	return row, nil
+}
+
+// RenderScaleBench prints the scale ladder.
+func RenderScaleBench(w io.Writer, rows []*ScaleBenchRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "preset\tsources\tgroups\tsolver\tgen_ms\tsolve_ms\tevals\tevals_per_sec\tallocs\talloc_mb\tsig_mb\tquality\tstatus")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.0f\t%.0f\t%d\t%.0f\t%d\t%.1f\t%.1f\t%.4f\t%s\n",
+			r.Preset, r.Sources, r.Groups, r.Solver, r.GenMS, r.SolveMS,
+			r.Evals, r.EvalsPerSec, r.SolveMallocs, r.SolveAllocMB, r.SigMB,
+			r.Quality, r.Status)
+	}
+	return tw.Flush()
+}

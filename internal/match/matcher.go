@@ -16,6 +16,7 @@ package match
 
 import (
 	"fmt"
+	"sync"
 
 	"mube/internal/schema"
 	"mube/internal/source"
@@ -119,6 +120,16 @@ type Matcher struct {
 	table []float32
 	// n is the number of similarity ids.
 	n int
+
+	// pool recycles clustering scratch (cluster slabs, ref/name arenas, the
+	// pair heap) across Match/Score calls; shared by WithParams clones since
+	// buffers are parameter-independent. Pointer-typed so the value copy in
+	// WithParams stays legal.
+	pool *sync.Pool
+	// shardc lazily caches the θ-level shard index (connected components of
+	// the similarity graph). It depends on Theta, so WithParams clones get a
+	// fresh cache.
+	shardc *shardCache
 }
 
 // New builds a matcher for u, precomputing the distinct-name similarity
@@ -129,6 +140,8 @@ func New(u *source.Universe, cfg Config) (*Matcher, error) {
 		return nil, err
 	}
 	m := &Matcher{u: u, cfg: cfg}
+	m.pool = &sync.Pool{New: func() any { return newMatchScratch() }}
+	m.shardc = &shardCache{}
 	// Intern normalized names and compute the distinct-name similarity
 	// table — the name component in both modes.
 	ids := make(map[string]int)
@@ -252,6 +265,9 @@ func (m *Matcher) WithParams(theta float64, beta int, linkage Linkage) (*Matcher
 	}
 	clone := *m
 	clone.cfg = cfg
+	// The shard index is a function of θ; give the clone its own cache. The
+	// scratch pool carries no parameters and stays shared.
+	clone.shardc = &shardCache{}
 	return &clone, nil
 }
 

@@ -1,0 +1,319 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/schema"
+	"mube/internal/source"
+)
+
+// randomUniverse builds a universe mixing two name families that never cross
+// the θ=0.45 similarity threshold, so the shard index has at least two base
+// shards, plus noise attributes.
+func randomUniverse(t *testing.T, r *rand.Rand, n int) *source.Universe {
+	t.Helper()
+	books := []string{"title", "book title", "author", "author name", "writer", "price", "price range"}
+	flights := []string{"departure", "departure time", "arrival", "arrival gate", "carrier"}
+	noise := []string{"zebra", "quux", "xylophone"}
+	var schemas [][]string
+	for i := 0; i < n; i++ {
+		vocab := books
+		if i%2 == 1 {
+			vocab = flights
+		}
+		k := 1 + r.Intn(4)
+		seen := map[string]bool{}
+		var attrs []string
+		for len(attrs) < k {
+			w := vocab[r.Intn(len(vocab))]
+			if r.Intn(8) == 0 {
+				w = noise[r.Intn(len(noise))]
+			}
+			if !seen[w] {
+				seen[w] = true
+				attrs = append(attrs, w)
+			}
+		}
+		schemas = append(schemas, attrs)
+	}
+	return universe(t, schemas...)
+}
+
+// subset draws k distinct sorted ids from [0, n).
+func subset(r *rand.Rand, n, k int) []schema.SourceID {
+	perm := r.Perm(n)
+	out := make([]schema.SourceID, 0, k)
+	for _, p := range perm[:k] {
+		out = append(out, schema.SourceID(p))
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestScoreMatchesMatch pins the lean Score path to the full Match path: the
+// quality must be bit-identical (both sum per-GA qualities in the canonical
+// GA order) and the validity bit must agree.
+func TestScoreMatchesMatch(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 6 + r.Intn(8)
+		u := randomUniverse(t, r, n)
+		m := MustNew(u, Config{Theta: 0.45})
+		var cons constraint.Set
+		if seed%2 == 0 {
+			cons.Sources = subset(r, n, 1)
+		}
+		if seed%3 == 0 {
+			s1 := int(subset(r, n, 1)[0])
+			s2 := (s1 + 1) % n
+			cons.GAs = []schema.GA{schema.NewGA(ref(s1, 0), ref(s2, 0))}
+		}
+		for trial := 0; trial < 10; trial++ {
+			ids := subset(r, n, 2+r.Intn(n-2))
+			if !cons.SatisfiedBy(ids) {
+				continue
+			}
+			res, err := m.Match(ids, cons)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			q, ok, err := m.Score(ids, cons)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if ok != res.OK || math.Float64bits(q) != math.Float64bits(res.Quality) {
+				t.Fatalf("seed %d ids %v: Score = (%v, %v), Match = (%v, %v)",
+					seed, ids, q, ok, res.Quality, res.OK)
+			}
+		}
+	}
+}
+
+// flipped returns base+{add}−{drop} sorted; add/drop < 0 mean "none".
+func flipped(base []schema.SourceID, add, drop schema.SourceID) []schema.SourceID {
+	out := make([]schema.SourceID, 0, len(base)+1)
+	for _, s := range base {
+		if s != drop {
+			out = append(out, s)
+		}
+	}
+	if add >= 0 {
+		out = append(out, add)
+		for j := len(out) - 1; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestShardedScoreFlipMatchesMatch is the differential test of the sharded
+// scorer: for random bases and every single-flip candidate, ScoreFlip must be
+// bit-identical to the unsharded Match on the flipped set — including after
+// Rebase moves the cached base.
+func TestShardedScoreFlipMatchesMatch(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(100 + seed))
+		n := 8 + r.Intn(8)
+		u := randomUniverse(t, r, n)
+		m := MustNew(u, Config{Theta: 0.45})
+		var cons constraint.Set
+		if seed%2 == 0 {
+			cons.Sources = subset(r, n, 1)
+		}
+		if seed%3 == 0 {
+			// A GA constraint spanning the two name families bridges shards.
+			s1 := 2 * (r.Intn(n/2) / 1)
+			s1 = s1 % n
+			s2 := (s1 + 1) % n
+			cons.GAs = []schema.GA{schema.NewGA(ref(s1, 0), ref(s2, 0))}
+		}
+		sh := m.NewSharded(cons)
+		if sh.NumShards() < 2 && len(cons.GAs) == 0 {
+			t.Fatalf("seed %d: expected ≥ 2 shards, got %d", seed, sh.NumShards())
+		}
+
+		var base []schema.SourceID
+		for {
+			base = subset(r, n, 3+r.Intn(n-3))
+			if cons.SatisfiedBy(base) {
+				break
+			}
+		}
+		b, err := sh.NewBase(base)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		check := func(add, drop schema.SourceID) {
+			t.Helper()
+			cand := flipped(b.Base(), add, drop)
+			if !cons.SatisfiedBy(cand) {
+				return
+			}
+			res, err := m.Match(cand, cons)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			q, ok := b.ScoreFlip(add, drop)
+			if ok != res.OK || math.Float64bits(q) != math.Float64bits(res.Quality) {
+				t.Fatalf("seed %d base %v flip(+%d,-%d): ScoreFlip = (%v, %v), Match = (%v, %v)",
+					seed, b.Base(), add, drop, q, ok, res.Quality, res.OK)
+			}
+		}
+
+		inBase := func(s schema.SourceID) bool {
+			for _, x := range b.Base() {
+				if x == s {
+					return true
+				}
+			}
+			return false
+		}
+		// Every add, every drop, and a few swaps.
+		for s := schema.SourceID(0); int(s) < n; s++ {
+			if inBase(s) {
+				check(-1, s)
+			} else {
+				check(s, -1)
+				if len(b.Base()) > 0 {
+					check(s, b.Base()[r.Intn(len(b.Base()))])
+				}
+			}
+		}
+
+		// Rebase onto an accepted flip and re-verify.
+		var add, drop schema.SourceID = -1, -1
+		for s := schema.SourceID(0); int(s) < n; s++ {
+			if !inBase(s) {
+				add = s
+				break
+			}
+		}
+		next := flipped(b.Base(), add, drop)
+		if cons.SatisfiedBy(next) {
+			if err := b.Rebase(next); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for s := schema.SourceID(0); int(s) < n; s++ {
+				if inBase(s) {
+					check(-1, s)
+				} else {
+					check(s, -1)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreFlipConcurrent exercises ScoreFlip from many goroutines against
+// one cached base; the race detector validates the purity contract and every
+// goroutine must see identical bits.
+func TestScoreFlipConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	u := randomUniverse(t, r, 12)
+	m := MustNew(u, Config{Theta: 0.45})
+	sh := m.NewSharded(constraint.Set{})
+	b, err := sh.NewBase(subset(r, 12, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type flip struct{ add, drop schema.SourceID }
+	flips := []flip{{-1, b.Base()[0]}, {-1, b.Base()[3]}}
+	for s := schema.SourceID(0); int(s) < 12; s++ {
+		in := false
+		for _, x := range b.Base() {
+			if x == s {
+				in = true
+			}
+		}
+		if !in {
+			flips = append(flips, flip{s, -1}, flip{s, b.Base()[1]})
+		}
+	}
+	want := make([]uint64, len(flips))
+	for i, f := range flips {
+		q, _ := b.ScoreFlip(f.add, f.drop)
+		want[i] = math.Float64bits(q)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, f := range flips {
+				q, _ := b.ScoreFlip(f.add, f.drop)
+				if math.Float64bits(q) != want[i] {
+					t.Errorf("flip %d: concurrent bits differ", i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSourceGroupsPartition checks that SourceGroups is a partition of the
+// universe and that sources from different groups never share a GA.
+func TestSourceGroupsPartition(t *testing.T) {
+	// No shared noise words: a word appearing in sources of both families
+	// would link their shards through co-occurrence and collapse the groups.
+	books := []string{"title", "book title", "author", "author name"}
+	flights := []string{"departure", "departure time", "arrival", "carrier"}
+	r := rand.New(rand.NewSource(3))
+	var schemas [][]string
+	for i := 0; i < 14; i++ {
+		vocab := books
+		if i%2 == 1 {
+			vocab = flights
+		}
+		k := 1 + r.Intn(3)
+		seen := map[string]bool{}
+		var attrs []string
+		for len(attrs) < k {
+			w := vocab[r.Intn(len(vocab))]
+			if !seen[w] {
+				seen[w] = true
+				attrs = append(attrs, w)
+			}
+		}
+		schemas = append(schemas, attrs)
+	}
+	u := universe(t, schemas...)
+	m := MustNew(u, Config{Theta: 0.45})
+	sh := m.NewSharded(constraint.Set{})
+	groups := sh.SourceGroups()
+	if len(groups) < 2 {
+		t.Fatalf("expected ≥ 2 groups, got %d", len(groups))
+	}
+	seen := map[schema.SourceID]int{}
+	for gi, g := range groups {
+		for _, s := range g {
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("source %d in groups %d and %d", s, prev, gi)
+			}
+			seen[s] = gi
+		}
+	}
+	if len(seen) != u.Len() {
+		t.Fatalf("groups cover %d of %d sources", len(seen), u.Len())
+	}
+	res, err := m.Match(u.IDs(), constraint.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Schema.GAs {
+		refs := g.Refs()
+		for _, rr := range refs[1:] {
+			if seen[rr.Source] != seen[refs[0].Source] {
+				t.Fatalf("GA %v spans groups %d and %d", g, seen[refs[0].Source], seen[rr.Source])
+			}
+		}
+	}
+}

@@ -155,12 +155,18 @@ const magic = 0x4d484153 // "MHAS"
 
 // MarshalBinary encodes the signature for caching or transmission.
 func (s *Signature) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 4+4+8+8*len(s.mins))
-	binary.LittleEndian.PutUint32(buf[0:], magic)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(s.mins)))
-	binary.LittleEndian.PutUint64(buf[8:], s.seed)
-	for i, m := range s.mins {
-		binary.LittleEndian.PutUint64(buf[16+8*i:], m)
+	return s.AppendBinary(make([]byte, 0, 4+4+8+8*len(s.mins)))
+}
+
+// AppendBinary appends the signature's binary encoding to buf and returns the
+// extended slice, so bulk serialization can reuse one buffer across
+// signatures.
+func (s *Signature) AppendBinary(buf []byte) ([]byte, error) {
+	buf = binary.LittleEndian.AppendUint32(buf, magic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.mins)))
+	buf = binary.LittleEndian.AppendUint64(buf, s.seed)
+	for _, m := range s.mins {
+		buf = binary.LittleEndian.AppendUint64(buf, m)
 	}
 	return buf, nil
 }

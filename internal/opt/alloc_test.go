@@ -1,0 +1,89 @@
+package opt_test
+
+import (
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/opt"
+	"mube/internal/opt/opttest"
+	"mube/internal/schema"
+	"mube/internal/testutil"
+)
+
+// TestEvalBatchDeltaAllocs pins the steady-state allocation budget of the
+// evaluator's hot loop. Two regimes are pinned separately:
+//
+//   - memo-hit batches (the common revisit case in local search) must cost
+//     only the per-call output/candidate slices plus one applied-subset slice
+//     per flip — the keyBuf lookup path allocates nothing per candidate;
+//   - fresh-compute batches may additionally pay per-job bookkeeping (job
+//     struct, memo key/insert, context) and the per-batch delta/shard rebase,
+//     but stay within a fixed budget per flip — regressions that reintroduce
+//     per-candidate heap churn (cloned signatures, per-move maps, rebuilt
+//     clusterings) blow well past it.
+func TestEvalBatchDeltaAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under the race detector")
+	}
+	p := opttest.Problem(t, 6, constraint.Set{})
+	ev := opt.NewEvaluator(p, 0)
+	ev.SetWorkers(1)
+
+	base := []schema.SourceID{0, 1, 2, 3}
+	var flips []opt.Move
+	for s := schema.SourceID(4); s < 12; s++ {
+		flips = append(flips, opt.Move{Add: s, Drop: -1})
+	}
+	for _, s := range base[1:] {
+		flips = append(flips, opt.Move{Add: -1, Drop: s})
+	}
+
+	// Warm up: builds the delta state, shard base, scratch pools, and
+	// memoizes every candidate.
+	ev.EvalBatchDelta(base, flips)
+	ev.EvalBatchDelta(base, flips)
+
+	perFlip := float64(len(flips))
+	hit := testing.AllocsPerRun(50, func() { ev.EvalBatchDelta(base, flips) })
+	if max := perFlip + 6; hit > max {
+		t.Errorf("memo-hit batch: %v allocs/op for %d flips, want ≤ %v", hit, len(flips), max)
+	}
+
+	// Fresh computes: rotate through distinct bases so every batch's flips
+	// miss the memo (the 12-source universe has hundreds of 4-subsets).
+	bases := make([][]schema.SourceID, 0, 64)
+	for a := schema.SourceID(0); a < 8; a++ {
+		for b := a + 1; b < 12 && len(bases) < 64; b++ {
+			bases = append(bases, []schema.SourceID{a, b, (b + 1) % 12, (b + 3) % 12})
+		}
+	}
+	neighborhood := func(base []schema.SourceID) []opt.Move {
+		in := map[schema.SourceID]bool{}
+		for _, s := range base {
+			in[s] = true
+		}
+		var mvs []opt.Move
+		for s := schema.SourceID(0); s < 12; s++ {
+			if !in[s] {
+				mvs = append(mvs, opt.Move{Add: s, Drop: base[0]})
+			}
+		}
+		return mvs
+	}
+	i := 0
+	fresh := testing.AllocsPerRun(50, func() {
+		b := opt.SortIDs(append([]schema.SourceID(nil), bases[i%len(bases)]...))
+		i++
+		ev2 := opt.NewEvaluator(p, 0)
+		ev2.SetWorkers(1)
+		ev2.EvalBatchDelta(b, neighborhood(b))
+	})
+	// Per fresh flip (8 per rotated base): applied-subset slice, job struct +
+	// out slice, memo key + insert, qef context; per batch: the evaluator
+	// itself plus delta-state/shard-base construction. Measured ~95 total;
+	// 300 leaves 3× headroom while still catching any return to per-flip
+	// recluster/re-merge churn (which costs thousands).
+	if fresh > 300 {
+		t.Errorf("fresh batch: %v allocs/op, want ≤ 300", fresh)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mube/internal/match"
 	"mube/internal/pcsa"
 	"mube/internal/qef"
 	"mube/internal/schema"
@@ -34,6 +35,14 @@ type deltaState struct {
 	coopN    int   // cooperative members of base
 	mixedN   int   // members with a signature but no cardinality
 	coopSum  int64 // Σ|s| over cooperative members
+
+	// match, when non-nil, is the cluster-sharded match image of base: each
+	// flip re-clusters only the shards its add/drop sources touch and merges
+	// with the cached unaffected shards (match.ShardedBase.ScoreFlip — a pure
+	// concurrent-safe read, bit-identical to the full Match). nil when
+	// sharding is off or no QEF reads the match score; flips then fall back to
+	// the lean full-recluster Score path inside the qef context.
+	match *match.ShardedBase
 }
 
 // rebuild resets ds to image base from scratch. Returns the number of
@@ -322,6 +331,17 @@ func (e *Evaluator) acquireDelta(base []schema.SourceID) *deltaState {
 	if ops > 0 {
 		e.rec.Add("pcsa.counting_merges", int64(ops))
 	}
+	if sh := e.shardIndex(); sh == nil {
+		ds.match = nil
+	} else if ds.match == nil {
+		// NewBase fails only on a base violating the constraints; flips from
+		// such a base are infeasible anyway, so the nil fallback is harmless.
+		if b, err := sh.NewBase(base); err == nil {
+			ds.match = b
+		}
+	} else if err := ds.match.Rebase(base); err != nil {
+		ds.match = nil
+	}
 	return ds
 }
 
@@ -339,6 +359,13 @@ func (e *Evaluator) releaseDelta(ds *deltaState) {
 // full re-merge path. Results are bit-identical either way — the toggle
 // exists for differential testing and honest before/after benchmarks.
 func (e *Evaluator) SetDelta(on bool) { e.noDelta = !on }
+
+// SetShard toggles the cluster-sharded matching path for flip candidates. On
+// by default; off, flips re-cluster their full attribute set through the lean
+// Score path. Results are bit-identical either way (the sharded re-cluster is
+// bit-exact — see match.ShardedBase); like SetDelta the toggle exists for
+// differential testing and benchmarking. Must be set before the first batch.
+func (e *Evaluator) SetShard(on bool) { e.noShard = !on }
 
 // validFlip reports whether mv is a true single flip against the sorted
 // base: its add side absent from base, its drop side present, and the two
@@ -467,6 +494,11 @@ func (e *Evaluator) computeFlip(ids []schema.SourceID, flip Move, ds *deltaState
 	}
 	ctx := qef.NewContextScratch(e.p.Universe, e.p.Matcher, e.p.Constraints, ids, sc)
 	ctx.PresetUnionStats(st)
+	if ds.match != nil {
+		// Feasible(ids) above guarantees the flipped set satisfies the
+		// constraints, which ScoreFlip's cached coverage flags rely on.
+		ctx.PresetMatchScore(ds.match.ScoreFlip(flip.Add, flip.Drop))
+	}
 	v := e.p.Quality.Eval(ctx)
 	if m := ctx.Merges(); m > 0 {
 		e.rec.Add("pcsa.merges", int64(m))

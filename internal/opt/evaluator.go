@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mube/internal/match"
 	"mube/internal/qef"
 	"mube/internal/schema"
 	"mube/internal/telemetry"
@@ -37,11 +38,12 @@ type Evaluator struct {
 	ctx     context.Context
 	rec     *telemetry.Recorder // nil = telemetry off
 
-	mu    sync.Mutex
-	memo  map[string]float64
-	evals int // cache misses (distinct subsets evaluated)
-	calls int // total Eval calls
-	limit int // MaxEvals; 0 = unlimited
+	mu     sync.Mutex
+	memo   map[string]float64
+	evals  int    // cache misses (distinct subsets evaluated)
+	calls  int    // total Eval calls
+	limit  int    // MaxEvals; 0 = unlimited
+	keyBuf []byte // reusable key-encoding buffer, guarded by mu
 
 	// scratch buffers (PCSA union signatures) recycled across evaluations;
 	// each in-flight evaluation checks one out for exclusive use.
@@ -53,6 +55,15 @@ type Evaluator struct {
 	deltaMu     sync.Mutex
 	deltaCached *deltaState
 	noDelta     bool // SetDelta(false): score everything via the full path
+
+	// Cluster-sharded matching (see match.Sharded): flip candidates re-cluster
+	// only the shards their add/drop sources touch, presetting the match score
+	// on the flip context. Built lazily on first delta batch; wantMatch gates
+	// the whole path off when no positively weighted QEF reads Match(S).
+	noShard   bool // SetShard(false): flips re-cluster from scratch
+	wantMatch bool
+	shardOnce sync.Once
+	sharded   *match.Sharded
 }
 
 // NewEvaluator builds an evaluator for p with an optional evaluation limit.
@@ -67,7 +78,25 @@ func NewEvaluator(p *Problem, maxEvals int) *Evaluator {
 		limit: maxEvals,
 	}
 	e.scratch.New = func() any { return &qef.Scratch{} }
+	for _, f := range p.Quality.QEFs {
+		if _, ok := f.(qef.MatchQuality); ok && p.Quality.Weights[f.Name()] > 0 {
+			e.wantMatch = true
+		}
+	}
 	return e
+}
+
+// shardIndex lazily builds the matcher's cluster-shard view of the problem's
+// constraints, shared by every batch. Returns nil when sharding is off, no
+// matcher is configured, or no QEF reads the match score.
+func (e *Evaluator) shardIndex() *match.Sharded {
+	if e.noShard || !e.wantMatch || e.p.Matcher == nil {
+		return nil
+	}
+	e.shardOnce.Do(func() {
+		e.sharded = e.p.Matcher.NewSharded(e.p.Constraints)
+	})
+	return e.sharded
 }
 
 // Instrument attaches a telemetry recorder. A nil recorder (the default)
@@ -111,16 +140,22 @@ func (e *Evaluator) SetWorkers(n int) {
 // Workers returns the effective EvalBatch worker-pool size.
 func (e *Evaluator) Workers() int { return e.workers }
 
-// key canonicalizes a *sorted* id slice into a compact map key using uvarint
-// encoding, so IDs of any magnitude stay collision-free (a fixed two-byte
-// encoding silently collided for IDs ≥ 65536) and small IDs — the common case
-// — still cost one byte.
-func key(ids []schema.SourceID) string {
-	buf := make([]byte, 0, len(ids)*binary.MaxVarintLen32)
+// appendKey canonicalizes a *sorted* id slice into a compact map key using
+// uvarint encoding, so IDs of any magnitude stay collision-free (a fixed
+// two-byte encoding silently collided for IDs ≥ 65536) and small IDs — the
+// common case — still cost one byte. It appends to buf and returns the
+// extended slice; memo lookups index the map with string(buf) directly (which
+// the compiler keeps off the heap) and materialize a string only on a miss.
+func appendKey(buf []byte, ids []schema.SourceID) []byte {
 	for _, id := range ids {
 		buf = binary.AppendUvarint(buf, uint64(uint32(id)))
 	}
-	return string(buf)
+	return buf
+}
+
+// key is the one-shot form of appendKey for paths off the hot loop.
+func key(ids []schema.SourceID) string {
+	return string(appendKey(make([]byte, 0, len(ids)*binary.MaxVarintLen32), ids))
 }
 
 // Exhausted reports whether the evaluation budget is spent.
@@ -183,8 +218,8 @@ func (e *Evaluator) Eval(ids []schema.SourceID) float64 {
 	e.rec.Add("eval.calls", 1)
 	e.mu.Lock()
 	e.calls++
-	k := key(ids)
-	if v, ok := e.memo[k]; ok {
+	e.keyBuf = appendKey(e.keyBuf[:0], ids)
+	if v, ok := e.memo[string(e.keyBuf)]; ok {
 		e.mu.Unlock()
 		e.rec.Add("eval.memo_hits", 1)
 		return v
@@ -195,6 +230,7 @@ func (e *Evaluator) Eval(ids []schema.SourceID) float64 {
 		return unscored
 	}
 	e.evals++
+	k := string(e.keyBuf)
 	e.mu.Unlock()
 
 	sc := e.scratch.Get().(*qef.Scratch)
@@ -278,13 +314,16 @@ func (e *Evaluator) evalCandidates(cands []candidate, base []schema.SourceID) []
 	var pending map[string]*batchJob
 	for i, c := range cands {
 		e.calls++
-		k := key(c.ids)
-		if v, ok := e.memo[k]; ok {
+		// Memo and pending lookups index with string(keyBuf) directly — the
+		// compiler elides the conversion's allocation — so cache hits and
+		// duplicates cost zero heap; only a fresh job materializes its key.
+		e.keyBuf = appendKey(e.keyBuf[:0], c.ids)
+		if v, ok := e.memo[string(e.keyBuf)]; ok {
 			out[i] = v
 			hits++
 			continue
 		}
-		if j, ok := pending[k]; ok {
+		if j, ok := pending[string(e.keyBuf)]; ok {
 			j.out = append(j.out, i)
 			dups++
 			continue
@@ -295,6 +334,7 @@ func (e *Evaluator) evalCandidates(cands []candidate, base []schema.SourceID) []
 			continue
 		}
 		e.evals++
+		k := string(e.keyBuf)
 		j := &batchJob{key: k, ids: c.ids, out: []int{i}, st: c.st, flip: c.flip, delta: c.hasFlip}
 		if pending == nil {
 			pending = make(map[string]*batchJob, len(cands)-i)
@@ -561,8 +601,12 @@ func NewSearch(ctx context.Context, p *Problem, opts Options) (*Search, error) {
 	for _, id := range req {
 		reqSet[id] = struct{}{}
 	}
+	pool := p.Universe.IDs()
+	if opts.Candidates != nil {
+		pool = SortIDs(append([]schema.SourceID(nil), opts.Candidates...))
+	}
 	var optional []schema.SourceID
-	for _, id := range p.Universe.IDs() {
+	for _, id := range pool {
 		if _, isReq := reqSet[id]; !isReq {
 			optional = append(optional, id)
 		}
@@ -572,6 +616,7 @@ func NewSearch(ctx context.Context, p *Problem, opts Options) (*Search, error) {
 	ev.BindContext(ctx)
 	ev.Instrument(opts.Recorder)
 	ev.SetDelta(!opts.NoDelta)
+	ev.SetShard(!opts.NoShard)
 	return &Search{
 		Eval:       ev,
 		Required:   req,

@@ -74,21 +74,31 @@ func (p *Problem) Validate() error {
 }
 
 // Feasible reports whether ids satisfies the hard constraints: no
-// duplicates, all IDs in range, C ⊆ S, and |S| ≤ m.
+// duplicates, all IDs in range, C ⊆ S, and |S| ≤ m. The evaluator calls it
+// once per candidate with sorted ids, for which the strictly-ascending scan
+// proves dup-freeness without allocating; unsorted inputs fall back to a map.
 func (p *Problem) Feasible(ids []schema.SourceID) bool {
 	if len(ids) > p.MaxSources {
 		return false
 	}
-	seen := make(map[schema.SourceID]struct{}, len(ids))
 	n := schema.SourceID(p.Universe.Len())
-	for _, id := range ids {
+	sorted := true
+	for i, id := range ids {
 		if id < 0 || id >= n {
 			return false
 		}
-		if _, dup := seen[id]; dup {
-			return false
+		if i > 0 && ids[i-1] >= id {
+			sorted = false
 		}
-		seen[id] = struct{}{}
+	}
+	if !sorted {
+		seen := make(map[schema.SourceID]struct{}, len(ids))
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				return false
+			}
+			seen[id] = struct{}{}
+		}
 	}
 	return p.Constraints.SatisfiedBy(ids)
 }
@@ -183,6 +193,16 @@ type Options struct {
 	// way — see Evaluator.SetDelta; the toggle exists for differential
 	// testing and before/after benchmarking, not tuning.
 	NoDelta bool
+	// NoShard disables the evaluator's cluster-sharded matching path,
+	// forcing every flip candidate to re-cluster its full attribute set.
+	// Results are bit-identical either way — see Evaluator.SetShard; like
+	// NoDelta this exists for differential testing and benchmarking.
+	NoShard bool
+	// Candidates, when non-nil, restricts the search's optional pool to this
+	// id set instead of the whole universe (required sources always stay in).
+	// The partitioned solve mode uses it to confine each sub-solve to one
+	// source partition. IDs must be valid; order does not matter.
+	Candidates []schema.SourceID
 }
 
 // Defaults for Options' zero values.

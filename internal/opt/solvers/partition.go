@@ -1,0 +1,248 @@
+package solvers
+
+import (
+	"context"
+	"sort"
+
+	"mube/internal/constraint"
+	"mube/internal/opt"
+	"mube/internal/schema"
+)
+
+// Partitioned wraps an inner solver with shard decomposition: when the
+// matcher's θ-thresholded similarity graph (plus constraint bridges) splits
+// the universe into independent source groups — disjoint sets no mediated GA
+// can span — each group is solved independently on its own slice of the
+// MaxSources and MaxEvals budgets, and the union of the per-group solutions
+// is reported as one solution.
+//
+// The decomposition is exact for the matching term (Match(S) of a union is
+// the concatenation of per-group matches; see match.Sharded) and heuristic
+// for the data-dependent terms (coverage of a union is not the sum of group
+// coverages), which is the standard divide-and-conquer trade at Internet
+// scale: a 100k-source universe is far beyond any flat neighborhood search,
+// while its per-domain groups are tractable. With one group the wrapper
+// delegates to the inner solver unchanged.
+//
+// Determinism: groups are ordered by smallest member id, per-group seeds
+// derive from Options.Seed and the group index, and sub-solves run
+// sequentially — so a partitioned solve is bit-reproducible at any evaluator
+// worker count, like every other solver.
+type Partitioned struct {
+	// Inner solves each group; nil means the default solver (tabu).
+	Inner opt.Solver
+}
+
+// Name identifies the algorithm, naming the inner solver.
+func (ps Partitioned) Name() string { return "partition+" + ps.inner().Name() }
+
+func (ps Partitioned) inner() opt.Solver {
+	if ps.Inner == nil {
+		return Default()
+	}
+	return ps.Inner
+}
+
+// Solve implements opt.Solver.
+func (ps Partitioned) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*opt.Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	inner := ps.inner()
+	if p.Matcher == nil {
+		return inner.Solve(ctx, p, opts)
+	}
+	groups := p.Matcher.NewSharded(p.Constraints).SourceGroups()
+	if len(groups) <= 1 {
+		return inner.Solve(ctx, p, opts)
+	}
+	opts = opts.WithDefaults()
+
+	// Budget split. Required sources are pinned to their group (constraints
+	// never span groups — GA constraints bridge the shards they touch), so
+	// each group's MaxSources quota starts at its required count and the free
+	// slots spread by largest remainder over group sizes.
+	reqBy := make(map[schema.SourceID]bool)
+	for _, id := range p.Constraints.RequiredSources() {
+		reqBy[id] = true
+	}
+	g := len(groups)
+	reqCount := make([]int, g)
+	total := 0
+	for i, grp := range groups {
+		for _, id := range grp {
+			if reqBy[id] {
+				reqCount[i]++
+			}
+		}
+		total += len(groups[i])
+	}
+	free := p.MaxSources
+	for _, rc := range reqCount {
+		free -= rc
+	}
+	share := splitBudget(free, groups, reqCount)
+	evalShare := splitEvals(opts.MaxEvals, groups, total)
+
+	union := make([]schema.SourceID, 0, p.MaxSources)
+	evals := 0
+	status := opt.StatusCompleted
+	for i, grp := range groups {
+		quota := reqCount[i] + share[i]
+		if quota == 0 {
+			continue // no budget and nothing required: the group sits out
+		}
+		in := make(map[schema.SourceID]bool, len(grp))
+		for _, id := range grp {
+			in[id] = true
+		}
+		sub := &opt.Problem{
+			Universe:    p.Universe,
+			Matcher:     p.Matcher,
+			Quality:     p.Quality,
+			MaxSources:  quota,
+			Constraints: filterConstraints(p.Constraints, in),
+		}
+		subOpts := opts
+		subOpts.Seed = opts.Seed + int64(i)*1_000_003
+		subOpts.MaxEvals = evalShare[i]
+		subOpts.Candidates = grp
+		subOpts.Initial = filterIDs(opts.Initial, in)
+		sol, err := inner.Solve(ctx, sub, subOpts)
+		if err != nil {
+			return nil, err
+		}
+		union = append(union, sol.IDs...)
+		evals += sol.Evals
+		if rank(sol.Status) > rank(status) {
+			status = sol.Status
+		}
+	}
+
+	// Score the union once, outside any budget, and report it under the
+	// aggregated accounting: Evals is what the sub-solves actually consumed,
+	// Status the worst way any sub-solve ended.
+	ev := opt.NewEvaluator(p, 0)
+	ev.Instrument(opts.Recorder)
+	final := ev.Solution(opt.SortIDs(union), ps.Name())
+	final.Evals = evals
+	final.Status = status
+	return final, nil
+}
+
+// rank orders statuses by severity for aggregation.
+func rank(s opt.Status) int {
+	switch s {
+	case opt.StatusCanceled:
+		return 3
+	case opt.StatusDeadline:
+		return 2
+	case opt.StatusExhausted:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// splitBudget distributes free slots over groups by largest remainder on
+// group size, capping each group at its own size minus its required count.
+// Deterministic: remainder ties break on group index.
+func splitBudget(free int, groups [][]schema.SourceID, reqCount []int) []int {
+	g := len(groups)
+	share := make([]int, g)
+	if free <= 0 {
+		return share
+	}
+	total := 0
+	for _, grp := range groups {
+		total += len(grp)
+	}
+	capacity := make([]int, g)
+	assigned := 0
+	type frac struct{ rem, idx int }
+	fracs := make([]frac, g)
+	for i, grp := range groups {
+		capacity[i] = len(grp) - reqCount[i]
+		s := free * len(grp) / total
+		if s > capacity[i] {
+			s = capacity[i]
+		}
+		share[i] = s
+		assigned += s
+		fracs[i] = frac{rem: (free * len(grp)) % total, idx: i}
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].rem != fracs[b].rem {
+			return fracs[a].rem > fracs[b].rem
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for left := free - assigned; left > 0; {
+		gave := false
+		for _, f := range fracs {
+			if left == 0 {
+				break
+			}
+			if share[f.idx] < capacity[f.idx] {
+				share[f.idx]++
+				left--
+				gave = true
+			}
+		}
+		if !gave {
+			break // every group is at capacity; leftover slots go unused
+		}
+	}
+	return share
+}
+
+// splitEvals divides the evaluation budget proportionally to group size.
+// Non-positive budgets (unlimited) pass through; positive budgets give every
+// solved group at least one evaluation.
+func splitEvals(maxEvals int, groups [][]schema.SourceID, total int) []int {
+	out := make([]int, len(groups))
+	if maxEvals <= 0 {
+		for i := range out {
+			out[i] = maxEvals
+		}
+		return out
+	}
+	for i, grp := range groups {
+		e := maxEvals * len(grp) / total
+		if e < 1 {
+			e = 1
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// filterConstraints restricts a constraint set to sources inside the group.
+// Constraints never span groups, so this is a partition of the set, not an
+// approximation.
+func filterConstraints(cons constraint.Set, in map[schema.SourceID]bool) constraint.Set {
+	var out constraint.Set
+	for _, id := range cons.Sources {
+		if in[id] {
+			out.Sources = append(out.Sources, id)
+		}
+	}
+	for _, ga := range cons.GAs {
+		refs := ga.Refs()
+		if len(refs) > 0 && in[refs[0].Source] {
+			out.GAs = append(out.GAs, ga)
+		}
+	}
+	return out
+}
+
+// filterIDs keeps the ids inside the group (for warm starts).
+func filterIDs(ids []schema.SourceID, in map[schema.SourceID]bool) []schema.SourceID {
+	var out []schema.SourceID
+	for _, id := range ids {
+		if in[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

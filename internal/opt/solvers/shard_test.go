@@ -1,0 +1,97 @@
+package solvers
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"mube/internal/constraint"
+	"mube/internal/match"
+	"mube/internal/opt"
+	"mube/internal/opt/anneal"
+	"mube/internal/opt/sls"
+	"mube/internal/opt/tabu"
+)
+
+// TestShardPathDifferential mirrors TestDeltaPathDifferential for the
+// cluster-sharded matching path: for every local-search solver, an identical
+// run with NoShard set (flips re-cluster their full attribute set) must
+// produce a bit-identical trajectory — Quality to the float bits, IDs, Evals,
+// Status, and byte-identical JSONL traces — across 3 seeds and both 1 and 4
+// evaluator workers.
+func TestShardPathDifferential(t *testing.T) {
+	p := problem(t, 4, constraint.Set{Sources: ids(3)})
+	solvers := []opt.Solver{tabu.Solver{}, sls.Solver{}, anneal.Solver{}}
+	for _, s := range solvers {
+		for _, seed := range []int64{1, 2, 3} {
+			for _, workers := range []int{1, 4} {
+				base := opt.Options{
+					Seed: seed, MaxEvals: 400, MaxIters: 30, Patience: 8,
+					Parallel: workers,
+				}
+				shardOpts := base
+				fullOpts := base
+				fullOpts.NoShard = true
+				shardSol, shardTrace := solveTraced(t, s, p, shardOpts)
+				fullSol, fullTrace := solveTraced(t, s, p, fullOpts)
+
+				label := s.Name()
+				if math.Float64bits(shardSol.Quality) != math.Float64bits(fullSol.Quality) {
+					t.Errorf("%s seed=%d workers=%d: sharded quality %v != full %v",
+						label, seed, workers, shardSol.Quality, fullSol.Quality)
+				}
+				if shardSol.Evals != fullSol.Evals {
+					t.Errorf("%s seed=%d workers=%d: sharded evals %d != full %d",
+						label, seed, workers, shardSol.Evals, fullSol.Evals)
+				}
+				if shardSol.Status != fullSol.Status {
+					t.Errorf("%s seed=%d workers=%d: sharded status %v != full %v",
+						label, seed, workers, shardSol.Status, fullSol.Status)
+				}
+				if len(shardSol.IDs) != len(fullSol.IDs) {
+					t.Errorf("%s seed=%d workers=%d: id sets differ: %v vs %v",
+						label, seed, workers, shardSol.IDs, fullSol.IDs)
+				} else {
+					for i := range shardSol.IDs {
+						if shardSol.IDs[i] != fullSol.IDs[i] {
+							t.Errorf("%s seed=%d workers=%d: id sets differ: %v vs %v",
+								label, seed, workers, shardSol.IDs, fullSol.IDs)
+							break
+						}
+					}
+				}
+				if !bytes.Equal(shardTrace, fullTrace) {
+					t.Errorf("%s seed=%d workers=%d: trace bytes differ between sharded and full paths",
+						label, seed, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestShardPathEngages guards the point of the sharded matcher: a plain tabu
+// run must actually score flips through ShardedBase.ScoreFlip (visible as
+// shard-score operations on the process-wide counter), not silently fall back
+// to full reclustering.
+func TestShardPathEngages(t *testing.T) {
+	p := problem(t, 4, constraint.Set{})
+	before := match.ShardScores()
+	opts := opt.Options{Seed: 5, MaxEvals: 300, MaxIters: 20, Patience: 6}
+	if _, err := (tabu.Solver{}).Solve(context.Background(), p, opts); err != nil {
+		t.Fatal(err)
+	}
+	if after := match.ShardScores(); after == before {
+		t.Error("tabu solve performed no sharded flip scores; the shard path never engaged")
+	}
+
+	// And with NoShard it must stay silent.
+	before = match.ShardScores()
+	opts.NoShard = true
+	if _, err := (tabu.Solver{}).Solve(context.Background(), p, opts); err != nil {
+		t.Fatal(err)
+	}
+	if after := match.ShardScores(); after != before {
+		t.Errorf("NoShard solve performed %d sharded flip scores; want 0", after-before)
+	}
+}

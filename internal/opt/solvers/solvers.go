@@ -6,6 +6,7 @@ package solvers
 
 import (
 	"fmt"
+	"strings"
 
 	"mube/internal/opt"
 	"mube/internal/opt/anneal"
@@ -34,7 +35,9 @@ func All() []opt.Solver {
 // Exhaustive returns the exact enumeration oracle.
 func Exhaustive() opt.Solver { return exhaustive.Solver{} }
 
-// ByName resolves a solver by its Name(), including "exhaustive".
+// ByName resolves a solver by its Name(), including "exhaustive" and the
+// partitioned wrappers ("partition" wraps the default solver, "partition+X"
+// wraps solver X).
 func ByName(name string) (opt.Solver, error) {
 	for _, s := range All() {
 		if s.Name() == name {
@@ -43,6 +46,16 @@ func ByName(name string) (opt.Solver, error) {
 	}
 	if name == "exhaustive" {
 		return Exhaustive(), nil
+	}
+	if name == "partition" {
+		return Partitioned{}, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "partition+"); ok {
+		inner, err := ByName(rest)
+		if err != nil {
+			return nil, err
+		}
+		return Partitioned{Inner: inner}, nil
 	}
 	return nil, fmt.Errorf("solvers: unknown solver %q", name)
 }

@@ -316,15 +316,27 @@ const magic = 0x50435341 // "PCSA"
 
 // MarshalBinary encodes the signature for caching or transmission.
 func (s *Signature) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 4+4+8+1+8*len(s.maps))
-	binary.LittleEndian.PutUint32(buf[0:], magic)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(s.cfg.NumMaps))
-	binary.LittleEndian.PutUint64(buf[8:], s.cfg.Seed)
+	return s.AppendBinary(make([]byte, 0, s.EncodedSize()))
+}
+
+// EncodedSize returns the length of the signature's binary encoding, letting
+// callers size an AppendBinary buffer exactly.
+func (s *Signature) EncodedSize() int { return 4 + 4 + 8 + 1 + 8*len(s.maps) }
+
+// AppendBinary appends the signature's binary encoding to buf and returns the
+// extended slice. Serializing a whole universe through one reused buffer this
+// way costs zero allocations per signature, where MarshalBinary costs one.
+func (s *Signature) AppendBinary(buf []byte) ([]byte, error) {
+	buf = binary.LittleEndian.AppendUint32(buf, magic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.cfg.NumMaps))
+	buf = binary.LittleEndian.AppendUint64(buf, s.cfg.Seed)
 	if s.cfg.DisableSmallRangeCorrection {
-		buf[16] = 1
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
 	}
-	for i, bm := range s.maps {
-		binary.LittleEndian.PutUint64(buf[17+8*i:], bm)
+	for _, bm := range s.maps {
+		buf = binary.LittleEndian.AppendUint64(buf, bm)
 	}
 	return buf, nil
 }

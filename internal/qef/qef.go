@@ -50,6 +50,12 @@ type Context struct {
 	matchRes  match.Result
 	matchErr  error
 
+	// Lean match score (F1 without the materialized schema), computed by
+	// Matcher.Score or preset by the sharded evaluator via PresetMatchScore.
+	scoreOnce bool
+	scoreQ    float64
+	scoreOK   bool
+
 	scratch *Scratch
 
 	// Union statistics over S, computed once by unionStats — or preset by
@@ -229,6 +235,40 @@ func (c *Context) MatchResult() (match.Result, error) {
 	return c.matchRes, c.matchErr
 }
 
+// PresetMatchScore primes the context with an externally computed matching
+// score, bypassing MatchScore's clustering run. The values must be
+// bit-identical to what Matcher.Score(IDs, Constraints) would return — the
+// sharded evaluator guarantees this. It must be called before any QEF
+// evaluates.
+func (c *Context) PresetMatchScore(q float64, ok bool) {
+	c.scoreOnce = true
+	c.scoreQ = q
+	c.scoreOK = ok
+}
+
+// MatchScore returns F1(S) and the validity bit without materializing the
+// mediated schema: preset values win, an already computed full MatchResult is
+// reused, and otherwise the allocation-free Matcher.Score path runs. The
+// score is bit-identical to MatchResult().Quality in all three cases.
+func (c *Context) MatchScore() (float64, bool) {
+	if c.scoreOnce {
+		return c.scoreQ, c.scoreOK
+	}
+	c.scoreOnce = true
+	if c.matchOnce || c.Matcher == nil {
+		res, err := c.MatchResult()
+		if err == nil && res.OK {
+			c.scoreQ, c.scoreOK = res.Quality, true
+		}
+		return c.scoreQ, c.scoreOK
+	}
+	q, ok, err := c.Matcher.Score(c.IDs, c.Constraints)
+	if err == nil && ok {
+		c.scoreQ, c.scoreOK = q, true
+	}
+	return c.scoreQ, c.scoreOK
+}
+
 // QEF is one quality dimension. Eval must return a value in [0,1]; higher is
 // better.
 type QEF interface {
@@ -258,11 +298,11 @@ func (MatchQuality) Name() string { return NameMatchQuality }
 
 // Eval returns the matching quality of S.
 func (MatchQuality) Eval(ctx *Context) float64 {
-	res, err := ctx.MatchResult()
-	if err != nil || !res.OK {
+	q, ok := ctx.MatchScore()
+	if !ok {
 		return 0
 	}
-	return res.Quality
+	return q
 }
 
 // Cardinality is F2 = Card(S) = Σ_{s∈S}|s| / Σ_{t∈U}|t|: the fraction of the

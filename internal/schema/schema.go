@@ -10,6 +10,7 @@ package schema
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -34,6 +35,23 @@ func (r AttrRef) Less(o AttrRef) bool {
 		return r.Source < o.Source
 	}
 	return r.Attr < o.Attr
+}
+
+// Compare orders references by (Source, Attr), returning -1, 0, or +1.
+func (r AttrRef) Compare(o AttrRef) int {
+	switch {
+	case r.Source != o.Source:
+		if r.Source < o.Source {
+			return -1
+		}
+		return 1
+	case r.Attr != o.Attr:
+		if r.Attr < o.Attr {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // Schema is the exported schema of a single data source: an ordered list of
@@ -80,7 +98,7 @@ type GA struct {
 // GA from a *valid* GA.
 func NewGA(refs ...AttrRef) GA {
 	g := GA{refs: append([]AttrRef(nil), refs...)}
-	sort.Slice(g.refs, func(i, j int) bool { return g.refs[i].Less(g.refs[j]) })
+	slices.SortFunc(g.refs, AttrRef.Compare)
 	// Deduplicate exact duplicates.
 	out := g.refs[:0]
 	for i, r := range g.refs {
@@ -91,6 +109,12 @@ func NewGA(refs ...AttrRef) GA {
 	g.refs = out
 	return g
 }
+
+// GAFromSorted adopts refs as a GA without copying or sorting. The caller
+// guarantees refs is sorted by (Source, Attr), free of duplicates, and never
+// mutated afterwards. It exists for the matcher's arena-backed clustering hot
+// path; everything else should use NewGA.
+func GAFromSorted(refs []AttrRef) GA { return GA{refs: refs} }
 
 // Refs returns the GA's attribute references in sorted order. The returned
 // slice must not be modified.
@@ -204,6 +228,31 @@ func (g GA) Equal(o GA) bool {
 	return true
 }
 
+// Compare orders GAs canonically: lexicographically over their sorted
+// reference lists by (Source, Attr), shorter prefix first. Two GAs compare
+// equal only when they contain exactly the same references. This numeric
+// order is the canonical order of mediated schemas (NewMediated); unlike
+// comparing Key() strings it allocates nothing and orders source IDs
+// numerically (source 9 before source 10).
+func (g GA) Compare(o GA) int {
+	n := len(g.refs)
+	if len(o.refs) < n {
+		n = len(o.refs)
+	}
+	for i := 0; i < n; i++ {
+		if c := g.refs[i].Compare(o.refs[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(g.refs) < len(o.refs):
+		return -1
+	case len(g.refs) > len(o.refs):
+		return 1
+	}
+	return 0
+}
+
 // Key returns a canonical string key for the GA, usable as a map key.
 func (g GA) Key() string {
 	var b strings.Builder
@@ -235,7 +284,7 @@ type Mediated struct {
 // canonical order for deterministic output.
 func NewMediated(gas ...GA) Mediated {
 	m := Mediated{GAs: append([]GA(nil), gas...)}
-	sort.Slice(m.GAs, func(i, j int) bool { return m.GAs[i].Key() < m.GAs[j].Key() })
+	slices.SortFunc(m.GAs, GA.Compare)
 	return m
 }
 

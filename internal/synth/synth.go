@@ -59,10 +59,22 @@ type Config struct {
 	// AttrSignatures makes every source sketch each attribute's value set
 	// with a MinHash synopsis, enabling data-based attribute similarity
 	// (match.Config.DataWeight). Adds one O(1) sketch update per attribute
-	// per tuple during generation.
+	// per tuple during generation. Ignored in multi-domain mode.
 	AttrSignatures bool
 	// MinHashK is the per-attribute sketch width (0 → minhash.DefaultK).
 	MinHashK int
+
+	// Domains > 1 switches generation from the BAMM Books shape to the
+	// Internet-scale multi-domain shape: each domain gets its own concept
+	// vocabulary of hash-derived attribute names, schemas are removal-only
+	// perturbations of the domain's full concept list, and names never repeat
+	// across domains — so the similarity graph decomposes into (at least)
+	// per-domain components and cluster-sharded matching has real shards to
+	// work with. 0 or 1 keeps the BAMM mode unchanged.
+	Domains int
+	// DomainConcepts is the per-domain concept vocabulary size in multi-
+	// domain mode (0 → 12).
+	DomainConcepts int
 }
 
 // Defaults returns the paper's §7.1 configuration at full scale.
@@ -115,6 +127,9 @@ func (c Config) validate() error {
 	if c.SpecialtyPct < 0 || c.SpecialtyPct > 1 {
 		return fmt.Errorf("synth: SpecialtyPct %v out of [0,1]", c.SpecialtyPct)
 	}
+	if c.Domains < 0 || c.DomainConcepts < 0 {
+		return fmt.Errorf("synth: negative Domains/DomainConcepts")
+	}
 	return nil
 }
 
@@ -146,12 +161,93 @@ type Result struct {
 	Config Config
 }
 
-// Generate builds a synthetic universe.
-func Generate(cfg Config) (*Result, error) {
+// SourceMeta is the per-source ground truth Stream hands alongside each
+// generated source. Collect it (Generate does) or drop it (GenerateUniverse
+// does) — at 10⁵–10⁶ sources retaining it is the caller's memory decision.
+type SourceMeta struct {
+	// BaseSchema is the BAMM base-schema index (BAMM mode) or the domain
+	// index (multi-domain mode) the source derives from.
+	BaseSchema int
+	// Conformant reports an unperturbed copy of the base schema.
+	Conformant bool
+	// Specialty reports whether the source carries specialty tuples.
+	Specialty bool
+	// AttrOrigins[a] is the ground-truth concept behind attribute a, -1 for
+	// genuine noise.
+	AttrOrigins []int
+	// Tuples holds the source's tuple IDs when Config.KeepTuples is set.
+	Tuples []source.TupleID
+}
+
+// Stream generates the universe one source at a time, calling yield for each.
+// Nothing is retained between sources beyond O(N) rank bookkeeping — no rows,
+// no cumulative metadata — so a 10⁵–10⁶-source universe streams in bounded
+// memory into whatever the caller accumulates (typically a Universe, whose
+// arena interns each signature as it arrives). A yield error aborts
+// generation and is returned as-is.
+//
+// Generation is fully deterministic per seed, and the BAMM mode's random
+// stream is identical to historical Generate output.
+func Stream(cfg Config, yield func(*source.Source, SourceMeta) error) error {
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return err
 	}
 	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Domains > 1 {
+		return streamDomains(cfg, r, yield)
+	}
+	return streamBAMM(cfg, r, yield)
+}
+
+// Generate builds a synthetic universe with full ground-truth metadata, by
+// streaming and collecting.
+func Generate(cfg Config) (*Result, error) {
+	res := &Result{Universe: source.NewUniverse(cfg.Sig), Config: cfg}
+	err := Stream(cfg, func(s *source.Source, m SourceMeta) error {
+		id, err := res.Universe.Add(s)
+		if err != nil {
+			return err
+		}
+		res.BaseSchema = append(res.BaseSchema, m.BaseSchema)
+		res.Specialty = append(res.Specialty, m.Specialty)
+		res.AttrOrigins = append(res.AttrOrigins, m.AttrOrigins)
+		if m.Conformant {
+			res.Conformant = append(res.Conformant, id)
+		}
+		if cfg.KeepTuples {
+			res.Tuples = append(res.Tuples, m.Tuples)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Materialize the universe aggregates (total cardinality, |∪U| estimate)
+	// at generation time rather than inside the first Coverage evaluation.
+	res.Universe.Precompute()
+	return res, nil
+}
+
+// GenerateUniverse streams a universe without retaining ground-truth
+// metadata or tuples — the memory-lean entry point for scale benchmarks.
+func GenerateUniverse(cfg Config) (*source.Universe, error) {
+	u := source.NewUniverse(cfg.Sig)
+	err := Stream(cfg, func(s *source.Source, _ SourceMeta) error {
+		_, err := u.Add(s)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	u.Precompute()
+	return u, nil
+}
+
+// streamBAMM is the paper's §7.1 generator: BAMM Books schemas plus
+// perturbed copies. The RNG call sequence is load-bearing — it reproduces
+// the exact universes of archived experiment runs — so edits must not
+// insert, remove, or reorder draws.
+func streamBAMM(cfg Config, r *rand.Rand, yield func(*source.Source, SourceMeta) error) error {
 	base := bamm.Schemas()
 	baseOrigins := make([][]int, len(base))
 	for i, sch := range base {
@@ -162,13 +258,6 @@ func Generate(cfg Config) (*Result, error) {
 				baseOrigins[i][a] = ci
 			}
 		}
-	}
-	res := &Result{
-		Universe:    source.NewUniverse(cfg.Sig),
-		BaseSchema:  make([]int, cfg.NumSources),
-		Specialty:   make([]bool, cfg.NumSources),
-		AttrOrigins: make([][]int, cfg.NumSources),
-		Config:      cfg,
 	}
 	minhashK := cfg.MinHashK
 	if minhashK == 0 {
@@ -185,25 +274,22 @@ func Generate(cfg Config) (*Result, error) {
 
 	for i := 0; i < cfg.NumSources; i++ {
 		baseIdx := i % len(base)
-		res.BaseSchema[i] = baseIdx
 		conformant := i < len(base)
 		attrs := base[baseIdx].Attrs
 		origins := baseOrigins[baseIdx]
 		if !conformant {
 			attrs, origins = perturb(r, attrs, origins, cfg)
 		}
-		res.AttrOrigins[i] = origins
 
 		card := int64(float64(cfg.MaxCard) / math.Pow(float64(ranks[i]+1), cfg.ZipfS))
 		if card < cfg.MinCard {
 			card = cfg.MinCard
 		}
 		specialty := i%2 == 1 // half the sources carry specialty items
-		res.Specialty[i] = specialty
 
 		sig, err := pcsa.New(cfg.Sig)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nSpec := int64(0)
 		if specialty {
@@ -219,7 +305,7 @@ func Generate(cfg Config) (*Result, error) {
 			for a := range attrSigs {
 				s, err := minhash.New(minhashK, 0)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				attrSigs[a] = s
 			}
@@ -239,9 +325,6 @@ func Generate(cfg Config) (*Result, error) {
 				attrSigs[a].AddUint64(ValueID(tuple, origins[a], attrs[a], vocabScale))
 			}
 		}
-		if cfg.KeepTuples {
-			res.Tuples = append(res.Tuples, kept)
-		}
 
 		mttf := cfg.MTTFMean + r.NormFloat64()*cfg.MTTFStd
 		if mttf < 1 {
@@ -260,18 +343,151 @@ func Generate(cfg Config) (*Result, error) {
 				"latency": 50 + r.Float64()*450,
 			},
 		}
-		id, err := res.Universe.Add(s)
-		if err != nil {
-			return nil, err
+		meta := SourceMeta{
+			BaseSchema:  baseIdx,
+			Conformant:  conformant,
+			Specialty:   specialty,
+			AttrOrigins: origins,
+			Tuples:      kept,
 		}
-		if conformant {
-			res.Conformant = append(res.Conformant, id)
+		if err := yield(s, meta); err != nil {
+			return err
 		}
 	}
-	// Materialize the universe aggregates (total cardinality, |∪U| estimate)
-	// at generation time rather than inside the first Coverage evaluation.
-	res.Universe.Precompute()
-	return res, nil
+	return nil
+}
+
+// streamDomains is the Internet-scale generator: cfg.Domains disjoint
+// concept vocabularies of hash-derived names, schemas drawn by removal-only
+// perturbation from the source's domain vocabulary. Because attribute names
+// never repeat (and, being random 12-char hex tokens, share essentially no
+// 3-grams) across domains, the θ-thresholded similarity graph decomposes
+// into per-domain components — the structure cluster-sharded matching and
+// the partitioned solver exploit. Data shape (Zipf cardinalities, the
+// General/Specialty tuple pool, MTTF, latency) matches the BAMM mode.
+func streamDomains(cfg Config, r *rand.Rand, yield func(*source.Source, SourceMeta) error) error {
+	nd := cfg.Domains
+	nc := cfg.DomainConcepts
+	if nc == 0 {
+		nc = 12
+	}
+	vocab := domainVocab(cfg.Seed, nd, nc)
+	ranks := r.Perm(cfg.NumSources)
+	generalPool := cfg.PoolSize / 2
+
+	for i := 0; i < cfg.NumSources; i++ {
+		d := i % nd
+		conformant := i < nd // one full-vocabulary source per domain
+		attrs := make([]string, 0, nc)
+		origins := make([]int, 0, nc)
+		for c := 0; c < nc; c++ {
+			if !conformant && r.Float64() < cfg.PRemove {
+				continue
+			}
+			attrs = append(attrs, vocab[d][c])
+			origins = append(origins, d*nc+c)
+		}
+		if len(attrs) == 0 {
+			c := r.Intn(nc)
+			attrs = append(attrs, vocab[d][c])
+			origins = append(origins, d*nc+c)
+		}
+
+		card := int64(float64(cfg.MaxCard) / math.Pow(float64(ranks[i]+1), cfg.ZipfS))
+		if card < cfg.MinCard {
+			card = cfg.MinCard
+		}
+		specialty := i%2 == 1
+
+		sig, err := pcsa.New(cfg.Sig)
+		if err != nil {
+			return err
+		}
+		nSpec := int64(0)
+		if specialty {
+			nSpec = int64(cfg.SpecialtyPct * float64(card))
+		}
+		var kept []source.TupleID
+		if cfg.KeepTuples {
+			kept = make([]source.TupleID, 0, card)
+		}
+		for t := int64(0); t < card; t++ {
+			var tuple uint64
+			if t < nSpec {
+				tuple = generalPool + uint64(r.Int63n(int64(cfg.PoolSize-generalPool)))
+			} else {
+				tuple = uint64(r.Int63n(int64(generalPool)))
+			}
+			sig.AddUint64(tuple)
+			if cfg.KeepTuples {
+				kept = append(kept, tuple)
+			}
+		}
+
+		mttf := cfg.MTTFMean + r.NormFloat64()*cfg.MTTFStd
+		if mttf < 1 {
+			mttf = 1
+		}
+		s := &source.Source{
+			Name:        fmt.Sprintf("src-%06d-d%03d", i, d),
+			Schema:      schema.NewSchema(attrs...),
+			Cardinality: card,
+			Signature:   sig,
+			Characteristics: map[string]float64{
+				"mttf":    mttf,
+				"latency": 50 + r.Float64()*450,
+			},
+		}
+		meta := SourceMeta{
+			BaseSchema:  d,
+			Conformant:  conformant,
+			Specialty:   specialty,
+			AttrOrigins: origins,
+			Tuples:      kept,
+		}
+		if err := yield(s, meta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// domainVocab derives nd disjoint vocabularies of nc attribute names each
+// from the seed. Names are 12-character hex tokens ("a1f3c09b24de"): two
+// random tokens share essentially no 3-grams, so cross-domain similarity
+// stays far below any sensible θ. Collisions (astronomically rare) are
+// resolved deterministically by salting.
+func domainVocab(seed int64, nd, nc int) [][]string {
+	used := make(map[string]bool, nd*nc)
+	names := make([][]string, nd)
+	for d := range names {
+		names[d] = make([]string, nc)
+		for c := range names[d] {
+			for salt := 0; ; salt++ {
+				h := nameMix(uint64(seed)+0x9e3779b97f4a7c15, uint64(d), uint64(c), uint64(salt))
+				n := fmt.Sprintf("%012x", h&(1<<48-1))
+				if !used[n] {
+					used[n] = true
+					names[d][c] = n
+					break
+				}
+			}
+		}
+	}
+	return names
+}
+
+// nameMix folds the vocabulary coordinates into 64 bits (SplitMix64-style
+// finalizer).
+func nameMix(xs ...uint64) uint64 {
+	var h uint64 = 0x6d75626573796e74 // "mubesynt"
+	for _, x := range xs {
+		h ^= x + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
 }
 
 // perturb applies the §7.1 schema perturbation: per attribute, remove with

@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-budget regression tests skip under race: the detector's
+// instrumentation inflates (and destabilizes) AllocsPerRun counts.
+const RaceEnabled = true
