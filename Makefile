@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race faults telemetry mube-vet vet-json bench bench-delta bench-smoke benchall fmt
+.PHONY: check build vet test race faults telemetry churn-soak mube-vet vet-json bench bench-delta bench-churn bench-smoke benchall fmt
 
-check: build mube-vet vet race faults telemetry
+check: build mube-vet vet race faults telemetry churn-soak
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ telemetry:
 	$(GO) test -race -count=1 ./internal/opt/tabu/ -run GoldenTrace
 	$(GO) test -race -count=1 ./internal/telemetry/
 
+# churn-soak re-runs the online-integration loop uncached under the race
+# detector on every `make check`: the 50-epoch golden trace (byte-identity at
+# 1 and 4 workers), the warm-vs-cold differential, and the high-churn soak.
+# `-short` shrinks the soak to 8 epochs for constrained CI runners.
+churn-soak:
+	$(GO) test -race -count=1 -short ./internal/watch/
+
 mube-vet:
 	$(GO) run ./cmd/mube-vet ./...
 
@@ -65,6 +72,14 @@ bench-delta:
 	$(GO) test -bench=Delta -benchmem -benchtime=1x -count=3 -run=^$$ . | $(GO) run ./cmd/mube-benchjson -merge BENCH_fig.json > BENCH_delta.tmp
 	@mv BENCH_delta.tmp BENCH_fig.json
 	@echo "merged Delta benchmarks into BENCH_fig.json"
+
+# bench-churn runs the online-integration churn ladder (mube-bench -exp
+# churn) and folds its metrics line (warm_evals_frac, q_recovery — both
+# direction-aware in mube-benchjson -compare) into BENCH_fig.json.
+bench-churn:
+	$(GO) run ./cmd/mube-bench -exp churn -scale quick | $(GO) run ./cmd/mube-benchjson -merge BENCH_fig.json > BENCH_churn.tmp
+	@mv BENCH_churn.tmp BENCH_fig.json
+	@echo "merged churn metrics into BENCH_fig.json"
 
 # bench-smoke is CI's non-gating sanity pass: one Fig5 iteration diffed
 # against the committed BENCH_fig.json (the -compare table prints to stderr;

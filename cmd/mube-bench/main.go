@@ -14,7 +14,7 @@
 //
 // Experiments: fig5, fig67 (time and quality: Figures 6 and 7), fig8,
 // table1, pcsa, sensitivity, solvers, convergence, ablation-sim,
-// ablation-linkage, ablation-tenure, ablation-pcsa, faults, all.
+// ablation-linkage, ablation-tenure, ablation-pcsa, faults, churn, all.
 //
 // The -debug-addr flag (off by default) serves expvar (/debug/vars) and
 // pprof (/debug/pprof/) on the given address for live profiling. The debug
@@ -164,6 +164,13 @@ var experiments = []struct {
 			return err
 		}
 		return exp.RenderFaults(w, rows)
+	}},
+	{"churn", "Online integration: warm vs cold re-solve cost under churn (watch loop)", func(sc exp.Scale, w io.Writer) error {
+		rows, err := exp.Churn(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderChurn(w, rows)
 	}},
 }
 

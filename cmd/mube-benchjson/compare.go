@@ -17,6 +17,7 @@ var (
 		"evals_per_sec":  true,
 		"memo_hit_rate":  true,
 		"delta_hit_rate": true,
+		"q_recovery":     true,
 	}
 	lowerBetter = map[string]bool{
 		"ns/op":                    true,
@@ -24,6 +25,7 @@ var (
 		"allocs/op":                true,
 		"merge_ops_per_eval":       true,
 		"counting_merges_per_eval": true,
+		"warm_evals_frac":          true,
 	}
 )
 

@@ -58,6 +58,22 @@ func TestCompareReports(t *testing.T) {
 	}
 }
 
+func TestCompareChurnMetrics(t *testing.T) {
+	// The churn experiment's run-level metrics are direction-aware: losing
+	// recovered quality or spending a larger warm fraction both flag.
+	prev := rep(map[string]float64{"q_recovery": 0.9, "warm_evals_frac": 0.3})
+	next := rep(map[string]float64{"q_recovery": 0.6, "warm_evals_frac": 0.45})
+	_, regressions := compareReports(prev, next)
+	if regressions != 2 {
+		t.Errorf("regressions = %d, want 2 (q_recovery drop and warm_evals_frac rise)", regressions)
+	}
+	// Improvements in both directions never flag.
+	_, regressions = compareReports(next, prev)
+	if regressions != 0 {
+		t.Errorf("improvements flagged: %d", regressions)
+	}
+}
+
 func TestCompareZeroBaseline(t *testing.T) {
 	prev := rep(map[string]float64{"merge_ops_per_eval": 0})
 	next := rep(map[string]float64{"merge_ops_per_eval": 0.5})

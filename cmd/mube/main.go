@@ -10,6 +10,7 @@
 //	mube find -u universe.json author price          keyword source discovery
 //	mube solve -u universe.json -m 20 [...]          one optimization run
 //	mube interactive -u universe.json -m 20          iterative REPL session
+//	mube watch -epochs 20 -churn 0.1 -trace t.jsonl  online integration under churn
 //
 // Run any subcommand with -h for its flags.
 package main
@@ -36,6 +37,8 @@ func main() {
 		err = cmdSolve(os.Args[2:])
 	case "interactive":
 		err = cmdInteractive(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -58,6 +61,7 @@ subcommands:
   find         rank sources against a keyword query (source discovery)
   solve        solve one source-selection / schema-mediation problem
   interactive  iterative µBE session (solve, give feedback, re-solve)
+  watch        online-integration loop: churn epochs, incremental updates, warm re-solves
 
 run 'mube <subcommand> -h' for flags`)
 }

@@ -16,8 +16,8 @@ var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid global math/rand functions and time.Now/time.Since/" +
 		"time.Sleep/time.After in the deterministic core (internal/opt, qef, " +
-		"match, pcsa, session, fault, probe); randomness and time must be " +
-		"injected",
+		"match, pcsa, session, fault, probe, watch); randomness and time must " +
+		"be injected",
 	Run: runDeterminism,
 }
 
@@ -30,6 +30,7 @@ var determinismScope = []string{
 	modulePath + "/internal/session",
 	modulePath + "/internal/fault",
 	modulePath + "/internal/probe",
+	modulePath + "/internal/watch",
 }
 
 // determinismAllow exempts harnesses inside the scope that legitimately own

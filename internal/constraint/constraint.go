@@ -11,12 +11,19 @@
 package constraint
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"mube/internal/schema"
 	"mube/internal/source"
 )
+
+// ErrConstraintDropped is returned by Remap when a constraint references a
+// source that the new universe no longer contains. Callers decide the
+// policy: a watch loop drops the constraint and reports it, a session load
+// surfaces the error to the user.
+var ErrConstraintDropped = errors.New("constraint: references a dropped source")
 
 // Set is a full set of user constraints for one optimization problem.
 type Set struct {
@@ -68,6 +75,46 @@ func (s Set) Validate(u *source.Universe) error {
 		}
 	}
 	return nil
+}
+
+// Remap rewrites every SourceID in the set for a universe that was reprobed
+// or churned: kept[newID] == oldID, the convention of probe.ReprobeUniverse
+// and source.Universe.Remove. A constraint that references an old ID absent
+// from kept — the source was dropped — makes Remap fail with an error
+// wrapping ErrConstraintDropped and naming the constraint; IDs must never be
+// rebound silently, because after compaction a stale ID is a *valid* index
+// into the new universe pointing at the wrong source.
+func (s Set) Remap(kept []schema.SourceID) (Set, error) {
+	oldToNew := make(map[schema.SourceID]schema.SourceID, len(kept))
+	for newID, oldID := range kept {
+		oldToNew[oldID] = schema.SourceID(newID)
+	}
+	out := Set{}
+	if s.Sources != nil {
+		out.Sources = make([]schema.SourceID, len(s.Sources))
+		for i, id := range s.Sources {
+			nid, ok := oldToNew[id]
+			if !ok {
+				return Set{}, fmt.Errorf("%w: source constraint %d (source %d)", ErrConstraintDropped, i, id)
+			}
+			out.Sources[i] = nid
+		}
+	}
+	if s.GAs != nil {
+		out.GAs = make([]schema.GA, len(s.GAs))
+		for i, g := range s.GAs {
+			refs := make([]schema.AttrRef, len(g.Refs()))
+			for j, r := range g.Refs() {
+				nid, ok := oldToNew[r.Source]
+				if !ok {
+					return Set{}, fmt.Errorf("%w: GA constraint %d (%v references source %d)", ErrConstraintDropped, i, g, r.Source)
+				}
+				refs[j] = schema.AttrRef{Source: nid, Attr: r.Attr}
+			}
+			out.GAs[i] = schema.NewGA(refs...)
+		}
+	}
+	return out, nil
 }
 
 // ImpliedSources returns the sources referenced by GA constraints (§2.4:

@@ -1,6 +1,7 @@
 package constraint
 
 import (
+	"errors"
 	"testing"
 
 	"mube/internal/pcsa"
@@ -123,5 +124,50 @@ func TestCloneIsDeep(t *testing.T) {
 	}
 	if !(Set{}).Empty() {
 		t.Error("empty set not reported Empty")
+	}
+}
+
+func TestRemap(t *testing.T) {
+	s := Set{
+		Sources: []schema.SourceID{0, 3},
+		GAs:     []schema.GA{schema.NewGA(ref(1, 0), ref(3, 0))},
+	}
+	// Universe lost source 2: kept[newID] == oldID.
+	kept := []schema.SourceID{0, 1, 3}
+	out, err := s.Remap(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sources[0] != 0 || out.Sources[1] != 2 {
+		t.Errorf("Sources remapped to %v, want [0 2]", out.Sources)
+	}
+	want := schema.NewGA(ref(1, 0), ref(2, 0))
+	if !out.GAs[0].Equal(want) {
+		t.Errorf("GA remapped to %v, want %v", out.GAs[0], want)
+	}
+	// The input set must be untouched.
+	if s.Sources[1] != 3 || !s.GAs[0].Equal(schema.NewGA(ref(1, 0), ref(3, 0))) {
+		t.Error("Remap mutated its receiver")
+	}
+}
+
+func TestRemapRejectsDroppedSource(t *testing.T) {
+	kept := []schema.SourceID{0, 2} // source 1 dropped
+	if _, err := (Set{Sources: []schema.SourceID{1}}).Remap(kept); !errors.Is(err, ErrConstraintDropped) {
+		t.Errorf("source constraint on dropped id: err = %v, want ErrConstraintDropped", err)
+	}
+	s := Set{GAs: []schema.GA{schema.NewGA(ref(0, 0), ref(1, 1))}}
+	if _, err := s.Remap(kept); !errors.Is(err, ErrConstraintDropped) {
+		t.Errorf("GA constraint on dropped id: err = %v, want ErrConstraintDropped", err)
+	}
+	// The stale ID 2 is still a *valid* index into the shrunken universe —
+	// exactly the silent mis-binding Remap exists to prevent; it must remap
+	// to 1, not pass through.
+	out, err := (Set{Sources: []schema.SourceID{2}}).Remap(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sources[0] != 1 {
+		t.Errorf("id 2 remapped to %d, want 1", out.Sources[0])
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"mube/internal/source"
@@ -35,9 +36,13 @@ type Clock interface {
 }
 
 // VirtualClock is a Clock that starts at a fixed instant and advances only
-// when slept on. It is not safe for concurrent use; probing is sequential by
-// design (the determinism contract requires a single acquisition order).
+// when slept on. Now and Sleep are safe to call concurrently (a telemetry
+// recorder stamping events from the solve goroutine may share the clock with
+// a watch loop, and tests hammer it under -race); determinism is still the
+// caller's to keep — probing is sequential by design, so the deterministic
+// core never races sleeps against each other.
 type VirtualClock struct {
+	mu  sync.Mutex
 	now time.Time
 }
 
@@ -48,13 +53,20 @@ func NewVirtualClock(start time.Time) *VirtualClock {
 }
 
 // Now returns the virtual instant.
-func (c *VirtualClock) Now() time.Time { return c.now }
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
 
 // Sleep advances the virtual clock by d without blocking.
 func (c *VirtualClock) Sleep(d time.Duration) {
-	if d > 0 {
-		c.now = c.now.Add(d)
+	if d <= 0 {
+		return
 	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
 }
 
 // Injection errors. Consumers distinguish reachability (ErrUnreachable: the

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -455,5 +456,123 @@ func TestMatchPropertyInvariants(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestRebindMatchesFreshBuild churns a universe (drop, drift, arrival) and
+// checks that Rebind produces clusterings and qualities bit-identical to a
+// cold New over the same universe — the contract the watch loop's delta
+// re-clustering relies on.
+func TestRebindMatchesFreshBuild(t *testing.T) {
+	u := universe(t,
+		[]string{"title", "author", "price"},
+		[]string{"book title", "writer"},
+		[]string{"keyword"},
+		[]string{"title", "cost"},
+	)
+	m, err := New(u, Config{Theta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn: source 2 dies, source 1 drifts to new names, a new source
+	// arrives with a mix of known and novel names.
+	if _, err := u.Remove([]schema.SourceID{2}); err != nil {
+		t.Fatal(err)
+	}
+	u.Source(1).Schema = schema.NewSchema("booktitle", "author name")
+	if _, err := u.Add(source.Uncooperative("new", schema.NewSchema("title", "publisher"))); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := m.Rebind(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(u, Config{Theta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Universe() != u {
+		t.Fatal("Rebind did not bind the new universe")
+	}
+
+	all := u.IDs()
+	for i := 0; i < len(all); i++ {
+		for _, cons := range []constraint.Set{{}, {GAs: []schema.GA{schema.NewGA(ref(0, 0), ref(2, 0))}}} {
+			if !cons.Empty() && i < 2 {
+				continue // constraint requires sources 0 and 2
+			}
+			rw, err := warm.Match(all[:i+1], cons)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc, err := cold.Match(all[:i+1], cons)
+			if err != nil {
+				t.Fatal(err)
+			}
+			//mube:vet-ignore floatcmp — the Rebind contract is bit-identical, not approximate
+			if rw.OK != rc.OK || math.Float64bits(rw.Quality) != math.Float64bits(rc.Quality) {
+				t.Fatalf("subset %v cons %v: warm (%v, %v) != cold (%v, %v)",
+					all[:i+1], cons, rw.OK, rw.Quality, rc.OK, rc.Quality)
+			}
+			if rw.Schema.String() != rc.Schema.String() {
+				t.Fatalf("subset %v: warm schema %v != cold schema %v", all[:i+1], rw.Schema, rc.Schema)
+			}
+		}
+	}
+
+	// Every attribute pair must agree bit-for-bit, old names and new.
+	for _, a := range all {
+		sa := u.Source(a)
+		for ai := 0; ai < sa.Schema.Len(); ai++ {
+			for _, b := range all {
+				sb := u.Source(b)
+				for bi := 0; bi < sb.Schema.Len(); bi++ {
+					pw := warm.PairSim(schema.AttrRef{Source: a, Attr: ai}, schema.AttrRef{Source: b, Attr: bi})
+					pc := cold.PairSim(schema.AttrRef{Source: a, Attr: ai}, schema.AttrRef{Source: b, Attr: bi})
+					if math.Float64bits(pw) != math.Float64bits(pc) {
+						t.Fatalf("PairSim(s%d.a%d, s%d.a%d): warm %v != cold %v", a, ai, b, bi, pw, pc)
+					}
+				}
+			}
+		}
+	}
+
+	// The original matcher must be untouched by the rebind: churn introduced
+	// new names, so the rebound interning is strictly larger.
+	if len(m.names) >= len(warm.names) || len(m.ids) >= len(warm.ids) {
+		t.Errorf("Rebind mutated receiver's interning: %d names before, %d after", len(m.names), len(warm.names))
+	}
+
+	// A no-new-names rebind must share the table wholesale.
+	again, err := warm.Rebind(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again.table[0] != &warm.table[0] {
+		t.Error("rebind with no new names rebuilt the table")
+	}
+}
+
+// TestRebindHybridFallsBackToNew pins the documented hybrid behavior: a
+// data-weighted matcher rebinds by full rebuild and still scores like New.
+func TestRebindHybridFallsBackToNew(t *testing.T) {
+	u := hybridUniverse(t)
+	m, err := New(u, Config{Theta: 0.3, DataWeight: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := m.Rebind(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(u, Config{Theta: 0.3, DataWeight: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := schema.AttrRef{Source: 0, Attr: 0}, schema.AttrRef{Source: 1, Attr: 0}
+	if math.Float64bits(warm.PairSim(a, b)) != math.Float64bits(cold.PairSim(a, b)) {
+		t.Errorf("hybrid rebind PairSim %v != cold %v", warm.PairSim(a, b), cold.PairSim(a, b))
 	}
 }

@@ -120,6 +120,12 @@ type Matcher struct {
 	table []float32
 	// n is the number of similarity ids.
 	n int
+	// ids/names retain the name interning from construction so Rebind can
+	// extend the table incrementally when the universe churns instead of
+	// recomputing O(d²) similarities from scratch. Read-only after New;
+	// Rebind clones before extending.
+	ids   map[string]int
+	names []string
 
 	// pool recycles clustering scratch (cluster slabs, ref/name arenas, the
 	// pair heap) across Match/Score calls; shared by WithParams clones since
@@ -161,6 +167,8 @@ func New(u *source.Universe, cfg Config) (*Matcher, error) {
 		}
 		nameID[si] = row
 	}
+	m.ids = ids
+	m.names = names
 	d := len(names)
 	namePacked := func(i, j int) int { return i*d - i*(i-1)/2 + (j - i) }
 	nameTable := make([]float32, d*(d+1)/2)
@@ -268,6 +276,75 @@ func (m *Matcher) WithParams(theta float64, beta int, linkage Linkage) (*Matcher
 	// The shard index is a function of θ; give the clone its own cache. The
 	// scratch pool carries no parameters and stays shared.
 	clone.shardc = &shardCache{}
+	return &clone, nil
+}
+
+// Rebind returns a matcher over nu — typically this matcher's universe after
+// a churn tick added, dropped, or drifted sources — that reuses every
+// similarity already in the table and computes only the pairs involving
+// genuinely new attribute names. With churn touching a few percent of
+// sources per epoch the distinct-name set barely moves, so a rebind is
+// usually a re-interning pass plus zero or a handful of Sim calls, against
+// O(d²) for a cold New. Similarities of pairs present in both tables are
+// copied bit-for-bit, so clustering over the rebound matcher scores
+// identically to a from-scratch build. Hybrid (data-weighted) tables are
+// keyed per attribute, not per distinct name, so they fall back to New.
+func (m *Matcher) Rebind(nu *source.Universe) (*Matcher, error) {
+	if m.cfg.DataWeight != 0 {
+		return New(nu, m.cfg)
+	}
+	clone := *m
+	clone.u = nu
+	// The shard index is a function of the universe; give the clone its own
+	// cache. The scratch pool carries no universe state and stays shared.
+	clone.shardc = &shardCache{}
+	ids := make(map[string]int, len(m.ids))
+	for k, v := range m.ids {
+		ids[k] = v
+	}
+	names := append([]string(nil), m.names...)
+	oldD := len(names)
+	nameID := make([][]int, nu.Len())
+	for si, s := range nu.Sources() {
+		row := make([]int, s.Schema.Len())
+		for ai := 0; ai < s.Schema.Len(); ai++ {
+			norm := strutil.Normalize(s.Schema.Name(ai))
+			id, ok := ids[norm]
+			if !ok {
+				id = len(names)
+				ids[norm] = id
+				names = append(names, norm)
+			}
+			row[ai] = id
+		}
+		nameID[si] = row
+	}
+	clone.ids = ids
+	clone.names = names
+	clone.simID = nameID
+	d := len(names)
+	clone.n = d
+	if d == oldD {
+		// No new names: the distinct-name table is exactly the old one.
+		// (Names dropped with their sources stay interned — the table only
+		// grows — which keeps every surviving id, and so every copied
+		// similarity, stable.)
+		return &clone, nil
+	}
+	packed := func(i, j int) int { return i*d - i*(i-1)/2 + (j - i) }
+	oldPacked := func(i, j int) int { return i*oldD - i*(i-1)/2 + (j - i) }
+	table := make([]float32, d*(d+1)/2)
+	for i := 0; i < d; i++ {
+		table[packed(i, i)] = 1
+		for j := i + 1; j < d; j++ {
+			if j < oldD {
+				table[packed(i, j)] = m.table[oldPacked(i, j)]
+			} else {
+				table[packed(i, j)] = float32(m.cfg.Similarity.Sim(names[i], names[j]))
+			}
+		}
+	}
+	clone.table = table
 	return &clone, nil
 }
 

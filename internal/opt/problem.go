@@ -243,3 +243,16 @@ func SortIDs(ids []schema.SourceID) []schema.SourceID {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
+
+// Score evaluates Q(S) for one explicit source set under p — the one-shot
+// form of the evaluator, for re-scoring a prior solution against a changed
+// problem (a watch epoch after churn, report tooling). ids may arrive
+// unsorted and is not modified; an infeasible set scores 0, exactly as it
+// would inside a solve.
+func Score(p *Problem, ids []schema.SourceID) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	ev := NewEvaluator(p, -1)
+	return ev.Eval(SortIDs(append([]schema.SourceID(nil), ids...))), nil
+}

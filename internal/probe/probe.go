@@ -422,6 +422,19 @@ func (p *Prober) ReprobeUniverse(u *source.Universe) (*source.Universe, *HealthR
 	return nu, rep, kept, nil
 }
 
+// ReprobeOne runs the retry/breaker attempt loop for one known source using
+// fault fates alone (its synopsis is already cached, so a successful attempt
+// returns a clone of the original). The returned source is nil when the
+// breaker tripped (drop it) and uncooperative when every attempt failed
+// without tripping (degrade it). Breaker state is local to the call: a
+// source that recovers between reprobe rounds starts the next round with a
+// clean slate, which is what lets a watch loop re-admit flapping sources.
+// Unlike ReprobeUniverse it emits no health report — callers aggregate the
+// Results themselves.
+func (p *Prober) ReprobeOne(s *source.Source) (*source.Source, Result) {
+	return p.reprobeOne(s)
+}
+
 // reprobeOne runs the attempt loop for one known source using fates alone.
 func (p *Prober) reprobeOne(s *source.Source) (*source.Source, Result) {
 	res := Result{Name: s.Name, ID: -1}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"mube/internal/fault"
 	"mube/internal/pcsa"
@@ -310,5 +311,58 @@ func TestHealthReportClone(t *testing.T) {
 	cp.Sources[0].Name = "mutated"
 	if rep.Sources[0].Name != "a" {
 		t.Error("Clone shares the Sources slice with the original")
+	}
+}
+
+// TestBreakerResetsAcrossReprobeRounds: a source inside its flap outage trips
+// the breaker and is dropped; once the outage window passes, the next reprobe
+// round must start with fresh breaker state and re-admit it on the first
+// attempt — consecutive-handshake counts never leak across rounds.
+func TestBreakerResetsAcrossReprobeRounds(t *testing.T) {
+	const period = 2 * time.Hour
+	inj := fault.NewInjector(fault.Plan{Seed: 7, FlapPeriod: period, FlapDuty: 0.5})
+	clock := fault.NewVirtualClock(time.Unix(0, 0))
+	p := New(Policy{BreakerLimit: 2}, clock, inj, 9)
+
+	u := reprobeFixture(t, 6, 0)
+	// Find a source that is inside its outage window right now (Attempt is a
+	// pure function of (name, attempt, now), so this peek perturbs nothing).
+	var victim *source.Source
+	for _, s := range u.Sources() {
+		if inj.Attempt(s.Name, 1, clock.Now()).Handshake() {
+			victim = s
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no source down at t0; pick a different seed")
+	}
+
+	got, res := p.ReprobeOne(victim)
+	if got != nil || res.Status != StatusDropped {
+		t.Fatalf("round 1: status=%s source=%v, want dropped during outage", res.Status, got)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("round 1 attempts = %d, want breaker trip at BreakerLimit 2", res.Attempts)
+	}
+
+	// Advance the virtual clock until the outage ends (duty 0.5 bounds the
+	// wait to half a period).
+	for i := 0; i < 48 && inj.Attempt(victim.Name, 1, clock.Now()).Handshake(); i++ {
+		clock.Sleep(5 * time.Minute)
+	}
+	if inj.Attempt(victim.Name, 1, clock.Now()).Handshake() {
+		t.Fatal("source never recovered within a full flap period")
+	}
+
+	got, res = p.ReprobeOne(victim)
+	if got == nil || res.Status != StatusHealthy {
+		t.Fatalf("round 2: status=%s, want healthy after recovery", res.Status)
+	}
+	if res.Attempts != 1 || res.Retries != 0 {
+		t.Errorf("round 2 took %d attempts; breaker state leaked across rounds", res.Attempts)
+	}
+	if !got.Cooperative() || got.Name != victim.Name {
+		t.Errorf("recovered source = %+v, want cooperative clone of %q", got, victim.Name)
 	}
 }

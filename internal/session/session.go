@@ -66,6 +66,38 @@ func (s Spec) Clone() Spec {
 	return c
 }
 
+// RemapSources rewrites every SourceID the spec carries for a universe whose
+// IDs were compacted by probe.ReprobeUniverse or source.Universe.Remove
+// (kept[newID] == oldID, both producers' convention). Constraints that
+// reference a dropped source fail the remap with an error wrapping
+// constraint.ErrConstraintDropped: after compaction a stale ID is a *valid*
+// index into the new universe pointing at some other source, so passing it
+// through would silently bind the user's guidance to the wrong source.
+// SolverOptions.Initial is only a warm-start hint, so dropped members are
+// removed from it rather than rejected.
+func (s Spec) RemapSources(kept []schema.SourceID) (Spec, error) {
+	out := s.Clone()
+	cons, err := s.Constraints.Remap(kept)
+	if err != nil {
+		return Spec{}, fmt.Errorf("session: remap spec: %w", err)
+	}
+	out.Constraints = cons
+	if init := s.SolverOptions.Initial; init != nil {
+		oldToNew := make(map[schema.SourceID]schema.SourceID, len(kept))
+		for newID, oldID := range kept {
+			oldToNew[oldID] = schema.SourceID(newID)
+		}
+		remapped := make([]schema.SourceID, 0, len(init))
+		for _, id := range init {
+			if nid, ok := oldToNew[id]; ok {
+				remapped = append(remapped, nid)
+			}
+		}
+		out.SolverOptions.Initial = remapped
+	}
+	return out, nil
+}
+
 // Iteration records one solved problem: the spec that was solved, the
 // solution, and the wall-clock time the solver took.
 type Iteration struct {

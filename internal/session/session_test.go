@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"math"
 	"testing"
 	"time"
 
+	"mube/internal/constraint"
 	"mube/internal/fault"
 	"mube/internal/opt"
 	"mube/internal/probe"
@@ -571,5 +573,62 @@ func TestInjectedClock(t *testing.T) {
 	}
 	if got := s.Last().Elapsed; got != 250*time.Millisecond {
 		t.Errorf("Elapsed = %v, want the injected clock's 250ms", got)
+	}
+}
+
+// TestSpecRemapSources is the regression test for carrying a spec across a
+// universe compaction (ReprobeUniverse / Universe.Remove): constraints must
+// follow their sources to the new IDs, constraints on a dropped source must
+// fail with the named error (never silently bind to whichever source
+// inherited the stale index), and the warm-start hint is filtered, not
+// rejected.
+func TestSpecRemapSources(t *testing.T) {
+	s := newSession(t)
+	if err := s.RequireSource(3); err != nil {
+		t.Fatal(err)
+	}
+	spec := s.Spec()
+	spec.SolverOptions.Initial = []schema.SourceID{1, 3}
+	spec.Constraints.GAs = []schema.GA{schema.NewGA(
+		schema.AttrRef{Source: 2, Attr: 0},
+		schema.AttrRef{Source: 3, Attr: 0},
+	)}
+
+	// Source 1 died; 0,2,3,… survive with compacted IDs.
+	kept := make([]schema.SourceID, 0, s.Universe().Len()-1)
+	for id := 0; id < s.Universe().Len(); id++ {
+		if id != 1 {
+			kept = append(kept, schema.SourceID(id))
+		}
+	}
+	out, err := spec.RemapSources(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Constraints.Sources) != 1 || out.Constraints.Sources[0] != 2 {
+		t.Errorf("source constraint remapped to %v, want [2]", out.Constraints.Sources)
+	}
+	wantGA := schema.NewGA(
+		schema.AttrRef{Source: 1, Attr: 0},
+		schema.AttrRef{Source: 2, Attr: 0},
+	)
+	if !out.Constraints.GAs[0].Equal(wantGA) {
+		t.Errorf("GA constraint remapped to %v, want %v", out.Constraints.GAs[0], wantGA)
+	}
+	if got := out.SolverOptions.Initial; len(got) != 1 || got[0] != 2 {
+		t.Errorf("Initial remapped to %v, want [2] (dropped member filtered)", got)
+	}
+
+	// Constraining the dropped source itself must be a named error: after
+	// compaction the stale ID 3 would be a valid index pointing at source 4.
+	spec2 := s.Spec()
+	kept2 := make([]schema.SourceID, 0, s.Universe().Len()-1)
+	for id := 0; id < s.Universe().Len(); id++ {
+		if id != 3 {
+			kept2 = append(kept2, schema.SourceID(id))
+		}
+	}
+	if _, err := spec2.RemapSources(kept2); !errors.Is(err, constraint.ErrConstraintDropped) {
+		t.Errorf("RemapSources with dropped constrained source = %v, want ErrConstraintDropped", err)
 	}
 }

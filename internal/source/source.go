@@ -160,8 +160,22 @@ type Universe struct {
 	// contiguous slabs: Add interns incoming signatures into it, so at
 	// Internet scale the universe holds ~20 slabs instead of 10⁵ heap bitmap
 	// slices and union loops walk memory sequentially. nil when sigCfg is
-	// invalid (no source can carry a signature then anyway).
+	// invalid (no source can carry a signature then anyway). Slabs are
+	// append-only: Remove and UpdateSynopsis leave the old words behind,
+	// which is an acceptable leak for churn rates far below 100%/epoch.
 	arena *pcsa.Arena
+
+	// all is the subtractable counting union (PR 5) over every
+	// signature-bearing source. Add/Remove/UpdateSynopsis maintain it
+	// incrementally, so after a churn tick the Coverage denominator costs a
+	// handful of counting flips instead of re-merging 10⁵ signatures.
+	// Guarded by mu. allValid goes false when a subtraction can no longer be
+	// trusted — a lane saturated at 255 is sticky, so remove counts are
+	// inexact — and aggregates() then rebuilds the union from scratch
+	// (adds-only construction keeps the words bitmap exact even when lanes
+	// saturate).
+	all      *pcsa.Counting
+	allValid bool
 
 	// agg caches the universe-wide aggregates; nil after a mutation. Reads
 	// are a single atomic load; the (re)computation is serialized by mu.
@@ -216,8 +230,124 @@ func (u *Universe) Add(s *Source) (schema.SourceID, error) {
 	}
 	s.ID = schema.SourceID(len(u.sources))
 	u.sources = append(u.sources, s)
+	u.mu.Lock()
+	u.countingAddLocked(s.Signature)
+	u.mu.Unlock()
 	u.invalidate()
 	return s.ID, nil
+}
+
+// ErrUnknownSource is returned by the mutating universe operations when a
+// SourceID is out of range.
+var ErrUnknownSource = errors.New("source: unknown source id")
+
+// Remove deletes the given sources from the universe and compacts IDs so
+// they stay dense (ID == slice index, which every downstream layer assumes).
+// It returns the kept-ID list in ReprobeUniverse's convention —
+// kept[newID] == oldID — so callers can remap constraints and solutions.
+// Removed sources get ID -1; duplicate drop entries are tolerated. The
+// maintained counting union is updated by subtraction (or marked for rebuild
+// when a saturated lane makes subtraction untrustworthy), so the next
+// aggregate read stays cheap.
+func (u *Universe) Remove(drop []schema.SourceID) ([]schema.SourceID, error) {
+	set := make(map[schema.SourceID]bool, len(drop))
+	for _, id := range drop {
+		if id < 0 || int(id) >= len(u.sources) {
+			return nil, fmt.Errorf("%w: %d (universe has %d sources)", ErrUnknownSource, id, len(u.sources))
+		}
+		set[id] = true
+	}
+	if len(set) == 0 {
+		return u.IDs(), nil
+	}
+	u.mu.Lock()
+	for id := range set {
+		u.countingDropLocked(u.sources[id].Signature)
+	}
+	u.mu.Unlock()
+	kept := make([]schema.SourceID, 0, len(u.sources)-len(set))
+	out := u.sources[:0]
+	for old, s := range u.sources {
+		if set[schema.SourceID(old)] {
+			s.ID = -1
+			continue
+		}
+		s.ID = schema.SourceID(len(out))
+		out = append(out, s)
+		kept = append(kept, schema.SourceID(old))
+	}
+	for i := len(out); i < len(u.sources); i++ {
+		u.sources[i] = nil // release the dropped tails
+	}
+	u.sources = out
+	u.invalidate()
+	return kept, nil
+}
+
+// UpdateSynopsis replaces a source's data synopses in place — the source
+// keeps its ID, schema, and characteristics, but reports a new cardinality
+// and signature (a drifted vocabulary, or a recovered source re-exporting
+// its data). Passing cardinality -1 and a nil signature degrades the source
+// to uncooperative. The new signature is interned into the universe's arena
+// and the counting union is flipped old→new.
+func (u *Universe) UpdateSynopsis(id schema.SourceID, cardinality int64, sig *pcsa.Signature) error {
+	if id < 0 || int(id) >= len(u.sources) {
+		return fmt.Errorf("%w: %d (universe has %d sources)", ErrUnknownSource, id, len(u.sources))
+	}
+	if sig != nil && sig.Config() != u.sigCfg {
+		return ErrSignatureConfig
+	}
+	if sig != nil && u.arena != nil {
+		sig = u.arena.MustIntern(sig)
+	}
+	s := u.sources[id]
+	u.mu.Lock()
+	if s.Signature != sig {
+		u.countingDropLocked(s.Signature)
+		u.countingAddLocked(sig)
+	}
+	u.mu.Unlock()
+	s.Cardinality = cardinality
+	s.Signature = sig
+	u.invalidate()
+	return nil
+}
+
+// Degrade marks a source uncooperative in place: it keeps its schema and
+// characteristics (it can still be selected, per §2.1) but loses its
+// synopses, exactly as probe demotes a source that fails its handshake
+// budget.
+func (u *Universe) Degrade(id schema.SourceID) error {
+	return u.UpdateSynopsis(id, -1, nil)
+}
+
+// countingAddLocked folds sig into the maintained counting union. A nil
+// union means aggregates() has not materialized one yet — nothing to
+// maintain, the first read builds it from scratch. mu must be held.
+func (u *Universe) countingAddLocked(sig *pcsa.Signature) {
+	if sig == nil || u.all == nil || !u.allValid {
+		return
+	}
+	if err := u.all.Add(sig); err != nil {
+		u.allValid = false
+	}
+}
+
+// countingDropLocked subtracts sig from the maintained counting union, or
+// marks it for rebuild when subtraction can no longer be trusted (a lane
+// saturated at 255 is sticky, so its remove count is inexact). mu must be
+// held.
+func (u *Universe) countingDropLocked(sig *pcsa.Signature) {
+	if sig == nil || u.all == nil || !u.allValid {
+		return
+	}
+	if u.all.Saturated() {
+		u.allValid = false
+		return
+	}
+	if err := u.all.Remove(sig); err != nil {
+		u.allValid = false
+	}
 }
 
 // invalidate clears cached aggregates after a mutation.
@@ -260,15 +390,40 @@ func (u *Universe) aggregates() *aggregates {
 		}
 	}
 	if len(sigs) > 0 {
-		un, err := pcsa.Union(sigs...)
-		if err != nil {
-			// Unreachable: Add enforces a uniform config.
-			panic(fmt.Sprintf("source: union of universe signatures: %v", err))
-		}
-		a.unionAllEst = un.Estimate()
+		a.unionAllEst = u.unionAllLocked(sigs)
 	}
 	u.agg.Store(a)
 	return a
+}
+
+// unionAllLocked returns the estimate over all signature-bearing sources via
+// the maintained counting union, rebuilding it when a past subtraction
+// invalidated it. Counting estimates share the rho-sum kernel with
+// pcsa.Union, so the value is bit-identical to the full merge this replaced.
+// mu must be held.
+func (u *Universe) unionAllLocked(sigs []*pcsa.Signature) float64 {
+	if u.all == nil || !u.allValid {
+		c, err := pcsa.NewCounting(u.sigCfg)
+		if err == nil {
+			for _, sig := range sigs {
+				if err = c.Add(sig); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			// Unreachable with Add/UpdateSynopsis enforcing a uniform
+			// config, but fall back to the direct merge rather than panic
+			// half-way through a rebuild.
+			un, uerr := pcsa.Union(sigs...)
+			if uerr != nil {
+				panic(fmt.Sprintf("source: union of universe signatures: %v", uerr))
+			}
+			return un.Estimate()
+		}
+		u.all, u.allValid = c, true
+	}
+	return u.all.Estimate()
 }
 
 // Len returns the number of sources N.

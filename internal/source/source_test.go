@@ -2,6 +2,7 @@ package source
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -240,4 +241,165 @@ func mustAdd(t testing.TB, u *Universe, s *Source) {
 	if _, err := u.Add(s); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// rebuiltUniverse builds a from-scratch universe holding copies of u's
+// current sources — the reference the incremental mutation paths must match
+// bit-for-bit.
+func rebuiltUniverse(t *testing.T, u *Universe) *Universe {
+	t.Helper()
+	nu := NewUniverse(u.SignatureConfig())
+	for _, s := range u.Sources() {
+		c := *s
+		mustAdd(t, nu, &c)
+	}
+	nu.Precompute()
+	return nu
+}
+
+// checkAggregates asserts u's cached aggregates equal a from-scratch
+// rebuild's, exactly (the counting union shares its estimate kernel with the
+// full merge, so even the float must be bit-identical).
+func checkAggregates(t *testing.T, u *Universe) {
+	t.Helper()
+	ref := rebuiltUniverse(t, u)
+	if got, want := u.TotalCardinality(), ref.TotalCardinality(); got != want {
+		t.Errorf("TotalCardinality = %d, rebuild says %d", got, want)
+	}
+	if got, want := u.UnionAllEstimate(), ref.UnionAllEstimate(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("UnionAllEstimate = %v, rebuild says %v", got, want)
+	}
+	if got, want := u.MixedCount(), ref.MixedCount(); got != want {
+		t.Errorf("MixedCount = %d, rebuild says %d", got, want)
+	}
+}
+
+// TestAddAfterPrecomputeRefreshesAggregates pins the invalidation contract:
+// a Precompute followed by Add must not serve the stale snapshot for any of
+// the three cached aggregates.
+func TestAddAfterPrecomputeRefreshesAggregates(t *testing.T) {
+	u := NewUniverse(testCfg)
+	mustAdd(t, u, makeSource(t, "a", 0, 2000, "x"))
+	u.Precompute()
+	staleCard := u.TotalCardinality()
+	staleUnion := u.UnionAllEstimate()
+	mustAdd(t, u, makeSource(t, "b", 2000, 6000, "y"))
+	if u.TotalCardinality() == staleCard {
+		t.Error("TotalCardinality served stale value after Add")
+	}
+	if math.Float64bits(u.UnionAllEstimate()) == math.Float64bits(staleUnion) {
+		t.Error("UnionAllEstimate served stale value after Add")
+	}
+	checkAggregates(t, u)
+}
+
+func TestRemoveCompactsIDsAndAggregates(t *testing.T) {
+	u := NewUniverse(testCfg)
+	for i := uint64(0); i < 8; i++ {
+		mustAdd(t, u, makeSource(t, "s", i*1000, (i+1)*1000, "a", "b"))
+	}
+	mixed := makeSource(t, "mixed", 8000, 9000, "c")
+	mixed.Cardinality = -1 // signature but no cardinality
+	mustAdd(t, u, mixed)
+	mustAdd(t, u, Uncooperative("dark", schema.NewSchema("d")))
+	u.Precompute()
+
+	kept, err := u.Remove([]schema.SourceID{1, 5, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKept := []schema.SourceID{0, 2, 3, 4, 6, 7, 8}
+	if len(kept) != len(wantKept) {
+		t.Fatalf("kept = %v, want %v", kept, wantKept)
+	}
+	for i := range kept {
+		if kept[i] != wantKept[i] {
+			t.Fatalf("kept = %v, want %v", kept, wantKept)
+		}
+	}
+	if u.Len() != 7 {
+		t.Fatalf("Len = %d after Remove, want 7", u.Len())
+	}
+	for i, s := range u.Sources() {
+		if int(s.ID) != i {
+			t.Errorf("source %d has ID %d after compaction", i, s.ID)
+		}
+	}
+	checkAggregates(t, u)
+
+	if _, err := u.Remove([]schema.SourceID{42}); err == nil || !errors.Is(err, ErrUnknownSource) {
+		t.Errorf("Remove(42) = %v, want ErrUnknownSource", err)
+	}
+	if kept, err := u.Remove(nil); err != nil || len(kept) != 7 {
+		t.Errorf("empty Remove = (%v, %v), want identity", kept, err)
+	}
+}
+
+func TestUpdateSynopsisDriftAndDegrade(t *testing.T) {
+	u := NewUniverse(testCfg)
+	for i := uint64(0); i < 4; i++ {
+		mustAdd(t, u, makeSource(t, "s", i*5000, (i+1)*5000, "a"))
+	}
+	u.Precompute()
+
+	// Drift: source 1 now exports a shifted vocabulary.
+	drifted := makeSource(t, "s", 40000, 47000, "a")
+	if err := u.UpdateSynopsis(1, drifted.Cardinality, drifted.Signature); err != nil {
+		t.Fatal(err)
+	}
+	if u.Source(1).Cardinality != 7000 {
+		t.Errorf("Cardinality = %d after drift, want 7000", u.Source(1).Cardinality)
+	}
+	checkAggregates(t, u)
+
+	// Degrade: source 2 stops cooperating but stays selectable.
+	if err := u.Degrade(2); err != nil {
+		t.Fatal(err)
+	}
+	if u.Source(2).Cooperative() {
+		t.Error("source still cooperative after Degrade")
+	}
+	checkAggregates(t, u)
+
+	// Recover: it comes back with fresh synopses.
+	back := makeSource(t, "s", 10000, 15000, "a")
+	if err := u.UpdateSynopsis(2, back.Cardinality, back.Signature); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Source(2).Cooperative() {
+		t.Error("source not cooperative after recovery")
+	}
+	checkAggregates(t, u)
+
+	if err := u.UpdateSynopsis(99, 1, nil); !errors.Is(err, ErrUnknownSource) {
+		t.Errorf("UpdateSynopsis(99) = %v, want ErrUnknownSource", err)
+	}
+	bad := makeSource(t, "bad", 0, 10, "a")
+	wrong := NewUniverse(pcsa.Config{NumMaps: 128})
+	mustAdd(t, wrong, Uncooperative("pad", schema.NewSchema("x")))
+	if err := wrong.UpdateSynopsis(0, bad.Cardinality, bad.Signature); err != ErrSignatureConfig {
+		t.Errorf("mismatched config = %v, want ErrSignatureConfig", err)
+	}
+}
+
+// TestRemoveAfterSaturationRebuilds forces the counting union's lanes past
+// 255 (hundreds of sources sharing the same tuples saturate every set bit),
+// then removes sources: subtraction is untrustworthy, so the union must be
+// rebuilt and still match a from-scratch universe exactly.
+func TestRemoveAfterSaturationRebuilds(t *testing.T) {
+	u := NewUniverse(testCfg)
+	for i := 0; i < 300; i++ {
+		mustAdd(t, u, makeSource(t, "clone", 0, 50, "a"))
+	}
+	u.Precompute()
+	if _, err := u.Remove([]schema.SourceID{0, 150, 299}); err != nil {
+		t.Fatal(err)
+	}
+	checkAggregates(t, u)
+	// And the rebuilt union must keep absorbing subsequent churn.
+	if err := u.Degrade(7); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, u, makeSource(t, "new", 50, 200, "b"))
+	checkAggregates(t, u)
 }

@@ -75,6 +75,13 @@ type Config struct {
 	// DomainConcepts is the per-domain concept vocabulary size in multi-
 	// domain mode (0 → 12).
 	DomainConcepts int
+
+	// NamePrefix is prepended to every generated source name. Name
+	// formatting draws nothing from the RNG, so the prefix cannot perturb
+	// the generated universe in any other way; a watch loop uses it to give
+	// each epoch's arrivals universe-unique names (fault fates and probe
+	// retries are keyed by name).
+	NamePrefix string
 }
 
 // Defaults returns the paper's §7.1 configuration at full scale.
@@ -331,7 +338,7 @@ func streamBAMM(cfg Config, r *rand.Rand, yield func(*source.Source, SourceMeta)
 			mttf = 1
 		}
 		s := &source.Source{
-			Name:           fmt.Sprintf("src-%03d-b%02d", i, baseIdx),
+			Name:           cfg.NamePrefix + fmt.Sprintf("src-%03d-b%02d", i, baseIdx),
 			Schema:         schema.NewSchema(attrs...),
 			Cardinality:    card,
 			Signature:      sig,
@@ -429,7 +436,7 @@ func streamDomains(cfg Config, r *rand.Rand, yield func(*source.Source, SourceMe
 			mttf = 1
 		}
 		s := &source.Source{
-			Name:        fmt.Sprintf("src-%06d-d%03d", i, d),
+			Name:        cfg.NamePrefix + fmt.Sprintf("src-%06d-d%03d", i, d),
 			Schema:      schema.NewSchema(attrs...),
 			Cardinality: card,
 			Signature:   sig,

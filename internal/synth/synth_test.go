@@ -323,3 +323,40 @@ func TestAttrOriginsTrackRenames(t *testing.T) {
 		t.Errorf("only %d renamed attributes at PReplace=0.5; perturbation not tracking origins?", renamed)
 	}
 }
+
+// TestNamePrefixOnlyRenames: the prefix must change source names and nothing
+// else — name formatting draws nothing from the RNG, so both BAMM and
+// multi-domain generation stay draw-for-draw identical.
+func TestNamePrefixOnlyRenames(t *testing.T) {
+	for _, domains := range []int{0, 3} {
+		cfg := tiny(12, 5)
+		cfg.Domains = domains
+		plain, err := GenerateUniverse(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.NamePrefix = "e07-"
+		prefixed, err := GenerateUniverse(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Len() != prefixed.Len() {
+			t.Fatalf("domains=%d: len %d vs %d", domains, plain.Len(), prefixed.Len())
+		}
+		for i := range plain.Sources() {
+			a, b := plain.Source(schema.SourceID(i)), prefixed.Source(schema.SourceID(i))
+			if b.Name != "e07-"+a.Name {
+				t.Fatalf("domains=%d source %d: name %q, want %q", domains, i, b.Name, "e07-"+a.Name)
+			}
+			if a.Cardinality != b.Cardinality || a.Schema.String() != b.Schema.String() {
+				t.Fatalf("domains=%d source %d: prefix perturbed generation: %+v vs %+v", domains, i, a, b)
+			}
+			if (a.Signature == nil) != (b.Signature == nil) {
+				t.Fatalf("domains=%d source %d: signature presence differs", domains, i)
+			}
+			if a.Signature != nil && math.Float64bits(a.Signature.Estimate()) != math.Float64bits(b.Signature.Estimate()) {
+				t.Fatalf("domains=%d source %d: signature estimate differs", domains, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package watch
+
+import (
+	"fmt"
+
+	"mube/internal/telemetry"
+)
+
+// DeltaReport is the per-epoch account of what churn did and what it cost to
+// recover: report[0] is the baseline solve, every later entry one tick.
+type DeltaReport struct {
+	// Epoch numbers the tick; 0 is the baseline solve on the unchurned
+	// universe.
+	Epoch int
+	// Sources is the universe size after the tick.
+	Sources int
+	// Died counts schedule deaths (MTTF-weighted), Dropped breaker trips
+	// during reprobe, Degraded demotions to uncooperative, Recovered
+	// restorations of previously-degraded sources, Drifted vocabulary
+	// drifts, Arrived new sources.
+	Died, Dropped, Degraded, Recovered, Drifted, Arrived int
+	// ConstraintsDropped counts user constraints discarded because a source
+	// they referenced left the universe.
+	ConstraintsDropped int
+	// QBefore is the previous epoch's solution re-scored on the churned
+	// universe — how much quality the churn itself destroyed. QAfter is the
+	// warm re-solve's best. QBefore is 0 on the baseline (nothing to
+	// re-score) and for an infeasible carried solution.
+	QBefore, QAfter float64
+	// WarmEvals is the evaluation count the warm re-solve spent; ColdEvals
+	// and ColdQ are the rebuild+cold-solve reference (0 unless Config.Cold).
+	WarmEvals, ColdEvals int
+	ColdQ                float64
+	// Status is the warm solve's termination status.
+	Status string
+}
+
+// QRecovery reports how much of the churn-destroyed quality the re-solve won
+// back: (QAfter−QBefore)/(baselineQ−QBefore) clamped to [0,1], with 1 when
+// nothing was destroyed. baselineQ is typically reports[0].QAfter.
+func (r DeltaReport) QRecovery(baselineQ float64) float64 {
+	lost := baselineQ - r.QBefore
+	if lost <= 0 {
+		return 1
+	}
+	rec := (r.QAfter - r.QBefore) / lost
+	if rec < 0 {
+		return 0
+	}
+	if rec > 1 {
+		return 1
+	}
+	return rec
+}
+
+// WarmFrac is WarmEvals/ColdEvals, the headline warm-start saving; 0 when no
+// cold reference ran.
+func (r DeltaReport) WarmFrac() float64 {
+	if r.ColdEvals == 0 {
+		return 0
+	}
+	return float64(r.WarmEvals) / float64(r.ColdEvals)
+}
+
+// String renders one epoch line for CLI output.
+func (r DeltaReport) String() string {
+	s := fmt.Sprintf("epoch %3d: n=%d q=%.6f (before %.6f) evals=%d",
+		r.Epoch, r.Sources, r.QAfter, r.QBefore, r.WarmEvals)
+	if r.ColdEvals > 0 {
+		s += fmt.Sprintf(" cold_q=%.6f cold_evals=%d warm_frac=%.3f", r.ColdQ, r.ColdEvals, r.WarmFrac())
+	}
+	s += fmt.Sprintf(" [died=%d dropped=%d degraded=%d recovered=%d drifted=%d arrived=%d",
+		r.Died, r.Dropped, r.Degraded, r.Recovered, r.Drifted, r.Arrived)
+	if r.ConstraintsDropped > 0 {
+		s += fmt.Sprintf(" cons_dropped=%d", r.ConstraintsDropped)
+	}
+	return s + "] " + r.Status
+}
+
+// emit writes the epoch event to the configured recorder. Called only from
+// the loop goroutine — the telemetry contract that keeps traces
+// byte-identical at any evaluator worker count.
+func (l *Loop) emit(r DeltaReport) {
+	l.cfg.Recorder.Emit("watch.epoch",
+		telemetry.Int("epoch", r.Epoch),
+		telemetry.Int("sources", r.Sources),
+		telemetry.Int("died", r.Died),
+		telemetry.Int("dropped", r.Dropped),
+		telemetry.Int("degraded", r.Degraded),
+		telemetry.Int("recovered", r.Recovered),
+		telemetry.Int("drifted", r.Drifted),
+		telemetry.Int("arrived", r.Arrived),
+		telemetry.Int("cons_dropped", r.ConstraintsDropped),
+		telemetry.Float("q_before", r.QBefore),
+		telemetry.Float("q_after", r.QAfter),
+		telemetry.Int("warm_evals", r.WarmEvals),
+		telemetry.Float("cold_q", r.ColdQ),
+		telemetry.Int("cold_evals", r.ColdEvals),
+		telemetry.Str("status", r.Status),
+	)
+}
