@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race faults telemetry churn-soak mube-vet vet-json bench bench-delta bench-churn bench-smoke benchall fmt
+.PHONY: check build vet test race faults telemetry churn-soak mube-vet vet-json bench bench-delta bench-churn bench-smoke trace-smoke trace-golden benchall fmt
 
 check: build mube-vet vet race faults telemetry churn-soak
 
@@ -91,6 +91,28 @@ bench-smoke:
 	$(GO) test -bench=Fig5 -benchmem -benchtime=1x -count=1 -run=^$$ . | $(GO) run ./cmd/mube-benchjson -compare BENCH_fig.json > BENCH_smoke.json
 	@echo "wrote BENCH_smoke.json"
 	$(GO) run ./cmd/mube-bench -universe 100k -smoke
+
+# trace-smoke records a deterministic watch trace through the CLI
+# (virtual-clock timings, so the bytes are machine-independent), renders the
+# mube-trace flame and churn reports from it, and diffs its phase profile
+# against the committed golden watch trace. The diff is informational — the
+# fresh run uses CLI-reachable settings, not the golden test's fault plan —
+# but the target proves the whole trace pipeline (record → parse → tree →
+# profile → compare) end to end; CI runs it non-gating and uploads the trace.
+trace-smoke:
+	$(GO) run ./cmd/mube watch -gen 14 -scale 0.002 -epochs 20 -churn 0.2 -seed 7 -m 5 -evals 150 -trace TRACE_watch.jsonl
+	$(GO) run ./cmd/mube-trace TRACE_watch.jsonl
+	$(GO) run ./cmd/mube-trace -report churn TRACE_watch.jsonl
+	$(GO) run ./cmd/mube-trace -compare internal/watch/testdata/golden_trace.jsonl TRACE_watch.jsonl
+
+# trace-golden regenerates every committed trace golden (the tabu solver
+# trace, the watch churn trace, and mube-trace's pinned report renderings)
+# after an intentional schema or rendering change. Regenerate and commit the
+# goldens in the same change that altered the format.
+trace-golden:
+	$(GO) test ./internal/opt/tabu/ -run TestGoldenTrace -update -count=1
+	$(GO) test ./internal/watch/ -run TestGoldenChurnTrace -update -count=1
+	$(GO) test ./cmd/mube-trace -update -count=1
 
 benchall:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

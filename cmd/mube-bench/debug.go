@@ -2,9 +2,6 @@ package main
 
 import (
 	"expvar"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
 	"sync"
 	"sync/atomic"
 
@@ -20,12 +17,13 @@ var (
 	debugRec  atomic.Pointer[telemetry.Recorder]
 )
 
-// startDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof/) on
-// addr and returns the listener (Close stops the server; the goroutine exits
-// when Serve returns). This lives entirely outside the deterministic core:
-// mube-vet's telemetry analyzer bans the expvar and net/http/pprof imports
-// from internal/, and nothing served here feeds back into a solve.
-func startDebugServer(addr string, rec *telemetry.Recorder) (net.Listener, error) {
+// startDebugServer boots telemetry.Serve on addr — /metrics, /spans,
+// /debug/pprof/ — and layers mube-bench's expvar vars on top of its
+// /debug/vars: the raw metrics snapshot plus the PCSA merge counters that
+// predate the recorder. Close on the returned server stops it. Nothing served
+// here feeds back into a solve (see internal/telemetry's determinism
+// contract).
+func startDebugServer(addr string, rec *telemetry.Recorder, ring *telemetry.SpanRing) (*telemetry.Server, error) {
 	debugRec.Store(rec)
 	debugOnce.Do(func() {
 		expvar.Publish("mube.metrics", expvar.Func(func() any {
@@ -38,11 +36,5 @@ func startDebugServer(addr string, rec *telemetry.Recorder) (net.Listener, error
 			return pcsa.CountingMerges()
 		}))
 	})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	// The default mux carries both the expvar and pprof handlers.
-	go func() { _ = http.Serve(ln, nil) }()
-	return ln, nil
+	return telemetry.Serve(addr, rec, ring)
 }

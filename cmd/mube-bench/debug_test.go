@@ -10,17 +10,21 @@ import (
 )
 
 // TestDebugServerSmoke starts the debug endpoint on an ephemeral port and
-// checks that /debug/vars serves the published µBE vars and /debug/pprof/
-// serves the profile index.
+// checks that /debug/vars serves the published µBE vars, /metrics the
+// Prometheus exposition, /spans the completed-span ring, and /debug/pprof/
+// the profile index.
 func TestDebugServerSmoke(t *testing.T) {
-	rec := telemetry.New(nil)
+	ring := telemetry.NewSpanRing(0)
+	rec := telemetry.New(ring)
 	rec.Add("eval.calls", 3)
-	ln, err := startDebugServer("127.0.0.1:0", rec)
+	sp := rec.BeginSpan("session.solve", telemetry.Str("solver", "tabu"))
+	sp.End()
+	srv, err := startDebugServer("127.0.0.1:0", rec, ring)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
-	base := "http://" + ln.Addr().String()
+	defer srv.Close()
+	base := "http://" + srv.Addr()
 
 	get := func(path string) string {
 		t.Helper()
@@ -45,6 +49,12 @@ func TestDebugServerSmoke(t *testing.T) {
 			t.Errorf("/debug/vars missing %s:\n%.500s", want, vars)
 		}
 	}
+	if metrics := get("/metrics"); !strings.Contains(metrics, "mube_eval_calls 3") {
+		t.Errorf("/metrics missing counter:\n%.500s", metrics)
+	}
+	if spans := get("/spans"); !strings.Contains(spans, `"name":"session.solve"`) {
+		t.Errorf("/spans missing completed span:\n%.500s", spans)
+	}
 	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
 		t.Errorf("/debug/pprof/ index:\n%.300s", idx)
 	}
@@ -53,11 +63,11 @@ func TestDebugServerSmoke(t *testing.T) {
 	// duplicate names — and the snapshot must follow the newest recorder.
 	rec2 := telemetry.New(nil)
 	rec2.Add("eval.memo_hits", 7)
-	ln2, err := startDebugServer("127.0.0.1:0", rec2)
+	srv2, err := startDebugServer("127.0.0.1:0", rec2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln2.Close()
+	defer srv2.Close()
 	if vars := get("/debug/vars"); !strings.Contains(vars, `"eval.memo_hits"`) {
 		t.Errorf("snapshot did not follow the newest recorder:\n%.500s", vars)
 	}

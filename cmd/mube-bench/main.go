@@ -16,11 +16,12 @@
 // table1, pcsa, sensitivity, solvers, convergence, ablation-sim,
 // ablation-linkage, ablation-tenure, ablation-pcsa, faults, churn, all.
 //
-// The -debug-addr flag (off by default) serves expvar (/debug/vars) and
-// pprof (/debug/pprof/) on the given address for live profiling. The debug
-// endpoint lives entirely outside the deterministic core — mube-vet's
-// telemetry analyzer bans both imports from internal/ — and never feeds back
-// into a solve.
+// The -debug-addr flag (off by default) boots telemetry.Serve on the given
+// address for live profiling: Prometheus-style /metrics, recently completed
+// spans on /spans, expvar (/debug/vars), and pprof (/debug/pprof/). The
+// endpoint only reads snapshots — mube-vet's telemetry analyzer keeps the
+// debug imports confined to the telemetry facade — and never feeds back into
+// a solve.
 //
 // The -faults flag applies a deterministic fault plan (internal/fault) to
 // universe acquisition for every experiment; the run header then prints the
@@ -182,7 +183,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the scale's base seed (0 = keep)")
 	parallel := flag.Int("parallel", 0, "evaluator worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	faults := flag.String("faults", "", "fault plan applied to universe acquisition, e.g. rate=0.3,seed=7 (\"\" or \"none\" = clean)")
-	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address, e.g. localhost:6060 (\"\" = off)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans, expvar, and pprof on this address, e.g. localhost:6060 (\"\" = off)")
 	flag.Parse()
 
 	var sc exp.Scale
@@ -215,15 +216,16 @@ func main() {
 	if *debugAddr != "" {
 		// The recorder feeds the expvar snapshot; attaching it cannot change
 		// results (see internal/telemetry's determinism contract).
-		rec := telemetry.New(nil)
+		ring := telemetry.NewSpanRing(0)
+		rec := telemetry.New(ring)
 		sc.Rec = rec
-		ln, err := startDebugServer(*debugAddr, rec)
+		srv, err := startDebugServer(*debugAddr, rec, ring)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mube-bench: debug server: %v\n", err)
 			os.Exit(2)
 		}
-		defer ln.Close()
-		fmt.Printf("debug: expvar and pprof on http://%s/debug/\n", ln.Addr())
+		defer srv.Close()
+		fmt.Printf("debug: /metrics, /spans, expvar, and pprof on http://%s/\n", srv.Addr())
 	}
 
 	// Universe-scale mode: build a streamed universe at the preset size and

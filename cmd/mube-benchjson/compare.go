@@ -1,57 +1,20 @@
 package main
 
 import (
-	"fmt"
 	"io"
-	"math"
-	"sort"
-	"text/tabwriter"
+
+	"mube/internal/benchcmp"
 )
 
-// Direction-aware regression detection for -compare. Keys not listed in
-// either set are informational: their deltas print but never flag, because
-// "worse" is undefined for them (best_q depends on the seed, evals on the
-// budget).
-var (
-	higherBetter = map[string]bool{
-		"evals_per_sec":  true,
-		"memo_hit_rate":  true,
-		"delta_hit_rate": true,
-		"q_recovery":     true,
-	}
-	lowerBetter = map[string]bool{
-		"ns/op":                    true,
-		"B/op":                     true,
-		"allocs/op":                true,
-		"merge_ops_per_eval":       true,
-		"counting_merges_per_eval": true,
-		"warm_evals_frac":          true,
-	}
-)
+// The direction maps, tolerance, and rendering live in internal/benchcmp,
+// shared with mube-trace -compare. This file adapts bench reports to the
+// scoped-metric shape the comparator takes.
 
-// regressionTolerance is the fractional change in the worse direction above
-// which a metric is flagged (and -strict fails the run).
-const regressionTolerance = 0.10
+// compareRow aliases the shared row type so tests and main keep their names.
+type compareRow = benchcmp.Row
 
-// compareRow is one metric diffed between the previous and current report.
-type compareRow struct {
-	Scope      string // benchmark name, or "run" for the telemetry snapshot
-	Metric     string
-	Old, New   float64
-	Regression bool
-}
-
-// Delta returns the fractional change from old to new (+0.25 = new is 25%
-// higher). Infinite when a zero baseline became non-zero.
-func (r compareRow) Delta() float64 {
-	if r.Old == 0 {
-		if r.New == 0 {
-			return 0
-		}
-		return math.Inf(1)
-	}
-	return (r.New - r.Old) / math.Abs(r.Old)
-}
+// regressionTolerance re-exports the shared flag threshold for messages.
+const regressionTolerance = benchcmp.Tolerance
 
 // meanMetrics collapses repeated records (-count > 1) of each benchmark into
 // per-metric means.
@@ -76,77 +39,27 @@ func meanMetrics(rep report) map[string]map[string]float64 {
 	return sums
 }
 
-// compareReports diffs every metric present in both reports: benchmark
-// measurements per name (averaged over repeats) and the run-level telemetry
-// snapshot. Rows are sorted by scope then metric; the count of flagged
-// regressions is returned alongside.
+// scopedMetrics flattens a report for benchcmp: benchmark measurements per
+// name (averaged over repeats) plus the run-level telemetry snapshot under
+// the reserved "run" scope.
+func scopedMetrics(rep report) map[string]map[string]float64 {
+	scopes := meanMetrics(rep)
+	if len(rep.Metrics) > 0 {
+		run := make(map[string]float64, len(rep.Metrics))
+		for k, v := range rep.Metrics {
+			run[k] = v
+		}
+		scopes["run"] = run
+	}
+	return scopes
+}
+
+// compareReports diffs every metric present in both reports.
 func compareReports(prev, next report) ([]compareRow, int) {
-	var rows []compareRow
-	oldBench, newBench := meanMetrics(prev), meanMetrics(next)
-	for name, nm := range newBench {
-		om, ok := oldBench[name]
-		if !ok {
-			continue
-		}
-		for metric, nv := range nm {
-			ov, ok := om[metric]
-			if !ok {
-				continue
-			}
-			rows = append(rows, compareRow{Scope: name, Metric: metric, Old: ov, New: nv})
-		}
-	}
-	for metric, nv := range next.Metrics {
-		ov, ok := prev.Metrics[metric]
-		if !ok {
-			continue
-		}
-		rows = append(rows, compareRow{Scope: "run", Metric: metric, Old: ov, New: nv})
-	}
-	regressions := 0
-	for i := range rows {
-		d := rows[i].Delta()
-		switch {
-		case higherBetter[rows[i].Metric] && d < -regressionTolerance:
-			rows[i].Regression = true
-		case lowerBetter[rows[i].Metric] && d > regressionTolerance:
-			rows[i].Regression = true
-		}
-		if rows[i].Regression {
-			regressions++
-		}
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Scope != rows[j].Scope {
-			// "run" rows last; benchmarks alphabetical.
-			if rows[i].Scope == "run" || rows[j].Scope == "run" {
-				return rows[j].Scope == "run"
-			}
-			return rows[i].Scope < rows[j].Scope
-		}
-		return rows[i].Metric < rows[j].Metric
-	})
-	return rows, regressions
+	return benchcmp.Compare(scopedMetrics(prev), scopedMetrics(next), benchcmp.Default)
 }
 
 // renderCompare prints the diff as an aligned table.
 func renderCompare(w io.Writer, rows []compareRow, regressions int) error {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scope\tmetric\told\tnew\tdelta")
-	for _, r := range rows {
-		flag := ""
-		if r.Regression {
-			flag = "  REGRESSION"
-		}
-		fmt.Fprintf(tw, "%s\t%s\t%.4g\t%.4g\t%+.1f%%%s\n",
-			r.Scope, r.Metric, r.Old, r.New, 100*r.Delta(), flag)
-	}
-	if err := tw.Flush(); err != nil {
-		return err
-	}
-	if regressions > 0 {
-		fmt.Fprintf(w, "\n%d metric(s) regressed by more than %.0f%%\n",
-			regressions, 100*regressionTolerance)
-	}
-	return nil
+	return benchcmp.Render(w, rows, regressions)
 }

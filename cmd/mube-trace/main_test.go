@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden report files")
+
+// The repo's committed golden traces are the fixtures: the tabu solver's
+// unclocked span trace and the watch loop's clocked churn trace.
+var (
+	tabuTrace  = filepath.Join("..", "..", "internal", "opt", "tabu", "testdata", "golden_trace.jsonl")
+	watchTrace = filepath.Join("..", "..", "internal", "watch", "testdata", "golden_trace.jsonl")
+)
+
+// render runs the CLI and returns stdout, failing the test on a nonzero exit.
+func render(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr: %s", args, code, errb.String())
+	}
+	return out.String()
+}
+
+// checkGolden pins a report's full output byte for byte. Regenerate with
+// `go test ./cmd/mube-trace -update` in the same commit that changes the
+// trace schema or the rendering.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s diverged from golden (run with -update if intentional)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestFlameGolden(t *testing.T) {
+	checkGolden(t, "watch_flame.golden", render(t, "-report", "flame", watchTrace))
+	checkGolden(t, "tabu_flame.golden", render(t, "-report", "flame", tabuTrace))
+}
+
+func TestWaterfallGolden(t *testing.T) {
+	checkGolden(t, "tabu_waterfall.golden", render(t, "-report", "waterfall", tabuTrace))
+	// The watch waterfall is one line per span over 50 epochs; pin its head
+	// and shape rather than 250 lines of golden bytes.
+	out := render(t, "-report", "waterfall", watchTrace)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 200 { // 50 epochs × (tick + churn + reprobe + resolve)
+		t.Fatalf("watch waterfall has %d lines, want 200", len(lines))
+	}
+	for _, want := range []string{"watch.tick [epoch=1]", "| watch.churn", "| | watch.reprobe", "| watch.resolve"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q", want)
+		}
+	}
+}
+
+func TestChurnReport(t *testing.T) {
+	out := render(t, "-report", "churn", watchTrace)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 52 { // header + baseline + 50 epochs
+		t.Fatalf("churn table has %d lines, want 52:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "epoch") || !strings.Contains(lines[0], "q_after") {
+		t.Errorf("churn header: %q", lines[0])
+	}
+	// A solve trace has no watch.epoch events: the report must say so.
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-report", "churn", tabuTrace}, &out2, &err2); code == 0 {
+		t.Error("churn on a solve trace succeeded")
+	}
+}
+
+func TestConvergenceReport(t *testing.T) {
+	out := render(t, "-report", "convergence", tabuTrace)
+	if !strings.Contains(out, "tabu") || !strings.Contains(out, "0.758506") {
+		t.Errorf("convergence report:\n%s", out)
+	}
+}
+
+func TestCompareSelfIsCleanAndStrictGates(t *testing.T) {
+	out := render(t, "-compare", watchTrace, watchTrace)
+	if strings.Contains(out, "REGRESSION") {
+		t.Errorf("self-compare flagged a regression:\n%s", out)
+	}
+	if !strings.Contains(out, "watch.tick/watch.resolve") {
+		t.Errorf("compare missing nested phase rows:\n%s", out)
+	}
+	// Build a slowed copy: inflate every t_ns 10×; cum_ns regressions must
+	// flag and -strict must gate.
+	data, err := os.ReadFile(watchTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := slowTrace(t, string(data))
+	dir := t.TempDir()
+	slowPath := filepath.Join(dir, "slow.jsonl")
+	if err := os.WriteFile(slowPath, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out2, err2 bytes.Buffer
+	code := run([]string{"-compare", "-strict", watchTrace, slowPath}, &out2, &err2)
+	if code == 0 {
+		t.Errorf("strict compare against slowed trace passed:\n%s", out2.String())
+	}
+	if !strings.Contains(out2.String(), "REGRESSION") {
+		t.Errorf("slowed trace not flagged:\n%s", out2.String())
+	}
+}
+
+// slowTrace multiplies every "t_ns" value by 10 textually, keeping the rest
+// of the trace byte-identical.
+func slowTrace(t *testing.T, data string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, line := range strings.Split(data, "\n") {
+		i := strings.Index(line, `"t_ns":`)
+		if i < 0 {
+			b.WriteString(line)
+			b.WriteString("\n")
+			continue
+		}
+		j := i + len(`"t_ns":`)
+		k := j
+		for k < len(line) && line[k] >= '0' && line[k] <= '9' {
+			k++
+		}
+		b.WriteString(line[:k])
+		if line[j:k] != "0" { // appending to "0" would make invalid JSON "00"
+			b.WriteString("0") // ×10
+		}
+		b.WriteString(line[k:])
+		b.WriteString("\n")
+	}
+	return strings.TrimRight(b.String(), "\n") + "\n"
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{}, &out, &errb); code != 2 {
+		t.Errorf("no args: code %d", code)
+	}
+	if code := run([]string{"-report", "bogus", tabuTrace}, &out, &errb); code != 2 {
+		t.Errorf("bad report: code %d", code)
+	}
+	if code := run([]string{"-compare", tabuTrace}, &out, &errb); code != 2 {
+		t.Errorf("compare with one file: code %d", code)
+	}
+	if code := run([]string{filepath.Join("testdata", "missing.jsonl")}, &out, &errb); code != 1 {
+		t.Errorf("missing file: code %d", code)
+	}
+}

@@ -133,7 +133,7 @@ func TestCmdSolveTraceAndMetrics(t *testing.T) {
 		t.Fatalf("trace not written: %v", err)
 	}
 	first := strings.SplitN(string(data), "\n", 2)[0]
-	if !strings.Contains(first, `"ev":"session.solve.start"`) {
+	if !strings.Contains(first, `"ev":"session.solve.begin"`) {
 		t.Errorf("first trace line = %s", first)
 	}
 	if !strings.Contains(string(data), `"ev":"solver.done"`) {
@@ -186,5 +186,64 @@ func TestCmdSolveSpecRoundTrip(t *testing.T) {
 	})
 	if !strings.Contains(out, "[  3]") {
 		t.Errorf("spec constraint not honored:\n%s", out)
+	}
+}
+
+// TestCmdSolveTraceCreatesParentDirs pins the -trace path contract: missing
+// parent directories are created, and a path that cannot be created errors
+// with the trace path named.
+func TestCmdSolveTraceCreatesParentDirs(t *testing.T) {
+	path := genUniverseFile(t)
+	trace := filepath.Join(t.TempDir(), "out", "nested", "trace.jsonl")
+	captureStdout(t, func() error {
+		return cmdSolve([]string{"-u", path, "-m", "5", "-evals", "200", "-trace", trace})
+	})
+	if fi, err := os.Stat(trace); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not created under new parent dirs: %v", err)
+	}
+	// A parent that is a regular file cannot become a directory.
+	blocked := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(blocked, "trace.jsonl")
+	err := cmdSolve([]string{"-u", path, "-m", "5", "-evals", "200", "-trace", bad})
+	if err == nil || !strings.Contains(err.Error(), bad) {
+		t.Errorf("error does not name the trace path: %v", err)
+	}
+}
+
+// TestCmdSolveDebugAddr checks the live endpoint wiring: an ephemeral
+// -debug-addr boots, prints its address, and does not disturb the solve.
+func TestCmdSolveDebugAddr(t *testing.T) {
+	path := genUniverseFile(t)
+	out := captureStdout(t, func() error {
+		return cmdSolve([]string{"-u", path, "-m", "5", "-evals", "200", "-debug-addr", "127.0.0.1:0"})
+	})
+	if !strings.Contains(out, "debug: /metrics, /spans, and pprof on http://127.0.0.1:") {
+		t.Errorf("debug endpoint line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "overall quality Q(S)") {
+		t.Errorf("solve output missing:\n%s", out)
+	}
+}
+
+// TestCmdWatchTraceAndDebugAddr runs a tiny watch loop with both the trace
+// file (under a fresh parent dir) and the live endpoint enabled.
+func TestCmdWatchTraceAndDebugAddr(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "watch", "trace.jsonl")
+	out := captureStdout(t, func() error {
+		return cmdWatch([]string{"-gen", "30", "-scale", "0.002", "-epochs", "2",
+			"-evals", "100", "-trace", trace, "-debug-addr", "127.0.0.1:0"})
+	})
+	if !strings.Contains(out, "debug: /metrics, /spans, and pprof on http://127.0.0.1:") {
+		t.Errorf("debug endpoint line missing:\n%s", out)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("watch trace not written: %v", err)
+	}
+	if !strings.Contains(string(data), `"ev":"watch.tick.begin"`) {
+		t.Errorf("watch trace has no tick span:\n%.300s", data)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -119,6 +120,7 @@ func cmdSolve(args []string) error {
 	timeout := fs.Duration("timeout", 0, "wall-clock solve deadline (0 = none); on expiry the best-so-far solution is printed with status \"deadline\"")
 	trace := fs.String("trace", "", "write a JSONL solver trace to this file (overrides a loaded spec's recorded path)")
 	metrics := fs.Bool("metrics", false, "print a telemetry metrics summary after the solution")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /spans, and pprof on this address, e.g. localhost:6060 (\"\" = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,12 +128,15 @@ func cmdSolve(args []string) error {
 	if err != nil {
 		return err
 	}
-	tel, err := attachTelemetry(s, *trace, *metrics)
+	tel, err := attachTelemetry(s, *trace, *metrics, *debugAddr)
 	if err != nil {
 		return err
 	}
 	if tel.rec != nil {
 		printSolveHeader(os.Stdout, s, tel.path)
+	}
+	if tel.srv != nil {
+		fmt.Printf("debug: /metrics, /spans, and pprof on http://%s/\n", tel.srv.Addr())
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -174,44 +179,83 @@ type solveTelemetry struct {
 	sink *telemetry.JSONLSink
 	file *os.File
 	path string
+	srv  *telemetry.Server
 }
 
-// attachTelemetry wires a recorder into the session when tracing or metrics
-// were requested (both off → no-op wiring, zero overhead in the core).
-// flagPath overrides a trace path loaded from a saved spec; a spec-inherited
-// path is opened in append mode so a resumed exploration keeps extending one
-// trace file, while an explicit -trace flag truncates.
-func attachTelemetry(s *session.Session, flagPath string, metrics bool) (*solveTelemetry, error) {
+// openTraceFile opens the JSONL trace file for writing, creating any missing
+// parent directories first. Errors name the offending path so a failed
+// -trace flag reads as "trace out/dir/t.jsonl: ..." rather than a bare
+// syscall message.
+func openTraceFile(path string, appendMode bool) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("trace %s: %w", path, err)
+		}
+	}
+	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if appendMode {
+		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	}
+	f, err := os.OpenFile(path, mode, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// attachTelemetry wires a recorder into the session when tracing, metrics,
+// or the live debug endpoint were requested (all off → no-op wiring, zero
+// overhead in the core). flagPath overrides a trace path loaded from a saved
+// spec; a spec-inherited path is opened in append mode so a resumed
+// exploration keeps extending one trace file, while an explicit -trace flag
+// truncates. With debugAddr the same event stream tees into a span ring
+// served on /spans alongside /metrics and pprof.
+func attachTelemetry(s *session.Session, flagPath string, metrics bool, debugAddr string) (*solveTelemetry, error) {
 	path, appendMode := flagPath, false
 	if path == "" {
 		path = s.Spec().TracePath
 		appendMode = path != ""
 	}
-	if path == "" && !metrics {
+	if path == "" && !metrics && debugAddr == "" {
 		return &solveTelemetry{}, nil
 	}
 	tel := &solveTelemetry{path: path}
+	var sinks []telemetry.Sink
 	if path != "" {
-		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
-		if appendMode {
-			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
-		}
-		f, err := os.OpenFile(path, mode, 0o644)
+		f, err := openTraceFile(path, appendMode)
 		if err != nil {
 			return nil, err
 		}
 		tel.file = f
 		tel.sink = telemetry.NewJSONLSink(f)
-		tel.rec = telemetry.New(tel.sink)
-	} else {
-		tel.rec = telemetry.New(nil)
+		sinks = append(sinks, tel.sink)
+	}
+	var ring *telemetry.SpanRing
+	if debugAddr != "" {
+		ring = telemetry.NewSpanRing(0)
+		sinks = append(sinks, ring)
+	}
+	tel.rec = telemetry.New(telemetry.Tee(sinks...))
+	if debugAddr != "" {
+		srv, err := telemetry.Serve(debugAddr, tel.rec, ring)
+		if err != nil {
+			if tel.file != nil {
+				_ = tel.file.Close()
+			}
+			return nil, err
+		}
+		tel.srv = srv
 	}
 	s.Instrument(tel.rec, path)
 	return tel, nil
 }
 
-// close flushes the trace file and surfaces any deferred sink write error.
+// close stops the debug server, flushes the trace file, and surfaces any
+// deferred sink write error.
 func (tel *solveTelemetry) close() error {
+	if tel.srv != nil {
+		_ = tel.srv.Close()
+	}
 	if tel.file == nil {
 		return nil
 	}

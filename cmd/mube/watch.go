@@ -34,6 +34,7 @@ func cmdWatch(args []string) error {
 	cold := fs.Bool("cold", false, "also run the rebuild+cold-solve reference each epoch (differential mode)")
 	delta := fs.Bool("delta", false, "restrict warm re-solves to the carried solution plus the epoch's touched sources")
 	trace := fs.String("trace", "", "write the per-epoch JSONL watch trace to this file")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /spans, and pprof on this address, e.g. localhost:6060 (\"\" = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,19 +76,45 @@ func cmdWatch(args []string) error {
 
 	var sink *telemetry.JSONLSink
 	var traceFile *os.File
-	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			return err
+	var ring *telemetry.SpanRing
+	if *debugAddr != "" {
+		ring = telemetry.NewSpanRing(0)
+	}
+	if *trace != "" || ring != nil {
+		var sinks []telemetry.Sink
+		if *trace != "" {
+			f, err := openTraceFile(*trace, false)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			sink = telemetry.NewJSONLSink(f)
+			sinks = append(sinks, sink)
 		}
-		traceFile = f
-		sink = telemetry.NewJSONLSink(f)
-		// Share the loop's virtual clock so epoch events carry virtual t_ns.
+		if ring != nil {
+			sinks = append(sinks, ring)
+		}
+		// Share the loop's virtual clock so epoch events carry virtual t_ns
+		// (the /spans ring reports virtual durations for the same reason).
 		clk := fault.NewVirtualClock(time.Unix(0, 0).UTC())
 		cfg.Clock = clk
-		cfg.Recorder = telemetry.NewClocked(sink, clk)
+		cfg.Recorder = telemetry.NewClocked(telemetry.Tee(sinks...), clk)
 		// Keep per-iteration solver events out of the epoch trace.
 		cfg.Options.Recorder = telemetry.New(nil)
+	}
+	if ring != nil {
+		// /metrics serves the solver-side recorder: that is where the
+		// counters live (eval.calls, solver.iters, pcsa.merges); the epoch
+		// recorder only carries spans, which /spans reads from the ring.
+		srv, err := telemetry.Serve(*debugAddr, cfg.Options.Recorder, ring)
+		if err != nil {
+			if traceFile != nil {
+				_ = traceFile.Close()
+			}
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("debug: /metrics, /spans, and pprof on http://%s/\n", srv.Addr())
 	}
 
 	l, err := watch.New(cfg)

@@ -12,7 +12,9 @@
 //     hidden constants; seeds must come from config or Opts.Seed.
 //   - telemetry: internal packages must report through the telemetry facade,
 //     never fmt.Print*/log.*, and the expvar/pprof debug surface must stay
-//     in cmd/.
+//     behind telemetry.Serve.
+//   - spanend: a telemetry span begun must End on every path, or the
+//     recorder's span stack leaks and traces misparent.
 package rules
 
 import (
@@ -32,6 +34,7 @@ var All = []*analysis.Analyzer{
 	FloatCmp,
 	LeakJoin,
 	SeedFlow,
+	SpanEnd,
 	Telemetry,
 	WorkerPure,
 }

@@ -136,6 +136,16 @@ func TestLeakJoinOutOfScope(t *testing.T) {
 	analysistest.Run(t, fixtureNoWants(t, "leakjoin"), "mube/cmd/mube-bench", rules.LeakJoin)
 }
 
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, fixture("spanend"), "mube/internal/fixture/spanend", rules.SpanEnd)
+}
+
+func TestSpanEndInCmd(t *testing.T) {
+	// Span hygiene applies module-wide — cmd/ binaries write the very traces
+	// the goldens pin — so the violating fixture still reports under cmd/.
+	analysistest.Run(t, fixture("spanend"), "mube/cmd/mube", rules.SpanEnd)
+}
+
 func TestRegistryNamesUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range rules.All {

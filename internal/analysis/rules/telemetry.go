@@ -13,9 +13,9 @@ import (
 // command output nondeterministically and bypass the no-op-by-default
 // contract that makes instrumentation safe inside the deterministic core.
 // Importing expvar or net/http/pprof is likewise banned there — the debug
-// endpoint is a cmd-layer concern (mube-bench -debug-addr), and keeping the
-// imports out of internal/ is what guarantees it can never be reached from
-// inside the core.
+// endpoint lives behind the telemetry.Serve facade (each command's
+// -debug-addr flag), and keeping the imports out of the rest of internal/ is
+// what guarantees it can never be reached from inside the core.
 var Telemetry = &analysis.Analyzer{
 	Name: "telemetry",
 	Doc: "forbid fmt.Print*/log.* calls and expvar / net/http/pprof imports " +
@@ -45,8 +45,8 @@ var stdoutPrintFuncs = map[string]bool{
 
 // bannedImports are the debug-surface packages that must stay in cmd/.
 var bannedImports = map[string]string{
-	"expvar":         "the expvar debug surface belongs in cmd/ (mube-bench -debug-addr)",
-	"net/http/pprof": "the pprof debug endpoint belongs in cmd/ (mube-bench -debug-addr)",
+	"expvar":         "the expvar debug surface belongs in telemetry.Serve (-debug-addr)",
+	"net/http/pprof": "the pprof debug endpoint belongs in telemetry.Serve (-debug-addr)",
 }
 
 func runTelemetry(pass *analysis.Pass) {

@@ -1,0 +1,123 @@
+// Package fixture covers the span-lifecycle shapes: spans ended on every
+// path (directly, deferred, or by ownership transfer), and spans that can
+// leak on some path to return.
+package fixture
+
+import (
+	"errors"
+
+	"mube/internal/telemetry"
+)
+
+// straightLine is the canonical shape: begin, work, end.
+func straightLine(rec *telemetry.Recorder) {
+	sp := rec.BeginSpan("phase")
+	rec.Emit("work")
+	sp.End()
+}
+
+// deferEnded ends through a defer, which runs on every path.
+func deferEnded(rec *telemetry.Recorder, b bool) {
+	sp := rec.BeginSpan("phase")
+	defer sp.End()
+	if b {
+		return
+	}
+	rec.Emit("work")
+}
+
+// deferClosureEnded ends inside a deferred closure.
+func deferClosureEnded(rec *telemetry.Recorder) {
+	sp := rec.BeginSpan("phase")
+	defer func() { sp.End(telemetry.Int("done", 1)) }()
+	rec.Emit("work")
+}
+
+// everyBranchEnded ends explicitly on the error path and the success path —
+// the watch-loop phase-span idiom.
+func everyBranchEnded(rec *telemetry.Recorder, fail bool) error {
+	sp := rec.BeginSpan("phase")
+	if fail {
+		sp.End(telemetry.Str("err", "boom"))
+		return errors.New("boom")
+	}
+	rec.Emit("work")
+	sp.End()
+	return nil
+}
+
+// loopSpans begin and end once per iteration — the partition-group idiom.
+func loopSpans(rec *telemetry.Recorder, n int) {
+	for i := 0; i < n; i++ {
+		sp := rec.BeginSpan("group")
+		if i%2 == 0 {
+			sp.End(telemetry.Str("status", "skip"))
+			continue
+		}
+		sp.End()
+	}
+}
+
+// returned hands the span to the caller — ownership transfer, not a leak
+// (the Search.BeginSolve idiom).
+func returned(rec *telemetry.Recorder) telemetry.Span {
+	return rec.BeginSpan("solver.run")
+}
+
+// assignedAndReturned transfers through a local variable.
+func assignedAndReturned(rec *telemetry.Recorder) telemetry.Span {
+	sp := rec.BeginSpan("solver.run")
+	rec.Emit("work")
+	return sp
+}
+
+// handedOff passes the span to a helper that owns the End from there on.
+func handedOff(rec *telemetry.Recorder) {
+	sp := rec.BeginSpan("phase")
+	finish(sp)
+}
+
+func finish(sp telemetry.Span) { sp.End() }
+
+// leakedOnErrorPath ends only on the success path.
+func leakedOnErrorPath(rec *telemetry.Recorder, fail bool) error {
+	sp := rec.BeginSpan("phase") // want "no End on some path"
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// neverEnded leaks unconditionally.
+func neverEnded(rec *telemetry.Recorder) {
+	sp := rec.BeginSpan("phase") // want "no End on some path"
+	rec.Emit("work")
+	_ = sp
+}
+
+// discarded drops the span value at the call: it can never be ended.
+func discarded(rec *telemetry.Recorder) {
+	rec.BeginSpan("phase") // want "span discarded without End"
+}
+
+// blankAssigned discards through the blank identifier.
+func blankAssigned(rec *telemetry.Recorder) {
+	_ = rec.BeginSpan("phase") // want "span discarded without End"
+}
+
+// closureLeak opens a span in a function literal that never ends it; the
+// literal is its own graph.
+func closureLeak(rec *telemetry.Recorder) func() {
+	return func() {
+		sp := rec.BeginSpan("phase") // want "no End on some path"
+		_ = sp
+	}
+}
+
+// ignored documents an intentional leak (truncated-trace fixtures).
+func ignored(rec *telemetry.Recorder) {
+	//mube:vet-ignore spanend — fixture needs an open span
+	sp := rec.BeginSpan("phase")
+	_ = sp
+}

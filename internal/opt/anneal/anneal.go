@@ -54,6 +54,7 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 		return nil, err
 	}
 
+	span := search.BeginSolve(s.Name())
 	cur := search.NewSubset(search.StartSubset(p, opts))
 	curQ := search.Eval.Eval(cur.IDs())
 	bestIDs := cur.IDs()
@@ -90,5 +91,7 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 		search.TraceIter(s.Name(), iter, curQ, bestQ, telemetry.Float("temp", temp))
 		temp *= s.Cooling
 	}
-	return search.Eval.Solution(bestIDs, s.Name()), nil
+	sol := search.Eval.Solution(bestIDs, s.Name())
+	span.End()
+	return sol, nil
 }

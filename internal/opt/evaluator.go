@@ -582,6 +582,14 @@ func (s *Search) TraceIter(solver string, iter int, curQ, bestQ float64, extra .
 	s.Rec.Gauge("solver.best_q", bestQ)
 }
 
+// BeginSolve opens the "solver.run" span that wraps a solver's whole search
+// loop, so solver.iter / eval.batch events nest under it in the span tree.
+// Solvers call it right after NewSearch and End the returned span (on every
+// path) once the final Solution has been built. Inert when Rec is nil.
+func (s *Search) BeginSolve(solver string) telemetry.Span {
+	return s.Rec.BeginSpan("solver.run", telemetry.Str("solver", solver))
+}
+
 // Stopped reports whether the solve's context is canceled or past its
 // deadline. Solvers check it at iteration boundaries and return best-so-far.
 func (s *Search) Stopped() bool { return s.ctx.Err() != nil }

@@ -44,6 +44,7 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 	if total > s.Limit {
 		return nil, fmt.Errorf("exhaustive: %d candidate subsets exceed limit %d", total, s.Limit)
 	}
+	span := search.BeginSolve(s.Name())
 
 	// Enumerate in DFS order but score in fixed-size batches: the buffer
 	// preserves enumeration order, so the strict-improvement scan selects
@@ -114,7 +115,9 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 		// enumerated candidate (required sources only), which is feasible.
 		bestIDs = opt.SortIDs(append([]schema.SourceID(nil), search.Required...))
 	}
-	return search.Eval.Solution(bestIDs, s.Name()), nil
+	sol := search.Eval.Solution(bestIDs, s.Name())
+	span.End()
+	return sol, nil
 }
 
 // countSubsets returns Σ_{k=0..m} C(n,k), saturating at a large sentinel to

@@ -68,6 +68,7 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 	if err != nil {
 		return nil, err
 	}
+	span := search.BeginSolve(s.Name())
 	dims := len(search.Optional)
 	freeSlots := search.MaxSources - len(search.Required)
 
@@ -184,7 +185,9 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 		search.TraceIter(s.Name(), iter, iterQ, globalQ,
 			telemetry.Int("particles", s.Particles))
 	}
-	return search.Eval.Solution(toIDs(globalBest), s.Name()), nil
+	sol := search.Eval.Solution(toIDs(globalBest), s.Name())
+	span.End()
+	return sol, nil
 }
 
 // indicator returns +1 when the reference bit is set and the current bit is

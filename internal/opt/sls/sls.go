@@ -36,6 +36,7 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 		return nil, err
 	}
 
+	span := search.BeginSolve(s.Name())
 	var bestIDs []schema.SourceID
 	bestQ := -1.0
 	iters := 0
@@ -86,5 +87,7 @@ func (s Solver) Solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 	if bestIDs == nil {
 		bestIDs = search.RandomSubset()
 	}
-	return search.Eval.Solution(bestIDs, s.Name()), nil
+	sol := search.Eval.Solution(bestIDs, s.Name())
+	span.End()
+	return sol, nil
 }

@@ -7,6 +7,7 @@ import (
 	"mube/internal/constraint"
 	"mube/internal/opt"
 	"mube/internal/schema"
+	"mube/internal/telemetry"
 )
 
 // Partitioned wraps an inner solver with shard decomposition: when the
@@ -108,10 +109,18 @@ func (ps Partitioned) Solve(ctx context.Context, p *opt.Problem, opts opt.Option
 		subOpts.MaxEvals = evalShare[i]
 		subOpts.Candidates = grp
 		subOpts.Initial = filterIDs(opts.Initial, in)
+		// Each sub-solve gets its own span so the profile attributes time and
+		// evals to the group, with the inner solver.run nested beneath.
+		gsp := opts.Recorder.BeginSpan("partition.group",
+			telemetry.Int("group", i),
+			telemetry.Int("sources", len(grp)),
+			telemetry.Int("quota", quota))
 		sol, err := inner.Solve(ctx, sub, subOpts)
 		if err != nil {
+			gsp.End(telemetry.Str("err", err.Error()))
 			return nil, err
 		}
+		gsp.End(telemetry.Float("best_q", sol.Quality), telemetry.Int("evals", sol.Evals))
 		union = append(union, sol.IDs...)
 		evals += sol.Evals
 		if rank(sol.Status) > rank(status) {

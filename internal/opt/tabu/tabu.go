@@ -61,6 +61,7 @@ func (s Solver) solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 		return nil, err
 	}
 
+	span := search.BeginSolve(s.Name())
 	cur := search.NewSubset(search.StartSubset(p, opts))
 	curQ := search.Eval.Eval(cur.IDs())
 	bestIDs := cur.IDs()
@@ -133,7 +134,9 @@ func (s Solver) solve(ctx context.Context, p *opt.Problem, opts opt.Options) (*o
 			telemetry.Int("tenure", s.Tenure),
 			telemetry.Int("tabu_active", tabuActive(tabuUntil, iter)))
 	}
-	return search.Eval.Solution(bestIDs, s.Name()), nil
+	sol := search.Eval.Solution(bestIDs, s.Name())
+	span.End()
+	return sol, nil
 }
 
 // tabuActive counts the sources still tabu after iter's update, for the

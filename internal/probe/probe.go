@@ -359,6 +359,7 @@ func (p *Prober) backoff(attempt int) time.Duration {
 // sources into a universe. Construction always completes; the report names
 // every degraded and dropped source.
 func (p *Prober) BuildUniverse(cfg pcsa.Config, cands []Candidate) (*source.Universe, *HealthReport, error) {
+	span := p.rec.BeginSpan("probe.build", telemetry.Int("candidates", len(cands)))
 	u := source.NewUniverse(cfg)
 	rep := &HealthReport{Plan: p.inj.Plan().String()}
 	for _, c := range cands {
@@ -369,6 +370,7 @@ func (p *Prober) BuildUniverse(cfg pcsa.Config, cands []Candidate) (*source.Univ
 		if s != nil {
 			id, err := u.Add(s)
 			if err != nil {
+				span.End(telemetry.Str("err", err.Error()))
 				return nil, nil, fmt.Errorf("probe: add %q: %w", c.Name, err)
 			}
 			res.ID = id
@@ -379,6 +381,7 @@ func (p *Prober) BuildUniverse(cfg pcsa.Config, cands []Candidate) (*source.Univ
 	// estimate) now, at acquisition time, so the first Coverage evaluation
 	// does not pay for the full-universe union merge.
 	u.Precompute()
+	span.End(telemetry.Int("sources", u.Len()), telemetry.Int("dropped", rep.Dropped))
 	return u, rep, nil
 }
 
@@ -392,6 +395,7 @@ func (p *Prober) BuildUniverse(cfg pcsa.Config, cands []Candidate) (*source.Univ
 // universe's sources in order (kept[newID] == oldID), for remapping
 // ID-indexed ground truth.
 func (p *Prober) ReprobeUniverse(u *source.Universe) (*source.Universe, *HealthReport, []schema.SourceID, error) {
+	span := p.rec.BeginSpan("probe.reprobe", telemetry.Int("sources", u.Len()))
 	nu := source.NewUniverse(u.SignatureConfig())
 	rep := &HealthReport{Plan: p.inj.Plan().String()}
 	var kept []schema.SourceID
@@ -409,6 +413,7 @@ func (p *Prober) ReprobeUniverse(u *source.Universe) (*source.Universe, *HealthR
 		if add != nil {
 			id, err := nu.Add(add)
 			if err != nil {
+				span.End(telemetry.Str("err", err.Error()))
 				return nil, nil, nil, fmt.Errorf("probe: re-add %q: %w", s.Name, err)
 			}
 			res.ID = id
@@ -419,6 +424,7 @@ func (p *Prober) ReprobeUniverse(u *source.Universe) (*source.Universe, *HealthR
 	// As in BuildUniverse: pay for the universe aggregates here, not in the
 	// first evaluation after re-acquisition.
 	nu.Precompute()
+	span.End(telemetry.Int("kept", nu.Len()), telemetry.Int("dropped", rep.Dropped))
 	return nu, rep, kept, nil
 }
 

@@ -408,10 +408,17 @@ func (s *Session) setConstraints(c constraint.Set) error {
 
 // Problem materializes the current spec as an opt.Problem.
 func (s *Session) Problem() (*opt.Problem, error) {
+	// Re-parameterizing the matcher re-clusters the attribute graph — the
+	// match-index build, the one potentially heavy step in materialization.
+	msp := s.rec.BeginSpan("match.index",
+		telemetry.Float("theta", s.spec.Theta),
+		telemetry.Int("beta", s.spec.Beta))
 	matcher, err := s.base.WithParams(s.spec.Theta, s.spec.Beta, s.spec.Linkage)
 	if err != nil {
+		msp.End(telemetry.Str("err", err.Error()))
 		return nil, err
 	}
+	msp.End()
 	quality, err := qef.NewQuality(s.qefs, s.spec.Weights)
 	if err != nil {
 		return nil, err
@@ -436,10 +443,6 @@ func (s *Session) Solve() (*opt.Solution, error) {
 // ctx stops the solver within one evaluation batch, and the iteration is
 // still recorded with the best-so-far solution and its Status.
 func (s *Session) SolveContext(ctx context.Context) (*opt.Solution, error) {
-	p, err := s.Problem()
-	if err != nil {
-		return nil, err
-	}
 	solver, err := solvers.ByName(s.spec.Solver)
 	if err != nil {
 		return nil, err
@@ -461,10 +464,21 @@ func (s *Session) SolveContext(ctx context.Context) (*opt.Solution, error) {
 	if opts.Recorder == nil {
 		opts.Recorder = s.rec
 	}
-	span := s.rec.StartSpan("session.solve",
+	span := s.rec.BeginSpan("session.solve",
 		telemetry.Str("solver", s.spec.Solver),
 		telemetry.Int("iteration", len(s.history)),
 		telemetry.Int64("seed", opts.Seed))
+	// Problem materialization re-parameterizes the matcher (the match-index
+	// build); its own child span makes that cost attributable separately
+	// from the solver's search.
+	psp := s.rec.BeginSpan("session.problem")
+	p, err := s.Problem()
+	if err != nil {
+		psp.End(telemetry.Str("err", err.Error()))
+		span.End()
+		return nil, err
+	}
+	psp.End(telemetry.Int("sources", s.u.Len()))
 	start := s.clock()
 	sol, err := solver.Solve(ctx, p, opts)
 	if err != nil {

@@ -40,7 +40,7 @@ func TestSessionTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	evs := sink.Events()
-	if len(evs) < 2 || evs[0].Name != "session.solve.start" || evs[len(evs)-1].Name != "session.solve.end" {
+	if len(evs) < 2 || evs[0].Name != "session.solve.begin" || evs[len(evs)-1].Name != "session.solve.end" {
 		t.Fatalf("solve span missing: %d events, first %q", len(evs), evs[0].Name)
 	}
 

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"testing"
+
+	"mube/internal/testutil"
+)
+
+// TestNilRecorderAllocFree pins the cost of leaving telemetry off: every
+// Recorder method returns before touching any state when the receiver is
+// nil, and an inert Span's End is a single nil check. Instrumented hot loops
+// (solver iterations, probe batches, watch epochs) call these unguarded, so
+// the no-op path must stay allocation-free — a regression here taxes every
+// un-traced run.
+func TestNilRecorderAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under the race detector")
+	}
+	var r *Recorder
+	body := func() {
+		sp := r.BeginSpan("solver.run")
+		r.Emit("solver.iter")
+		r.Add("solver.iters", 1)
+		r.Gauge("solver.best_q", 0.5)
+		r.Observe("solver.delta", 1)
+		sp.End()
+	}
+	body() // warm up
+	if hit := testing.AllocsPerRun(100, body); hit != 0 {
+		t.Errorf("nil-Recorder telemetry path allocates %.0f per run, want 0", hit)
+	}
+	// Snapshot on a nil recorder returns the zero Snapshot without building
+	// any maps.
+	snap := func() {
+		_ = r.Snapshot()
+	}
+	snap()
+	if hit := testing.AllocsPerRun(100, snap); hit != 0 {
+		t.Errorf("nil-Recorder Snapshot allocates %.0f per run, want 0", hit)
+	}
+}

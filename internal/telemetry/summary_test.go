@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParseConfigLineEdges pins the lenient corners of the config-line
+// grammar: the prefix is exact, empty payloads are valid, tokens without '='
+// are skipped, values keep any '=' after the first, and repeats last-win.
+func TestParseConfigLineEdges(t *testing.T) {
+	if _, ok := ParseConfigLine(""); ok {
+		t.Error("empty line parsed as config")
+	}
+	if _, ok := ParseConfigLine("mube-config:x=1"); ok {
+		t.Error("prefix without the separating space accepted")
+	}
+	if _, ok := ParseConfigLine(" mube-config: x=1"); ok {
+		t.Error("leading whitespace before the prefix accepted")
+	}
+	cfg, ok := ParseConfigLine("mube-config: ")
+	if !ok || len(cfg) != 0 {
+		t.Errorf("empty payload: cfg=%v ok=%v, want empty map", cfg, ok)
+	}
+	cfg, ok = ParseConfigLine("mube-config: solo x=1 = y")
+	if !ok || len(cfg) != 2 || cfg["x"] != "1" || cfg[""] != "" {
+		t.Errorf("mixed tokens: cfg=%v ok=%v", cfg, ok)
+	}
+	cfg, _ = ParseConfigLine("mube-config: spec=a=b.json k=1 k=2")
+	if cfg["spec"] != "a=b.json" {
+		t.Errorf("value with '=' truncated: %q", cfg["spec"])
+	}
+	if cfg["k"] != "2" {
+		t.Errorf("duplicate key: %q, want last value", cfg["k"])
+	}
+	// Round trip through the renderer.
+	cfg, ok = ParseConfigLine(ConfigLine(KVStr("scale", "quick"), KVInt("seed", 3)))
+	if !ok || cfg["scale"] != "quick" || cfg["seed"] != "3" {
+		t.Errorf("render/parse round trip: %v", cfg)
+	}
+}
+
+// TestParseMetricsLineEdges pins the metrics-line grammar: exact prefix,
+// empty objects, rejection of malformed or mistyped JSON, and the non-finite
+// encoding (NaN/Inf render as null, which reads back as zero rather than
+// failing the whole line).
+func TestParseMetricsLineEdges(t *testing.T) {
+	if _, ok := ParseMetricsLine("metrics: {}"); ok {
+		t.Error("wrong prefix accepted")
+	}
+	vals, ok := ParseMetricsLine("mube-metrics: {}")
+	if !ok || len(vals) != 0 {
+		t.Errorf("empty object: vals=%v ok=%v", vals, ok)
+	}
+	for _, bad := range []string{
+		"mube-metrics: ",
+		"mube-metrics: {",
+		"mube-metrics: [1,2]",
+		`mube-metrics: {"a":"high"}`,
+		`mube-metrics: {"a":1} trailing`,
+	} {
+		if vals, ok := ParseMetricsLine(bad); ok {
+			t.Errorf("malformed line %q parsed: %v", bad, vals)
+		}
+	}
+	line := MetricsLine(map[string]float64{
+		"evals_per_sec": 78147.5,
+		"q_recovery":    math.NaN(),
+		"warm_frac":     math.Inf(1),
+	})
+	vals, ok = ParseMetricsLine(line)
+	if !ok {
+		t.Fatalf("round trip of non-finite values failed: %q", line)
+	}
+	//mube:vet-ignore floatcmp — 78147.5 is exactly representable and the JSON round trip must not perturb it
+	if vals["evals_per_sec"] != 78147.5 {
+		t.Errorf("evals_per_sec = %v", vals["evals_per_sec"])
+	}
+	// Non-finite values encode as null (JSON has no NaN/Inf) and decode to
+	// zero; the key survives so consumers can tell "present but non-finite"
+	// from "absent".
+	for _, k := range []string{"q_recovery", "warm_frac"} {
+		if v, present := vals[k]; !present || v != 0 {
+			t.Errorf("%s = %v (present=%v), want 0 from null", k, v, present)
+		}
+	}
+}

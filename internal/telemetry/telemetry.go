@@ -15,6 +15,12 @@
 // limited to commutative metric updates (Add/Observe), whose totals are
 // independent of scheduling order. This keeps traces byte-identical at any
 // evaluator worker count.
+//
+// Spans form a tree: BeginSpan pushes onto a stack owned by the solve
+// goroutine (guarded by the same lock as emission), so every event carries the
+// id of its enclosing span and every span the id of its parent. Span ids are
+// the sequence numbers of their begin events, which makes the tree — like
+// everything else here — a pure function of the emission order.
 package telemetry
 
 import (
@@ -61,6 +67,11 @@ type Recorder struct {
 	clock Clock
 	epoch time.Time
 	seq   int64
+	// stack is the open-span id stack. Spans are begun and ended only on the
+	// goroutine that owns the solve (the package contract above), so one
+	// stack per recorder suffices; the emission lock guards it against the
+	// metrics-snapshot readers.
+	stack []int64
 
 	metrics metrics
 }
@@ -91,7 +102,8 @@ func NewClocked(sink Sink, clock Clock) *Recorder {
 
 // Emit records one trace event. Attrs are encoded in argument order. Safe on
 // a nil receiver. Must only be called from the solve-owning goroutine (see
-// the package comment).
+// the package comment). When a span is open, the event carries its id (sid)
+// so profile reducers can attribute it to a phase.
 func (r *Recorder) Emit(name string, attrs ...Attr) {
 	if r == nil {
 		return
@@ -99,6 +111,9 @@ func (r *Recorder) Emit(name string, attrs ...Attr) {
 	r.mu.Lock()
 	r.seq++
 	ev := Event{Seq: r.seq, Name: name, Attrs: attrs}
+	if n := len(r.stack); n > 0 {
+		ev.SID = r.stack[n-1]
+	}
 	if r.clock != nil {
 		ev.TNano = r.clock.Now().Sub(r.epoch).Nanoseconds()
 		ev.Stamped = true
@@ -110,31 +125,41 @@ func (r *Recorder) Emit(name string, attrs ...Attr) {
 	r.mu.Unlock()
 }
 
-// Span is an in-flight span started with StartSpan. End emits the matching
-// end event; a Span from a nil Recorder is inert.
+// Span is an in-flight span opened with BeginSpan. End emits the matching
+// end event and pops the span off the recorder's stack; a Span from a nil
+// Recorder is inert.
 type Span struct {
-	r     *Recorder
-	name  string
-	start int64 // seq of the start event
-	t0    int64 // t_ns of the start event (valid only when r.clock != nil)
+	r    *Recorder
+	name string
+	id   int64 // span id = seq of the begin event; 0 for an inert span
+	t0   int64 // t_ns of the begin event (valid only when r.clock != nil)
 }
 
-// StartSpan emits "<name>.start" and returns a Span whose End emits
-// "<name>.end" carrying span=<start seq> and, when a clock is attached,
-// dur_ns. Safe on a nil receiver.
-func (r *Recorder) StartSpan(name string, attrs ...Attr) Span {
+// BeginSpan emits "<name>.begin" and pushes a new span: the begin event
+// carries sid (the span's id — the begin event's own sequence number) and
+// psid (the enclosing span's id, 0 at the root), and every event emitted
+// before the matching End carries the span's id. Returns a Span whose End
+// emits "<name>.end" with the same sid and, when a clock is attached, dur_ns.
+// Safe on a nil receiver. Spans must be ended in LIFO order on the
+// solve-owning goroutine; mube-vet's spanend analyzer flags Begin calls with
+// no reachable End.
+func (r *Recorder) BeginSpan(name string, attrs ...Attr) Span {
 	if r == nil {
 		return Span{}
 	}
 	r.mu.Lock()
 	r.seq++
-	ev := Event{Seq: r.seq, Name: name + ".start", Attrs: attrs}
-	sp := Span{r: r, name: name, start: r.seq}
+	ev := Event{Seq: r.seq, Name: name + ".begin", Attrs: attrs, SID: r.seq, IsBegin: true}
+	if n := len(r.stack); n > 0 {
+		ev.PSID = r.stack[n-1]
+	}
+	sp := Span{r: r, name: name, id: r.seq}
 	if r.clock != nil {
 		ev.TNano = r.clock.Now().Sub(r.epoch).Nanoseconds()
 		ev.Stamped = true
 		sp.t0 = ev.TNano
 	}
+	r.stack = append(r.stack, sp.id)
 	if r.sink != nil {
 		r.sink.Write(ev)
 	}
@@ -142,22 +167,35 @@ func (r *Recorder) StartSpan(name string, attrs ...Attr) Span {
 	return sp
 }
 
-// End closes the span. Extra attrs are appended after the span reference.
+// End closes the span: it pops the span (and, defensively, any deeper spans
+// left open by a skipped End) off the stack and emits "<name>.end" carrying
+// the span's sid and, when a clock is attached, dur_ns. Extra attrs follow.
+// Safe on an inert span (from a nil recorder) and idempotent: ending a span
+// that is no longer on the stack emits the end event without popping.
 func (s Span) End(attrs ...Attr) {
 	if s.r == nil {
 		return
 	}
-	all := make([]Attr, 0, len(attrs)+2)
-	all = append(all, Int64("span", s.start))
-	if s.r.clock != nil {
-		// Recompute under the emit lock so dur_ns and t_ns agree.
-		s.r.mu.Lock()
-		now := s.r.clock.Now().Sub(s.r.epoch).Nanoseconds()
-		s.r.mu.Unlock()
-		all = append(all, Int64("dur_ns", now-s.t0))
+	r := s.r
+	r.mu.Lock()
+	for i := len(r.stack) - 1; i >= 0; i-- {
+		if r.stack[i] == s.id {
+			r.stack = r.stack[:i]
+			break
+		}
 	}
-	all = append(all, attrs...)
-	s.r.Emit(s.name+".end", all...)
+	r.seq++
+	ev := Event{Seq: r.seq, Name: s.name + ".end", SID: s.id}
+	if r.clock != nil {
+		ev.TNano = r.clock.Now().Sub(r.epoch).Nanoseconds()
+		ev.Stamped = true
+		ev.Attrs = append(ev.Attrs, Int64("dur_ns", ev.TNano-s.t0))
+	}
+	ev.Attrs = append(ev.Attrs, attrs...)
+	if r.sink != nil {
+		r.sink.Write(ev)
+	}
+	r.mu.Unlock()
 }
 
 // Add increments counter name by delta. Commutative: safe from worker

@@ -16,7 +16,7 @@ func TestNilRecorderIsNoop(t *testing.T) {
 	r.Add("c", 2)
 	r.Gauge("g", 3)
 	r.Observe("h", 4)
-	sp := r.StartSpan("span")
+	sp := r.BeginSpan("span")
 	sp.End(Int("done", 1))
 	snap := r.Snapshot()
 	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
@@ -61,25 +61,93 @@ func TestClockedSpans(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	sink := &MemorySink{}
 	r := NewClocked(sink, clk)
-	sp := r.StartSpan("session.solve", Str("solver", "tabu"))
+	sp := r.BeginSpan("session.solve", Str("solver", "tabu"))
 	clk.advance(42 * time.Millisecond)
 	sp.End(Int("evals", 7))
 	evs := sink.Events()
 	if len(evs) != 2 {
 		t.Fatalf("got %d events, want 2", len(evs))
 	}
-	if evs[0].Name != "session.solve.start" || !evs[0].Stamped || evs[0].TNano != 0 {
-		t.Fatalf("bad start event: %+v", evs[0])
+	if evs[0].Name != "session.solve.begin" || !evs[0].Stamped || evs[0].TNano != 0 {
+		t.Fatalf("bad begin event: %+v", evs[0])
+	}
+	if evs[0].SID != evs[0].Seq || !evs[0].IsBegin || evs[0].PSID != 0 {
+		t.Fatalf("bad begin span ids: %+v", evs[0])
 	}
 	end := evs[1]
 	if end.Name != "session.solve.end" {
 		t.Fatalf("bad end event name: %q", end.Name)
 	}
-	if v, ok := end.Attr("span"); !ok || v.(int64) != evs[0].Seq {
-		t.Fatalf("span ref = %v, want %d", v, evs[0].Seq)
+	if end.SID != evs[0].Seq {
+		t.Fatalf("end sid = %d, want %d", end.SID, evs[0].Seq)
 	}
 	if v, ok := end.Attr("dur_ns"); !ok || v.(int64) != (42*time.Millisecond).Nanoseconds() {
 		t.Fatalf("dur_ns = %v, want %d", v, (42 * time.Millisecond).Nanoseconds())
+	}
+}
+
+func TestSpanTreeLinkage(t *testing.T) {
+	sink := &MemorySink{}
+	r := New(sink)
+	root := r.BeginSpan("root")
+	r.Emit("in.root")
+	child := r.BeginSpan("child")
+	r.Emit("in.child")
+	grand := r.BeginSpan("grand")
+	grand.End()
+	child.End()
+	r.Emit("in.root.again")
+	root.End()
+	r.Emit("outside")
+
+	evs := sink.Events()
+	byName := func(name string) Event {
+		for _, ev := range evs {
+			if ev.Name == name {
+				return ev
+			}
+		}
+		t.Fatalf("event %q not found", name)
+		return Event{}
+	}
+	rootID := byName("root.begin").SID
+	childID := byName("child.begin").SID
+	grandID := byName("grand.begin").SID
+	if byName("root.begin").PSID != 0 {
+		t.Fatalf("root psid = %d, want 0", byName("root.begin").PSID)
+	}
+	if byName("child.begin").PSID != rootID {
+		t.Fatalf("child psid = %d, want %d", byName("child.begin").PSID, rootID)
+	}
+	if byName("grand.begin").PSID != childID {
+		t.Fatalf("grand psid = %d, want %d", byName("grand.begin").PSID, childID)
+	}
+	if byName("in.root").SID != rootID || byName("in.root.again").SID != rootID {
+		t.Fatal("events in root must carry root sid")
+	}
+	if byName("in.child").SID != childID {
+		t.Fatal("events in child must carry child sid")
+	}
+	if byName("grand.end").SID != grandID || byName("child.end").SID != childID || byName("root.end").SID != rootID {
+		t.Fatal("end events must carry their own span id")
+	}
+	if byName("outside").SID != 0 {
+		t.Fatalf("event outside all spans has sid %d, want 0", byName("outside").SID)
+	}
+}
+
+func TestSpanEndPopsSkippedChildren(t *testing.T) {
+	sink := &MemorySink{}
+	r := New(sink)
+	outer := r.BeginSpan("outer")
+	//mube:vet-ignore spanend — deliberately leaked to exercise the defensive pop
+	_ = r.BeginSpan("leaked")
+	outer.End()
+	r.Emit("after")
+	evs := sink.Events()
+	last := evs[len(evs)-1]
+	if last.Name != "after" || last.SID != 0 {
+		t.Fatalf("stack not cleaned after defensive pop: %+v", last)
 	}
 }
 

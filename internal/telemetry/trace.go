@@ -12,11 +12,20 @@ import (
 // runs with the same seed regardless of evaluator worker count. TNano is the
 // elapsed virtual time since the recorder's epoch and is present only when an
 // injected clock was attached (Stamped).
+//
+// SID links the event into the span tree: for a span begin/end event it is
+// the span's own id (the begin event's sequence number), for any other event
+// the id of the innermost open span (0 = outside any span). PSID is the
+// parent span's id and is meaningful only on begin events (IsBegin), where 0
+// marks a root span.
 type Event struct {
 	Seq     int64
 	Name    string
 	TNano   int64
 	Stamped bool
+	SID     int64
+	PSID    int64
+	IsBegin bool
 	Attrs   []Attr
 }
 
@@ -29,12 +38,14 @@ type Sink interface {
 
 // JSONLSink encodes each event as one JSON object per line:
 //
-//	{"seq":3,"ev":"solver.iter","iter":1,"best_q":0.75}
+//	{"seq":3,"ev":"solver.iter","sid":2,"iter":1,"best_q":0.75}
 //
 // Attributes are flattened to top-level keys in emission order, after the
-// fixed seq/ev(/t_ns) prefix. Encoding is hand-rolled so the bytes are a pure
-// function of the event: floats use strconv 'g' shortest form, and map
-// iteration order never enters the picture.
+// fixed seq/ev(/t_ns)(/sid)(/psid) prefix — sid appears whenever the event is
+// inside (or is) a span, psid only on span begin events. Encoding is
+// hand-rolled so the bytes are a pure function of the event: floats use
+// strconv 'g' shortest form, and map iteration order never enters the
+// picture.
 type JSONLSink struct {
 	mu  sync.Mutex
 	w   io.Writer
@@ -62,6 +73,14 @@ func (s *JSONLSink) Write(ev Event) {
 	if ev.Stamped {
 		b = append(b, `,"t_ns":`...)
 		b = strconv.AppendInt(b, ev.TNano, 10)
+	}
+	if ev.SID != 0 {
+		b = append(b, `,"sid":`...)
+		b = strconv.AppendInt(b, ev.SID, 10)
+	}
+	if ev.IsBegin {
+		b = append(b, `,"psid":`...)
+		b = strconv.AppendInt(b, ev.PSID, 10)
 	}
 	for _, a := range ev.Attrs {
 		b = append(b, ',')
@@ -123,6 +142,36 @@ func (s *MemorySink) Events() []Event {
 	out := make([]Event, len(s.evs))
 	copy(out, s.evs)
 	return out
+}
+
+// TeeSink fans each event out to every sink in order. Write is called under
+// the recorder's lock like any other sink, so the components need no extra
+// synchronization against each other.
+type TeeSink []Sink
+
+// Tee bundles sinks into one; nil members are dropped. It returns nil when
+// nothing remains, so a recorder built over Tee() stays metrics-only.
+func Tee(sinks ...Sink) Sink {
+	var out TeeSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}
+
+// Write implements Sink.
+func (t TeeSink) Write(ev Event) {
+	for _, s := range t {
+		s.Write(ev)
+	}
 }
 
 // Attr returns the named attribute's value and whether it was present.

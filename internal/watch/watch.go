@@ -393,9 +393,15 @@ func (l *Loop) Tick(ctx context.Context) (DeltaReport, error) {
 	rep := DeltaReport{Epoch: l.epoch}
 	l.touched = l.touched[:0]
 	l.clock.Sleep(l.cfg.EpochStep)
+	// The tick is one span with churn / resolve / cold phase children, so a
+	// profile attributes each epoch's cost to the pipeline step that paid it.
+	// The deferred End also closes the tick on error returns.
+	tick := l.cfg.Recorder.BeginSpan("watch.tick", telemetry.Int("epoch", l.epoch))
+	defer tick.End()
 
 	// 1. Seeded churn schedule: MTTF-weighted deaths, one draw per source
 	// in ID order.
+	churn := l.cfg.Recorder.BeginSpan("watch.churn")
 	dead := l.scheduleDeaths()
 	rep.Died = len(dead)
 
@@ -403,13 +409,18 @@ func (l *Loop) Tick(ctx context.Context) (DeltaReport, error) {
 	// Breaker trips join the dead; failures degrade in place; previously
 	// degraded sources whose outage ended are restored from their cached
 	// synopses.
+	rsp := l.cfg.Recorder.BeginSpan("watch.reprobe", telemetry.Int("sources", l.u.Len()))
 	dead = l.reprobe(dead, &rep)
+	rsp.End(telemetry.Int("dropped", rep.Dropped),
+		telemetry.Int("degraded", rep.Degraded),
+		telemetry.Int("recovered", rep.Recovered))
 
 	// 3. Incremental removal: one compaction, one kept list; constraints
 	// and the warm start follow their sources to the new IDs.
 	if len(dead) > 0 {
 		kept, err := l.u.Remove(dead)
 		if err != nil {
+			churn.End()
 			return rep, fmt.Errorf("watch: epoch %d remove: %w", l.epoch, err)
 		}
 		rep.ConstraintsDropped = l.remapConstraints(kept)
@@ -419,20 +430,27 @@ func (l *Loop) Tick(ctx context.Context) (DeltaReport, error) {
 
 	// 4. Vocabulary drift on surviving cooperative sources.
 	if err := l.scheduleDrift(&rep); err != nil {
+		churn.End()
 		return rep, err
 	}
 
 	// 5. Arrivals replace the dead, keeping N roughly stable.
 	if err := l.scheduleArrivals(len(dead), &rep); err != nil {
+		churn.End()
 		return rep, err
 	}
 	l.u.Precompute()
 	rep.Sources = l.u.Len()
+	churn.End(telemetry.Int("died", rep.Died),
+		telemetry.Int("arrived", rep.Arrived),
+		telemetry.Int("sources", rep.Sources))
 
 	// 6. Rebind the matcher: reuse every similarity already computed, score
 	// only genuinely new names.
+	resolve := l.cfg.Recorder.BeginSpan("watch.resolve", telemetry.Bool("delta_pool", l.cfg.DeltaPool))
 	m, err := l.m.Rebind(l.u)
 	if err != nil {
+		resolve.End()
 		return rep, fmt.Errorf("watch: epoch %d rebind: %w", l.epoch, err)
 	}
 	l.m = m
@@ -441,10 +459,12 @@ func (l *Loop) Tick(ctx context.Context) (DeltaReport, error) {
 	// warm-start the re-solve from it.
 	p, err := l.problem()
 	if err != nil {
+		resolve.End()
 		return rep, err
 	}
 	if len(l.prev) > 0 {
 		if rep.QBefore, err = opt.Score(p, l.prev); err != nil {
+			resolve.End()
 			return rep, err
 		}
 	}
@@ -454,17 +474,22 @@ func (l *Loop) Tick(ctx context.Context) (DeltaReport, error) {
 	}
 	sol, err := l.solve(ctx, p, l.prev, cands)
 	if err != nil {
+		resolve.End()
 		return rep, err
 	}
 	rep.QAfter, rep.WarmEvals, rep.Status = sol.Quality, sol.Evals, string(sol.Status)
 	l.prev = sol.IDs
+	resolve.End(telemetry.Float("q_after", rep.QAfter), telemetry.Int("warm_evals", rep.WarmEvals))
 
 	// 8. Optional from-scratch reference: rebuild the universe and matcher
 	// cold, solve without a warm start, same seed.
 	if l.cfg.Cold {
+		csp := l.cfg.Recorder.BeginSpan("watch.cold")
 		if err := l.coldReference(ctx, &rep); err != nil {
+			csp.End()
 			return rep, err
 		}
+		csp.End(telemetry.Float("cold_q", rep.ColdQ), telemetry.Int("cold_evals", rep.ColdEvals))
 	}
 	l.emit(rep)
 	return rep, nil
