@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race faults telemetry churn-soak mube-vet vet-json bench bench-delta bench-churn bench-smoke trace-smoke trace-golden benchall fmt
+.PHONY: check build vet test race faults telemetry churn-soak mube-vet vet-json bench bench-delta bench-churn bench-partition bench-smoke trace-smoke trace-golden benchall fmt
 
 check: build mube-vet vet race faults telemetry churn-soak
 
@@ -81,16 +81,30 @@ bench-churn:
 	@mv BENCH_churn.tmp BENCH_fig.json
 	@echo "merged churn metrics into BENCH_fig.json"
 
+# bench-partition runs the group-worker differential (mube-bench -exp
+# partition: bit-identity self-check at GroupWorkers 1 vs 4, speedup, and the
+# candidate-pair index economics) and folds its metrics line
+# (partition_speedup, pair_candidates, pair_candidates_frac, shard_build_ns —
+# all direction-aware in mube-benchjson -compare) into BENCH_fig.json.
+bench-partition:
+	$(GO) run ./cmd/mube-bench -exp partition -scale quick | $(GO) run ./cmd/mube-benchjson -merge BENCH_fig.json > BENCH_partition.tmp
+	@mv BENCH_partition.tmp BENCH_fig.json
+	@echo "merged partition metrics into BENCH_fig.json"
+
 # bench-smoke is CI's non-gating sanity pass: one Fig5 iteration diffed
 # against the committed BENCH_fig.json (the -compare table prints to stderr;
 # shared-runner timings are too noisy to gate on, so regressions are
 # informational here — run `make bench` locally to re-archive), plus the 100k
-# universe preset at reduced solver budget to prove the streamed-generation
-# and partitioned-solve path end to end.
+# and 1M universe presets at reduced solver budget to prove the
+# streamed-generation, candidate-index, and partitioned-solve path end to
+# end. The 1M run's metrics line (solve_ms_1m, pair_candidates, ...) is
+# archived next to the Fig5 compare.
 bench-smoke:
 	$(GO) test -bench=Fig5 -benchmem -benchtime=1x -count=1 -run=^$$ . | $(GO) run ./cmd/mube-benchjson -compare BENCH_fig.json > BENCH_smoke.json
 	@echo "wrote BENCH_smoke.json"
 	$(GO) run ./cmd/mube-bench -universe 100k -smoke
+	$(GO) run ./cmd/mube-bench -universe 1m -smoke | $(GO) run ./cmd/mube-benchjson -compare BENCH_fig.json > BENCH_smoke_1m.json
+	@echo "wrote BENCH_smoke_1m.json"
 
 # trace-smoke records a deterministic watch trace through the CLI
 # (virtual-clock timings, so the bytes are machine-independent), renders the

@@ -14,7 +14,15 @@
 //
 // Experiments: fig5, fig67 (time and quality: Figures 6 and 7), fig8,
 // table1, pcsa, sensitivity, solvers, convergence, ablation-sim,
-// ablation-linkage, ablation-tenure, ablation-pcsa, faults, churn, all.
+// ablation-linkage, ablation-tenure, ablation-pcsa, faults, churn,
+// partition, all.
+//
+// The -universe flag switches to the universe-scale benchmark ladder
+// (50 | 10k | 100k | 1m | all): build a streamed synthetic universe at the
+// preset size and solve it end to end, printing generation, shard-index, and
+// solve economics plus an archivable metrics line. -group-workers overrides
+// the partitioned solver's group pool size for those runs (0 = the preset's
+// own setting).
 //
 // The -debug-addr flag (off by default) boots telemetry.Serve on the given
 // address for live profiling: Prometheus-style /metrics, recently completed
@@ -173,13 +181,21 @@ var experiments = []struct {
 		}
 		return exp.RenderChurn(w, rows)
 	}},
+	{"partition", "Parallel partitioned solving: group-worker invariance, speedup, candidate index", func(sc exp.Scale, w io.Writer) error {
+		res, err := exp.Partition(sc)
+		if err != nil {
+			return err
+		}
+		return exp.RenderPartition(w, res)
+	}},
 }
 
 func main() {
 	expName := flag.String("exp", "all", "experiment to run (or 'all')")
 	scaleName := flag.String("scale", "quick", "experiment scale: full | quick")
-	universe := flag.String("universe", "", "run the universe-scale benchmark instead: 50 | 10k | 100k | all")
+	universe := flag.String("universe", "", "run the universe-scale benchmark instead: 50 | 10k | 100k | 1m | all")
 	smoke := flag.Bool("smoke", false, "with -universe: reduce solver budgets to CI smoke size")
+	groupWorkers := flag.Int("group-workers", 0, "with -universe: partitioned-solver group pool size (0 = preset default)")
 	seed := flag.Int64("seed", 0, "override the scale's base seed (0 = keep)")
 	parallel := flag.Int("parallel", 0, "evaluator worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	faults := flag.String("faults", "", "fault plan applied to universe acquisition, e.g. rate=0.3,seed=7 (\"\" or \"none\" = clean)")
@@ -254,6 +270,9 @@ func main() {
 			if *smoke {
 				preset = preset.Reduced()
 			}
+			if *groupWorkers != 0 {
+				preset.GroupWorkers = *groupWorkers
+			}
 			start := time.Now()
 			row, err := exp.ScaleBench(preset, sc.Parallel, sc.Rec)
 			if err != nil {
@@ -268,6 +287,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mube-bench: %v\n", err)
 			os.Exit(1)
 		}
+		// Archivable metrics line: per-preset solve wall-clock plus the
+		// candidate-index economics of the largest rung, so
+		// `mube-bench -universe ... | mube-benchjson -merge` tracks them
+		// across commits.
+		metrics := make(map[string]float64, len(rows)+3)
+		for _, r := range rows {
+			metrics["solve_ms_"+r.Preset] = r.SolveMS
+		}
+		last := rows[len(rows)-1]
+		metrics["pair_candidates"] = float64(last.PairCandidates)
+		metrics["pair_candidates_frac"] = last.PairFrac()
+		metrics["shard_build_ns"] = last.ShardMS * 1e6
+		fmt.Println(telemetry.MetricsLine(metrics))
 		return
 	}
 

@@ -25,10 +25,11 @@ type Directions struct {
 // Default covers the metrics the bench and trace tooling archives.
 var Default = Directions{
 	HigherBetter: map[string]bool{
-		"evals_per_sec":  true,
-		"memo_hit_rate":  true,
-		"delta_hit_rate": true,
-		"q_recovery":     true,
+		"evals_per_sec":     true,
+		"memo_hit_rate":     true,
+		"delta_hit_rate":    true,
+		"q_recovery":        true,
+		"partition_speedup": true,
 	},
 	LowerBetter: map[string]bool{
 		"ns/op":                    true,
@@ -39,6 +40,10 @@ var Default = Directions{
 		"warm_evals_frac":          true,
 		"cum_ns":                   true,
 		"self_ns":                  true,
+		"pair_candidates":          true,
+		"pair_candidates_frac":     true,
+		"shard_build_ns":           true,
+		"solve_ms_1m":              true,
 	},
 }
 

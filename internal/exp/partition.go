@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"mube/internal/constraint"
+	"mube/internal/match"
+	"mube/internal/opt"
+	"mube/internal/opt/solvers"
+	"mube/internal/pcsa"
+	"mube/internal/synth"
+	"mube/internal/telemetry"
+)
+
+// The partition experiment measures the two scaling levers this repo adds on
+// top of the paper's solver: sub-quadratic candidate generation in the shard
+// index, and the group-level worker pool of the partitioned solver. It is
+// also a self-check — the runs at different GroupWorkers must agree bit for
+// bit, or the experiment fails instead of reporting a speedup.
+
+// PartitionRow is one solve of the ladder preset at a group-worker setting.
+type PartitionRow struct {
+	Workers int // 0 = GOMAXPROCS
+	SolveMS float64
+	Quality float64
+	Evals   int
+}
+
+// PartitionResult is the experiment outcome: per-worker-setting timings plus
+// the shard-index build economics they share.
+type PartitionResult struct {
+	Rows           []PartitionRow
+	Groups         int
+	ShardMS        float64
+	PairCandidates uint64
+	PairsTotal     uint64
+}
+
+// Speedup is the sequential wall-clock over the widest-pool wall-clock (1
+// when degenerate). On a single-CPU runner it hovers near 1 by construction.
+func (r *PartitionResult) Speedup() float64 {
+	if len(r.Rows) < 2 || r.Rows[len(r.Rows)-1].SolveMS <= 0 {
+		return 1
+	}
+	return r.Rows[0].SolveMS / r.Rows[len(r.Rows)-1].SolveMS
+}
+
+// PairFrac is PairCandidates over the flat pair total.
+func (r *PartitionResult) PairFrac() float64 {
+	if r.PairsTotal == 0 {
+		return 1
+	}
+	return float64(r.PairCandidates) / float64(r.PairsTotal)
+}
+
+// Partition runs the 10k ladder preset once per group-worker setting over a
+// single generated universe and shard index, verifying bit-identical
+// results across settings.
+func Partition(sc Scale) (*PartitionResult, error) {
+	p, err := ScalePresetByName("10k")
+	if err != nil {
+		return nil, err
+	}
+	if sc.Name != "full" {
+		p = p.Reduced()
+	}
+	cfg := synth.Scaled(p.DataFactor)
+	cfg.NumSources = p.NumSources
+	cfg.Domains = p.Domains
+	cfg.DomainConcepts = p.Concepts
+	cfg.Seed = p.Seed
+	cfg.Sig = pcsa.Config{NumMaps: 64}
+	u, err := synth.GenerateUniverse(cfg)
+	if err != nil {
+		return nil, err
+	}
+	matcher, err := match.New(u, match.Config{Theta: match.DefaultTheta})
+	if err != nil {
+		return nil, err
+	}
+	quality, err := PaperQuality()
+	if err != nil {
+		return nil, err
+	}
+	prob := &opt.Problem{
+		Universe:   u,
+		Matcher:    matcher,
+		Quality:    quality,
+		MaxSources: p.Choose,
+	}
+	solver, err := solvers.ByName(p.Solver)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PartitionResult{}
+	candBefore := match.PairCandidates()
+	shardStart := time.Now()
+	res.Groups = len(matcher.NewSharded(constraint.Set{}).SourceGroups())
+	res.ShardMS = float64(time.Since(shardStart).Microseconds()) / 1000
+	res.PairCandidates = match.PairCandidates() - candBefore
+	nSim := uint64(matcher.SimIDs())
+	res.PairsTotal = nSim * (nSim - 1) / 2
+
+	for _, workers := range []int{1, 4} {
+		opts := opt.Options{
+			Seed:         p.Seed,
+			MaxEvals:     p.MaxEvals,
+			MaxIters:     p.MaxIters,
+			Patience:     p.Patience,
+			Parallel:     sc.Parallel,
+			GroupWorkers: workers,
+			Recorder:     sc.Rec,
+		}
+		start := time.Now()
+		sol, err := solver.Solve(context.Background(), prob, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, PartitionRow{
+			Workers: workers,
+			SolveMS: time.Since(start).Seconds() * 1000,
+			Quality: sol.Quality,
+			Evals:   sol.Evals,
+		})
+	}
+	first := res.Rows[0]
+	for _, r := range res.Rows[1:] {
+		if math.Float64bits(r.Quality) != math.Float64bits(first.Quality) || r.Evals != first.Evals {
+			return nil, fmt.Errorf("exp: partitioned solve not worker-invariant: %d workers (q=%v evals=%d) vs %d (q=%v evals=%d)",
+				first.Workers, first.Quality, first.Evals, r.Workers, r.Quality, r.Evals)
+		}
+	}
+	return res, nil
+}
+
+// RenderPartition prints the worker ladder plus the candidate-index
+// economics, ending with the archivable metrics line.
+func RenderPartition(w io.Writer, res *PartitionResult) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "group_workers\tsolve_ms\tquality\tevals")
+	for _, r := range res.Rows {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.4f\t%d\n", r.Workers, r.SolveMS, r.Quality, r.Evals)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "shard index: %d groups, %d of %d pairs tested (%.4f) in %.1fms\n",
+		res.Groups, res.PairCandidates, res.PairsTotal, res.PairFrac(), res.ShardMS)
+	// The canonical pair_candidates / shard_build_ns archive comes from the
+	// universe ladder's largest rung (mube-bench -universe); this line only
+	// archives what is unique to the differential, so merging both into
+	// BENCH_fig.json never makes same-named metrics from different universes
+	// collide.
+	fmt.Fprintln(w, telemetry.MetricsLine(map[string]float64{
+		"partition_speedup": res.Speedup(),
+		"group_workers":     float64(res.Rows[len(res.Rows)-1].Workers),
+	}))
+	return nil
+}

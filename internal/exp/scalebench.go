@@ -23,7 +23,7 @@ import (
 // signatures, the streaming generator, and the partitioned solver over
 // shard-disjoint domains.
 type ScalePreset struct {
-	// Name labels the preset ("50", "10k", "100k").
+	// Name labels the preset ("50", "10k", "100k", "1m").
 	Name string
 	// NumSources is the universe size.
 	NumSources int
@@ -31,6 +31,11 @@ type ScalePreset struct {
 	// matcher's shard index decomposes the universe; 0 keeps the BAMM
 	// single-domain generator.
 	Domains int
+	// Concepts sets the per-domain vocabulary size (synth.Config
+	// DomainConcepts); 0 keeps the generator default. Larger vocabularies
+	// grow the distinct-name table the shard index is built over, which is
+	// what the candidate-pair index is measured against.
+	Concepts int
 	// Choose is MaxSources for the solve.
 	Choose int
 	// MaxIters / Patience / MaxEvals bound each (sub-)solve.
@@ -41,6 +46,13 @@ type ScalePreset struct {
 	Solver string
 	// DataFactor scales tuple cardinalities, exactly as Scale.DataFactor.
 	DataFactor float64
+	// SigMaps is the PCSA signature width in bitmaps (0 = 64). The 1m preset
+	// narrows it so the signature arena stays a fraction of RAM at 8 B/map
+	// per source.
+	SigMaps int
+	// GroupWorkers is the partitioned solver's group-level pool size
+	// (opt.Options.GroupWorkers; 0 = GOMAXPROCS).
+	GroupWorkers int
 	// Seed drives generation and the solver.
 	Seed int64
 }
@@ -85,6 +97,24 @@ func ScalePresets() []ScalePreset {
 			DataFactor: 0.001,
 			Seed:       1,
 		},
+		{
+			// The 10⁶-source rung. A wider domain fan (32 × 64 concepts)
+			// keeps per-group sub-solves tractable and gives the shard index
+			// a 2048-name table — ~2.1M flat pairs — for the candidate index
+			// to beat. SigMaps 16 holds the signature arena at 128 MB.
+			Name:       "1m",
+			NumSources: 1_000_000,
+			Domains:    32,
+			Concepts:   64,
+			Choose:     128,
+			MaxIters:   12,
+			Patience:   4,
+			MaxEvals:   24_000,
+			Solver:     "partition+tabu",
+			DataFactor: 0.0005,
+			SigMaps:    16,
+			Seed:       1,
+		},
 	}
 }
 
@@ -95,7 +125,7 @@ func ScalePresetByName(name string) (ScalePreset, error) {
 			return p, nil
 		}
 	}
-	return ScalePreset{}, fmt.Errorf("exp: unknown universe preset %q (want 50, 10k, or 100k)", name)
+	return ScalePreset{}, fmt.Errorf("exp: unknown universe preset %q (want 50, 10k, 100k, or 1m)", name)
 }
 
 // Reduced shrinks a preset's solver budget for CI smoke runs: same universe,
@@ -117,11 +147,20 @@ type ScaleBenchRow struct {
 	// found (1 = no decomposition, flat solve).
 	Groups int
 	Solver string
-	// GenMS covers streaming generation plus universe precompute; SolveMS
-	// is the solve proper.
+	// GenMS covers streaming generation plus universe precompute; ShardMS
+	// is the θ-component shard-index build (candidate generation + scoring
+	// + union-find + per-source lists); SolveMS is the solve proper.
 	GenMS   float64
+	ShardMS float64
 	SolveMS float64
-	Evals   int
+	// PairCandidates is how many similarity pairs the shard-index build
+	// tested against θ; PairsTotal is the flat n(n−1)/2 it replaces.
+	PairCandidates uint64
+	PairsTotal     uint64
+	// GroupWorkers is the partitioned solver's group pool size used for the
+	// run (0 = GOMAXPROCS).
+	GroupWorkers int
+	Evals        int
 	// EvalsPerSec is Evals over the solve wall time.
 	EvalsPerSec float64
 	// SolveMallocs and SolveAllocMB are the heap allocation count and bytes
@@ -141,8 +180,13 @@ func ScaleBench(p ScalePreset, parallel int, rec *telemetry.Recorder) (*ScaleBen
 	cfg := synth.Scaled(p.DataFactor)
 	cfg.NumSources = p.NumSources
 	cfg.Domains = p.Domains
+	cfg.DomainConcepts = p.Concepts
 	cfg.Seed = p.Seed
-	cfg.Sig = pcsa.Config{NumMaps: 64}
+	sigMaps := p.SigMaps
+	if sigMaps == 0 {
+		sigMaps = 64
+	}
+	cfg.Sig = pcsa.Config{NumMaps: sigMaps}
 
 	genStart := time.Now()
 	u, err := synth.GenerateUniverse(cfg)
@@ -155,6 +199,17 @@ func ScaleBench(p ScalePreset, parallel int, rec *telemetry.Recorder) (*ScaleBen
 	if err != nil {
 		return nil, err
 	}
+
+	// Build the shard index (candidate generation + blocked scoring +
+	// component labeling) up front and time it; the solve below reuses the
+	// cached index. PairCandidates deltas are process-global, so surround
+	// the build tightly.
+	candBefore := match.PairCandidates()
+	shardStart := time.Now()
+	groups := len(matcher.NewSharded(constraint.Set{}).SourceGroups())
+	shardMS := float64(time.Since(shardStart).Microseconds()) / 1000
+	candTested := match.PairCandidates() - candBefore
+	nSim := uint64(matcher.SimIDs())
 	quality, err := PaperQuality()
 	if err != nil {
 		return nil, err
@@ -170,12 +225,13 @@ func ScaleBench(p ScalePreset, parallel int, rec *telemetry.Recorder) (*ScaleBen
 		return nil, err
 	}
 	opts := opt.Options{
-		Seed:     p.Seed,
-		MaxEvals: p.MaxEvals,
-		MaxIters: p.MaxIters,
-		Patience: p.Patience,
-		Parallel: parallel,
-		Recorder: rec,
+		Seed:         p.Seed,
+		MaxEvals:     p.MaxEvals,
+		MaxIters:     p.MaxIters,
+		Patience:     p.Patience,
+		Parallel:     parallel,
+		GroupWorkers: p.GroupWorkers,
+		Recorder:     rec,
 	}
 
 	var before, after runtime.MemStats
@@ -189,18 +245,22 @@ func ScaleBench(p ScalePreset, parallel int, rec *telemetry.Recorder) (*ScaleBen
 	runtime.ReadMemStats(&after)
 
 	row := &ScaleBenchRow{
-		Preset:       p.Name,
-		Sources:      u.Len(),
-		Groups:       len(matcher.NewSharded(constraint.Set{}).SourceGroups()),
-		Solver:       solver.Name(),
-		GenMS:        genMS,
-		SolveMS:      solveSec * 1000,
-		Evals:        sol.Evals,
-		SolveMallocs: after.Mallocs - before.Mallocs,
-		SolveAllocMB: float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
-		SigMB:        float64(u.SignatureBytes()) / (1 << 20),
-		Quality:      sol.Quality,
-		Status:       string(sol.Status),
+		Preset:         p.Name,
+		Sources:        u.Len(),
+		Groups:         groups,
+		Solver:         solver.Name(),
+		GenMS:          genMS,
+		ShardMS:        shardMS,
+		SolveMS:        solveSec * 1000,
+		PairCandidates: candTested,
+		PairsTotal:     nSim * (nSim - 1) / 2,
+		GroupWorkers:   p.GroupWorkers,
+		Evals:          sol.Evals,
+		SolveMallocs:   after.Mallocs - before.Mallocs,
+		SolveAllocMB:   float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		SigMB:          float64(u.SignatureBytes()) / (1 << 20),
+		Quality:        sol.Quality,
+		Status:         string(sol.Status),
 	}
 	if solveSec > 0 {
 		row.EvalsPerSec = float64(sol.Evals) / solveSec
@@ -211,12 +271,22 @@ func ScaleBench(p ScalePreset, parallel int, rec *telemetry.Recorder) (*ScaleBen
 // RenderScaleBench prints the scale ladder.
 func RenderScaleBench(w io.Writer, rows []*ScaleBenchRow) error {
 	tw := newTab(w)
-	fmt.Fprintln(tw, "preset\tsources\tgroups\tsolver\tgen_ms\tsolve_ms\tevals\tevals_per_sec\tallocs\talloc_mb\tsig_mb\tquality\tstatus")
+	fmt.Fprintln(tw, "preset\tsources\tgroups\tsolver\tgen_ms\tshard_ms\tpair_cands\tpair_frac\tsolve_ms\tevals\tevals_per_sec\tallocs\talloc_mb\tsig_mb\tquality\tstatus")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.0f\t%.0f\t%d\t%.0f\t%d\t%.1f\t%.1f\t%.4f\t%s\n",
-			r.Preset, r.Sources, r.Groups, r.Solver, r.GenMS, r.SolveMS,
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.0f\t%.1f\t%d\t%.4f\t%.0f\t%d\t%.0f\t%d\t%.1f\t%.1f\t%.4f\t%s\n",
+			r.Preset, r.Sources, r.Groups, r.Solver, r.GenMS, r.ShardMS,
+			r.PairCandidates, r.PairFrac(), r.SolveMS,
 			r.Evals, r.EvalsPerSec, r.SolveMallocs, r.SolveAllocMB, r.SigMB,
 			r.Quality, r.Status)
 	}
 	return tw.Flush()
+}
+
+// PairFrac is PairCandidates over the flat pair total (1 when the total is
+// degenerate), the sub-quadratic headline of the candidate index.
+func (r *ScaleBenchRow) PairFrac() float64 {
+	if r.PairsTotal == 0 {
+		return 1
+	}
+	return float64(r.PairCandidates) / float64(r.PairsTotal)
 }

@@ -32,9 +32,14 @@ import (
 // shardScores counts sharded flip scorings; shardRescans counts the shard
 // cluster runs they triggered. Their ratio against the base shard count is
 // the pruning win: rescans/scores ≪ shards means most work is reused.
+// pairCandidates counts similarity pairs actually tested against θ during
+// shard-index builds; ≪ n(n−1)/2 demonstrates sub-quadratic candidate
+// generation (the flat fallback adds the full pair count, so the metric is
+// comparable either way).
 var (
-	shardScores  atomic.Uint64
-	shardRescans atomic.Uint64
+	shardScores    atomic.Uint64
+	shardRescans   atomic.Uint64
+	pairCandidates atomic.Uint64
 )
 
 // ShardScores returns the total number of sharded flip scorings performed by
@@ -44,6 +49,10 @@ func ShardScores() uint64 { return shardScores.Load() }
 // ShardRescans returns the total number of per-shard cluster re-runs
 // performed by sharded flip scorings. Monotonic; not resettable.
 func ShardRescans() uint64 { return shardRescans.Load() }
+
+// PairCandidates returns the total number of similarity pairs tested against
+// θ by shard-index builds in this process. Monotonic; not resettable.
+func PairCandidates() uint64 { return pairCandidates.Load() }
 
 // shardCache lazily holds a matcher's shard index. θ determines the graph,
 // so WithParams clones carry a fresh cache.
@@ -76,13 +85,43 @@ func ufFind(parent []int32, x int32) int32 {
 	return x
 }
 
+// buildShardIndex computes the θ-component index. Candidate pairs come from
+// the inverted gram/band index when the similarity measure supports it (see
+// candidatePairs); otherwise from the flat all-pairs loop. Both routes feed
+// the same union-find, and components are numbered by first-member order in
+// the ascending id scan, so the resulting index is identical no matter which
+// route — or which edge order — produced the edges; candidates.go's
+// differential tests pin this.
 func (m *Matcher) buildShardIndex() shardIndex {
-	n := m.n
+	parent := newUnionFind(m.n)
+	if !m.collectEdgesIndexed(parent) {
+		m.collectEdgesFlat(parent)
+	}
+	return m.finishShardIndex(parent)
+}
+
+// buildShardIndexFlat is the reference O(n²) build, kept as the fallback for
+// similarity measures without a candidate index and as the oracle for the
+// differential tests.
+func (m *Matcher) buildShardIndexFlat() shardIndex {
+	parent := newUnionFind(m.n)
+	m.collectEdgesFlat(parent)
+	return m.finishShardIndex(parent)
+}
+
+func newUnionFind(n int) []int32 {
 	parent := make([]int32, n)
 	for i := range parent {
 		parent[i] = int32(i)
 	}
+	return parent
+}
+
+// collectEdgesFlat unions every pair at or above θ by brute force.
+func (m *Matcher) collectEdgesFlat(parent []int32) {
+	n := m.n
 	theta := m.cfg.Theta
+	pairCandidates.Add(uint64(n) * uint64(n-1) / 2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			// Same comparison the linkage performs: widen to float64 first.
@@ -94,6 +133,11 @@ func (m *Matcher) buildShardIndex() shardIndex {
 			}
 		}
 	}
+}
+
+// finishShardIndex labels the components and builds the per-source lists.
+func (m *Matcher) finishShardIndex(parent []int32) shardIndex {
+	n := m.n
 	idx := shardIndex{shardOf: make([]int32, n)}
 	rootID := make([]int32, n)
 	for i := range rootID {

@@ -203,6 +203,20 @@ type Options struct {
 	// The partitioned solve mode uses it to confine each sub-solve to one
 	// source partition. IDs must be valid; order does not matter.
 	Candidates []schema.SourceID
+	// GroupWorkers bounds the partitioned solver's group-level worker pool:
+	// how many group sub-solves run concurrently (0 = GOMAXPROCS,
+	// 1 = sequential). Groups are constraint-disjoint and independently
+	// seeded, and each sub-solve records into a private recorder replayed in
+	// group order, so results and traces are bit- and byte-identical at any
+	// setting — only wall-clock changes. Orthogonal to Parallel, which sizes
+	// the evaluator pool inside each sub-solve.
+	GroupWorkers int
+	// RefineRounds bounds the partitioned solver's cross-group refinement
+	// pass: after merging group solutions it attempts up to this many rounds
+	// of deterministic boundary swaps, accepting only strict improvements so
+	// merged quality is a floor (0 = the solver's default, negative = off).
+	// Solvers other than partition ignore it.
+	RefineRounds int
 }
 
 // Defaults for Options' zero values.

@@ -2,7 +2,11 @@ package solvers
 
 import (
 	"context"
+	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mube/internal/constraint"
 	"mube/internal/opt"
@@ -25,14 +29,33 @@ import (
 // while its per-domain groups are tractable. With one group the wrapper
 // delegates to the inner solver unchanged.
 //
+// After the merge, a bounded cross-group refinement pass (see refine) walks
+// the union's boundary with deterministic sampled swaps, accepting only
+// strict improvements — recovering some of the coupling the decomposition
+// ignored while keeping merged quality a floor.
+//
 // Determinism: groups are ordered by smallest member id, per-group seeds
-// derive from Options.Seed and the group index, and sub-solves run
-// sequentially — so a partitioned solve is bit-reproducible at any evaluator
-// worker count, like every other solver.
+// derive from Options.Seed and the group index, and constraint sets never
+// span groups — so sub-solves are independent and run concurrently on a
+// bounded worker pool (Options.GroupWorkers). Each sub-solve records into a
+// private child recorder whose captured stream is replayed into the parent
+// trace in group-index order after the workers join, so results are
+// bit-identical and traces byte-identical at any group-worker count, like
+// every other solver. (Under context cancellation mid-solve, which groups
+// observe the cancellation first is inherently scheduling-dependent — the
+// same caveat as the evaluator's worker pool.)
 type Partitioned struct {
 	// Inner solves each group; nil means the default solver (tabu).
 	Inner opt.Solver
 }
+
+// DefaultRefineRounds is the cross-group refinement bound applied when
+// Options.RefineRounds is zero.
+const DefaultRefineRounds = 2
+
+// refineMoveCap bounds the number of sampled boundary moves scored per
+// refinement round; one EvalBatchDelta call scores the whole sample.
+const refineMoveCap = 512
 
 // Name identifies the algorithm, naming the inner solver.
 func (ps Partitioned) Name() string { return "partition+" + ps.inner().Name() }
@@ -85,9 +108,12 @@ func (ps Partitioned) Solve(ctx context.Context, p *opt.Problem, opts opt.Option
 	share := splitBudget(free, groups, reqCount)
 	evalShare := splitEvals(opts.MaxEvals, groups, total)
 
-	union := make([]schema.SourceID, 0, p.MaxSources)
-	evals := 0
-	status := opt.StatusCompleted
+	// Stage the per-group sub-solves. Each job carries its own sub-problem,
+	// derived seed, and a private child recorder over a memory sink: workers
+	// may run in any order, and the owner replays the captured streams in
+	// group-index order afterwards, which is exactly the trace a sequential
+	// run would have written.
+	jobs := make([]groupJob, 0, g)
 	for i, grp := range groups {
 		quota := reqCount[i] + share[i]
 		if quota == 0 {
@@ -109,18 +135,59 @@ func (ps Partitioned) Solve(ctx context.Context, p *opt.Problem, opts opt.Option
 		subOpts.MaxEvals = evalShare[i]
 		subOpts.Candidates = grp
 		subOpts.Initial = filterIDs(opts.Initial, in)
-		// Each sub-solve gets its own span so the profile attributes time and
-		// evals to the group, with the inner solver.run nested beneath.
-		gsp := opts.Recorder.BeginSpan("partition.group",
-			telemetry.Int("group", i),
-			telemetry.Int("sources", len(grp)),
-			telemetry.Int("quota", quota))
-		sol, err := inner.Solve(ctx, sub, subOpts)
-		if err != nil {
-			gsp.End(telemetry.Str("err", err.Error()))
-			return nil, err
+		sink := &telemetry.MemorySink{}
+		subOpts.Recorder = opts.Recorder.Child(sink)
+		jobs = append(jobs, groupJob{
+			group: i, sources: len(grp), quota: quota,
+			sub: sub, opts: subOpts, sink: sink,
+		})
+	}
+
+	results := make([]groupResult, len(jobs))
+	workers := opts.GroupWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for k := range jobs {
+			results[k] = ps.solveGroup(ctx, inner, jobs[k])
 		}
-		gsp.End(telemetry.Float("best_q", sol.Quality), telemetry.Int("evals", sol.Evals))
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(cursor.Add(1)) - 1
+					if k >= len(jobs) {
+						return
+					}
+					results[k] = ps.solveGroup(ctx, inner, jobs[k])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Replay and aggregate in group order. Error handling mirrors the
+	// sequential loop: the first failing group (by index) ends the solve
+	// after its own stream is replayed, and later groups' speculative
+	// results are dropped without a trace.
+	union := make([]schema.SourceID, 0, p.MaxSources)
+	evals := 0
+	status := opt.StatusCompleted
+	for k := range jobs {
+		opts.Recorder.Replay(jobs[k].sink.Events())
+		opts.Recorder.Merge(jobs[k].opts.Recorder.Snapshot())
+		if results[k].err != nil {
+			return nil, results[k].err
+		}
+		sol := results[k].sol
 		union = append(union, sol.IDs...)
 		evals += sol.Evals
 		if rank(sol.Status) > rank(status) {
@@ -128,15 +195,200 @@ func (ps Partitioned) Solve(ctx context.Context, p *opt.Problem, opts opt.Option
 		}
 	}
 
-	// Score the union once, outside any budget, and report it under the
-	// aggregated accounting: Evals is what the sub-solves actually consumed,
-	// Status the worst way any sub-solve ended.
+	// Score the union once, outside any budget, then try to improve it
+	// across group boundaries. The refinement evaluator is unlimited, so the
+	// reported accounting stays the sub-solves' own: Evals is what they
+	// consumed, Status the worst way any of them ended; refined quality can
+	// only rise (see refine).
 	ev := opt.NewEvaluator(p, 0)
 	ev.Instrument(opts.Recorder)
-	final := ev.Solution(opt.SortIDs(union), ps.Name())
+	ev.SetWorkers(opts.Parallel)
+	refined := ps.refine(ctx, p, ev, opt.SortIDs(union), groups, opts)
+	final := ev.Solution(refined, ps.Name())
 	final.Evals = evals
 	final.Status = status
 	return final, nil
+}
+
+// groupJob is one staged sub-solve; groupResult is what its worker returns.
+type groupJob struct {
+	group   int // index into the group list (seed + trace attribute)
+	sources int
+	quota   int
+	sub     *opt.Problem
+	opts    opt.Options // Recorder is the group's private child recorder
+	sink    *telemetry.MemorySink
+}
+
+type groupResult struct {
+	sol *opt.Solution
+	err error
+}
+
+// solveGroup runs one group sub-solve, recording its span subtree on the
+// job's private recorder. Runs on a pool worker; it only writes locals and
+// its slot of the results slice, so scheduling order cannot leak into
+// results or traces.
+func (ps Partitioned) solveGroup(ctx context.Context, inner opt.Solver, j groupJob) groupResult {
+	// Each sub-solve gets its own span so the profile attributes time and
+	// evals to the group, with the inner solver.run nested beneath. The span
+	// lands on the group's child recorder, never the shared parent.
+	//mube:vet-ignore workerpure — spans go to the group's private recorder; the owner replays them in group order after the join
+	gsp := j.opts.Recorder.BeginSpan("partition.group",
+		telemetry.Int("group", j.group),
+		telemetry.Int("sources", j.sources),
+		telemetry.Int("quota", j.quota))
+	sol, err := inner.Solve(ctx, j.sub, j.opts)
+	if err != nil {
+		gsp.End(telemetry.Str("err", err.Error()))
+		return groupResult{err: err}
+	}
+	gsp.End(telemetry.Float("best_q", sol.Quality), telemetry.Int("evals", sol.Evals))
+	return groupResult{sol: sol}
+}
+
+// refine is the cross-group pass over the merged union: up to rounds rounds
+// of sampled boundary moves — swaps whose add and drop lie in different
+// groups, plus pure adds while under MaxSources — scored in one
+// EvalBatchDelta batch per round, accepting the best strictly-improving move
+// (ties break to the lowest sample index). Sampling is driven by a
+// dedicated PRNG derived from Options.Seed, so the pass is deterministic;
+// acceptance requires strict improvement, so the returned set's quality is
+// ≥ the union's. Required sources are never dropped and every candidate set
+// is scored through the normal evaluator (infeasible sets score 0), so
+// feasibility is preserved. ids must be sorted and is not mutated.
+func (ps Partitioned) refine(ctx context.Context, p *opt.Problem, ev *opt.Evaluator, ids []schema.SourceID, groups [][]schema.SourceID, opts opt.Options) []schema.SourceID {
+	rounds := opts.RefineRounds
+	if rounds == 0 {
+		rounds = DefaultRefineRounds
+	}
+	if rounds < 0 || len(ids) == 0 || len(groups) <= 1 || ctx.Err() != nil {
+		return ids
+	}
+
+	// Group offsets for uniform sampling over the whole shard-covered pool,
+	// and group membership for the current set (maintained across accepted
+	// moves; adds learn their group at sample time).
+	off := make([]int, len(groups)+1)
+	for i, grp := range groups {
+		off[i+1] = off[i] + len(grp)
+	}
+	total := off[len(groups)]
+	cur := append([]schema.SourceID(nil), ids...)
+	curSet := make(map[schema.SourceID]bool, len(cur))
+	for _, id := range cur {
+		curSet[id] = true
+	}
+	memberGroup := make(map[schema.SourceID]int, len(cur))
+	for gi, grp := range groups {
+		for _, id := range grp {
+			if curSet[id] {
+				memberGroup[id] = gi
+			}
+		}
+	}
+	req := make(map[schema.SourceID]bool)
+	for _, id := range p.Constraints.RequiredSources() {
+		req[id] = true
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed + 999_999_937))
+	curQ := ev.Eval(cur)
+	sp := opts.Recorder.BeginSpan("partition.refine",
+		telemetry.Int("rounds", rounds),
+		telemetry.Int("sources", len(cur)),
+		telemetry.Float("merged_q", curQ))
+	accepted := 0
+	for round := 0; round < rounds; round++ {
+		if ctx.Err() != nil {
+			break
+		}
+		moves, addGroup := sampleBoundaryMoves(rng, groups, off, total, cur, curSet, memberGroup, req, p.MaxSources)
+		if len(moves) == 0 {
+			break
+		}
+		qs := ev.EvalBatchDelta(cur, moves)
+		best := -1
+		for i, q := range qs {
+			if q > curQ && (best == -1 || q > qs[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		mv := moves[best]
+		if mv.Drop >= 0 {
+			delete(curSet, mv.Drop)
+			delete(memberGroup, mv.Drop)
+			for i, id := range cur {
+				if id == mv.Drop {
+					cur = append(cur[:i], cur[i+1:]...)
+					break
+				}
+			}
+		}
+		if mv.Add >= 0 {
+			curSet[mv.Add] = true
+			memberGroup[mv.Add] = addGroup[best]
+			cur = append(cur, mv.Add)
+		}
+		cur = opt.SortIDs(cur)
+		curQ = qs[best]
+		accepted++
+	}
+	sp.End(telemetry.Int("accepted", accepted), telemetry.Float("best_q", curQ))
+	return cur
+}
+
+// sampleBoundaryMoves draws up to refineMoveCap distinct cross-group moves:
+// each starts from a uniformly sampled non-member add; when the set is full
+// (or a coin flip says swap) it pairs the add with a droppable member from a
+// different group. Deterministic given the PRNG state.
+func sampleBoundaryMoves(rng *rand.Rand, groups [][]schema.SourceID, off []int, total int,
+	cur []schema.SourceID, curSet map[schema.SourceID]bool, memberGroup map[schema.SourceID]int,
+	req map[schema.SourceID]bool, maxSources int) ([]opt.Move, []int) {
+	droppable := make([]schema.SourceID, 0, len(cur))
+	for _, id := range cur {
+		if !req[id] {
+			droppable = append(droppable, id)
+		}
+	}
+	canAdd := len(cur) < maxSources
+	if !canAdd && len(droppable) == 0 {
+		return nil, nil
+	}
+	moves := make([]opt.Move, 0, refineMoveCap)
+	addGroup := make([]int, 0, refineMoveCap)
+	seen := make(map[opt.Move]bool, refineMoveCap)
+	for attempts := 0; attempts < refineMoveCap*8 && len(moves) < refineMoveCap; attempts++ {
+		x := rng.Intn(total)
+		gi := 0
+		for x >= off[gi+1] {
+			gi++
+		}
+		a := groups[gi][x-off[gi]]
+		if curSet[a] {
+			continue
+		}
+		mv := opt.Move{Add: a, Drop: -1}
+		if len(droppable) > 0 && (!canAdd || rng.Intn(2) == 1) {
+			d := droppable[rng.Intn(len(droppable))]
+			if memberGroup[d] == gi {
+				continue // within-group: the sub-solver's job, not refinement's
+			}
+			mv.Drop = d
+		} else if !canAdd {
+			continue
+		}
+		if seen[mv] {
+			continue
+		}
+		seen[mv] = true
+		moves = append(moves, mv)
+		addGroup = append(addGroup, gi)
+	}
+	return moves, addGroup
 }
 
 // rank orders statuses by severity for aggregation.

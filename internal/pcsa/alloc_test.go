@@ -127,3 +127,29 @@ func TestArenaViews(t *testing.T) {
 		}
 	}
 }
+
+// TestArenaChunkGrowthDeep carves enough signatures to cross well past 64
+// chunks. The chunk sizer once computed firstChunkSigs << len(chunks) before
+// clamping, which overflows int around chunk 57 (~half a million
+// signatures) — exactly where the 1M universe preset lands — and panicked in
+// makeslice. A narrow config keeps the slab bytes small enough to run in CI.
+func TestArenaChunkGrowthDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep arena growth is a long test")
+	}
+	cfg := pcsa.Config{NumMaps: 2}
+	arena, err := pcsa.NewArena(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 600_000 // > 57 chunks at the 8192-signature cap
+	for i := 0; i < total; i++ {
+		arena.New()
+	}
+	if arena.Len() != total {
+		t.Fatalf("arena.Len() = %d, want %d", arena.Len(), total)
+	}
+	if arena.Bytes() < total*2*8 {
+		t.Fatalf("arena.Bytes() = %d, too small for %d signatures", arena.Bytes(), total)
+	}
+}

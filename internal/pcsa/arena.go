@@ -71,9 +71,12 @@ func (a *Arena) Bytes() int {
 func (a *Arena) New() *Signature {
 	last := len(a.chunks) - 1
 	if last < 0 || a.chunks[last].used == len(a.chunks[last].views) {
-		size := firstChunkSigs << len(a.chunks)
-		if size > maxChunkSigs {
-			size = maxChunkSigs
+		// Cap the shift, not just the result: past a few dozen chunks
+		// (~half a million signatures) firstChunkSigs << len(chunks)
+		// overflows int and the clamp below would never fire.
+		size := maxChunkSigs
+		if shift := len(a.chunks); shift < 32 && firstChunkSigs<<shift < maxChunkSigs {
+			size = firstChunkSigs << shift
 		}
 		a.chunks = append(a.chunks, arenaChunk{
 			words: make([]uint64, size*a.cfg.NumMaps),

@@ -75,6 +75,51 @@ func (m *metrics) observe(name string, v float64) {
 	m.mu.Unlock()
 }
 
+// merge folds an exported snapshot back into the live store: counters add,
+// gauges overwrite, histograms combine bucket-wise. Every histogram in the
+// repo uses DefaultBuckets (observe hard-codes the layout and snapshots carry
+// it verbatim), so bucket-wise addition is exact, not an approximation. Empty
+// histogram snapshots are skipped: their zeroed Min/Max are presentation
+// values (see snapshot), not observations.
+func (m *metrics) merge(s Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range s.Counters {
+		m.count[k] += v
+	}
+	for k, v := range s.Gauges {
+		m.gauges[k] = v
+	}
+	for k, hs := range s.Histograms {
+		if hs.Count == 0 {
+			continue
+		}
+		h := m.hists[k]
+		if h == nil {
+			h = &histogram{
+				min:    math.Inf(1),
+				max:    math.Inf(-1),
+				counts: make([]int64, len(DefaultBuckets)),
+			}
+			m.hists[k] = h
+		}
+		h.count += hs.Count
+		h.sum += hs.Sum
+		if hs.Min < h.min {
+			h.min = hs.Min
+		}
+		if hs.Max > h.max {
+			h.max = hs.Max
+		}
+		for i, c := range hs.Counts {
+			if i < len(h.counts) {
+				h.counts[i] += c
+			}
+		}
+		h.overflow += hs.Overflow
+	}
+}
+
 // HistogramSnapshot is the exported copy of one histogram. Bounds are the
 // inclusive upper bounds of Counts; Overflow counts observations above the
 // last bound. All fields are finite so the snapshot survives encoding/json.

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// emitScript drives one recorder through a fixed span/event/metric script.
+// Used to compare direct emission on a parent against child capture + replay.
+func emitScript(r *Recorder) {
+	sp := r.BeginSpan("partition.group", Int("group", 0), Int("sources", 7))
+	r.Emit("solver.run", Str("solver", "tabu"))
+	inner := r.BeginSpan("eval.batch", Int("jobs", 3))
+	r.Emit("eval.done", Int("evals", 3))
+	inner.End(Int("scored", 3))
+	r.Add("evals", 3)
+	r.Observe("batch_size", 3)
+	r.Gauge("best_q", 0.75)
+	sp.End(Float("best_q", 0.75), Int("evals", 3))
+	r.Emit("loose", Int("tail", 1)) // outside any span: sid 0 in the child
+}
+
+// TestReplayMatchesDirectEmission is the byte-level contract behind parallel
+// partitioned solving: capturing a span subtree on a child recorder and
+// replaying it into the parent must produce exactly the bytes the parent
+// would have written had the subtree been emitted on it directly.
+func TestReplayMatchesDirectEmission(t *testing.T) {
+	// Direct: everything emitted on one recorder, under an enclosing span.
+	var direct bytes.Buffer
+	dr := New(NewJSONLSink(&direct))
+	dsp := dr.BeginSpan("partition.run", Int("groups", 1))
+	emitScript(dr)
+	dsp.End()
+
+	// Replayed: the same script runs on a child over a memory sink, then the
+	// captured stream is replayed into the parent at the same stack depth.
+	var replayed bytes.Buffer
+	pr := New(NewJSONLSink(&replayed))
+	psp := pr.BeginSpan("partition.run", Int("groups", 1))
+	mem := &MemorySink{}
+	child := pr.Child(mem)
+	emitScript(child)
+	pr.Replay(mem.Events())
+	pr.Merge(child.Snapshot())
+	psp.End()
+
+	if !bytes.Equal(direct.Bytes(), replayed.Bytes()) {
+		t.Fatalf("replayed trace differs from direct emission:\ndirect:\n%s\nreplayed:\n%s",
+			direct.Bytes(), replayed.Bytes())
+	}
+
+	ds, rs := dr.Snapshot(), pr.Snapshot()
+	if ds.Counter("evals") != rs.Counter("evals") {
+		t.Fatalf("merged counter evals = %d, direct %d", rs.Counter("evals"), ds.Counter("evals"))
+	}
+	// Merge copies gauge and histogram values verbatim, so bit-level equality
+	// is the contract here, not approximate equality.
+	//mube:vet-ignore floatcmp — merge must preserve the exact bits
+	if math.Float64bits(ds.Gauges["best_q"]) != math.Float64bits(rs.Gauges["best_q"]) {
+		t.Fatalf("merged gauge best_q = %v, direct %v", rs.Gauges["best_q"], ds.Gauges["best_q"])
+	}
+	dh, rh := ds.Histograms["batch_size"], rs.Histograms["batch_size"]
+	//mube:vet-ignore floatcmp — merge must preserve the exact bits
+	if dh.Count != rh.Count || math.Float64bits(dh.Sum) != math.Float64bits(rh.Sum) ||
+		//mube:vet-ignore floatcmp — merge must preserve the exact bits
+		math.Float64bits(dh.Min) != math.Float64bits(rh.Min) || math.Float64bits(dh.Max) != math.Float64bits(rh.Max) {
+		t.Fatalf("merged histogram batch_size = %+v, direct %+v", rh, dh)
+	}
+}
+
+// TestReplayTwoChildrenInOrder pins the multi-group shape: two children
+// captured independently (as concurrent sub-solves would) and replayed in
+// group order must equal the fully sequential emission of both subtrees.
+func TestReplayTwoChildrenInOrder(t *testing.T) {
+	var direct bytes.Buffer
+	dr := New(NewJSONLSink(&direct))
+	emitScript(dr)
+	emitScript(dr)
+
+	var replayed bytes.Buffer
+	pr := New(NewJSONLSink(&replayed))
+	sinks := []*MemorySink{&MemorySink{}, &MemorySink{}}
+	for _, s := range sinks {
+		emitScript(pr.Child(s))
+	}
+	for _, s := range sinks {
+		pr.Replay(s.Events())
+	}
+	if !bytes.Equal(direct.Bytes(), replayed.Bytes()) {
+		t.Fatalf("two-child replay differs from sequential emission:\ndirect:\n%s\nreplayed:\n%s",
+			direct.Bytes(), replayed.Bytes())
+	}
+}
+
+// TestReplayNilAndEmpty keeps the no-op contract: nil recorders and empty
+// streams are safe everywhere.
+func TestReplayNilAndEmpty(t *testing.T) {
+	var nr *Recorder
+	if c := nr.Child(&MemorySink{}); c != nil {
+		t.Fatalf("nil.Child = %v, want nil", c)
+	}
+	nr.Replay([]Event{{Seq: 1, Name: "x"}})
+	nr.Merge(Snapshot{Counters: map[string]int64{"a": 1}})
+
+	r := New(nil)
+	r.Replay(nil)
+	r.Merge(Snapshot{})
+	if got := r.Snapshot().Counter("a"); got != 0 {
+		t.Fatalf("counter a = %d after empty merge, want 0", got)
+	}
+}
+
+// TestHistogramMergeOverflow checks bucket-wise histogram merging including
+// the overflow bucket and min/max across children.
+func TestHistogramMergeOverflow(t *testing.T) {
+	a, b := New(nil), New(nil)
+	a.Observe("h", 0.5)
+	a.Observe("h", 2000) // overflow
+	b.Observe("h", 17)
+
+	m := New(nil)
+	m.Merge(a.Snapshot())
+	m.Merge(b.Snapshot())
+
+	want := New(nil)
+	want.Observe("h", 0.5)
+	want.Observe("h", 2000)
+	want.Observe("h", 17)
+
+	wh, gh := want.Snapshot().Histograms["h"], m.Snapshot().Histograms["h"]
+	//mube:vet-ignore floatcmp — bucket-wise merge is exact, not approximate
+	if wh.Count != gh.Count || math.Float64bits(wh.Sum) != math.Float64bits(gh.Sum) ||
+		//mube:vet-ignore floatcmp — bucket-wise merge is exact, not approximate
+		math.Float64bits(wh.Min) != math.Float64bits(gh.Min) ||
+		//mube:vet-ignore floatcmp — bucket-wise merge is exact, not approximate
+		math.Float64bits(wh.Max) != math.Float64bits(gh.Max) || wh.Overflow != gh.Overflow {
+		t.Fatalf("merged histogram %+v, want %+v", gh, wh)
+	}
+	for i := range wh.Counts {
+		if wh.Counts[i] != gh.Counts[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, gh.Counts[i], wh.Counts[i])
+		}
+	}
+}

@@ -198,6 +198,81 @@ func (s Span) End(attrs ...Attr) {
 	r.mu.Unlock()
 }
 
+// Child returns a new Recorder that writes to sink but shares r's clock and
+// epoch, so the child's t_ns values are directly comparable to the parent's.
+// Children are how concurrent sub-solves keep the parent trace byte-identical
+// at any worker count: each sub-solve emits into a private child (typically
+// over a MemorySink), and the owner replays the captured streams into the
+// parent in a deterministic order after the workers join (see Replay). Safe on
+// a nil receiver, which yields nil — the no-op recorder.
+func (r *Recorder) Child(sink Sink) *Recorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	c := &Recorder{sink: sink, clock: r.clock, epoch: r.epoch}
+	r.mu.Unlock()
+	c.metrics.init()
+	return c
+}
+
+// Replay re-emits a child recorder's captured event stream into r, assigning
+// fresh sequence numbers and re-parenting the stream under r's innermost open
+// span. Span ids are remapped so they remain equal to the sequence numbers of
+// their (replayed) begin events; events the child emitted outside any span
+// (sid 0) attach to r's current span, exactly as if they had been emitted on r
+// directly. Timestamps and Stamped flags are preserved — child and parent
+// share a clock (see Child), so they need no rebasing. The replayed stream
+// must be begin/end balanced (every child span ended), which the spanend
+// analyzer enforces at the emission sites; r's own span stack is not touched.
+// Safe on a nil receiver.
+func (r *Recorder) Replay(evs []Event) {
+	if r == nil || len(evs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	var top int64
+	if n := len(r.stack); n > 0 {
+		top = r.stack[n-1]
+	}
+	sidMap := make(map[int64]int64)
+	for _, ev := range evs {
+		r.seq++
+		out := ev
+		out.Seq = r.seq
+		if ev.IsBegin {
+			sidMap[ev.SID] = r.seq
+			out.SID = r.seq
+			if mapped, ok := sidMap[ev.PSID]; ev.PSID != 0 && ok {
+				out.PSID = mapped
+			} else {
+				out.PSID = top
+			}
+		} else if mapped, ok := sidMap[ev.SID]; ok {
+			out.SID = mapped
+		} else {
+			out.SID = top
+		}
+		if r.sink != nil {
+			r.sink.Write(out)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Merge folds a child recorder's metric snapshot into r: counters add,
+// gauges overwrite (last merge wins, mirroring Gauge's last-write-wins), and
+// histograms combine bucket-wise — all histograms share the fixed
+// DefaultBuckets layout, so merging is exact. Merging children in a fixed
+// order after concurrent sub-solves yields the same final metric state as the
+// sequential run. Safe on a nil receiver.
+func (r *Recorder) Merge(s Snapshot) {
+	if r == nil {
+		return
+	}
+	r.metrics.merge(s)
+}
+
 // Add increments counter name by delta. Commutative: safe from worker
 // goroutines. Safe on a nil receiver.
 func (r *Recorder) Add(name string, delta int64) {
